@@ -1,0 +1,60 @@
+//! Table III bench: compilation time for every paper benchmark under both
+//! compiler configurations.
+//!
+//! The paper reports seconds on an i7-9700K for the Python QCCDSim stack;
+//! absolute numbers differ (Rust is orders of magnitude faster), but the
+//! *shape* — optimized costs a small constant factor over baseline, both
+//! scale tractably to 3000-4000-gate circuits — is what this bench
+//! regenerates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd_circuit::generators::{paper_suite, random_circuit};
+use qccd_core::{compile, CompilerConfig};
+use qccd_machine::MachineSpec;
+use std::hint::black_box;
+
+fn bench_paper_suite(c: &mut Criterion) {
+    let spec = MachineSpec::paper_l6();
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10);
+    for bench in paper_suite() {
+        for (label, config) in [
+            ("baseline", CompilerConfig::baseline()),
+            ("optimized", CompilerConfig::optimized()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, &bench.name),
+                &bench.circuit,
+                |b, circuit| {
+                    b.iter(|| compile(black_box(circuit), &spec, &config).expect("compiles"))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_random_scaling(c: &mut Criterion) {
+    // Compile-time scaling with circuit size (the §III-A4/§III-B1/§III-C3
+    // "complexity is contained" claims).
+    let spec = MachineSpec::paper_l6();
+    let mut group = c.benchmark_group("compile_scaling");
+    group.sample_size(10);
+    for gates in [500usize, 1000, 2000, 4000] {
+        let circuit = random_circuit(64, gates, 7);
+        group.bench_with_input(
+            BenchmarkId::new("optimized", gates),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    compile(black_box(circuit), &spec, &CompilerConfig::optimized())
+                        .expect("compiles")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_suite, bench_random_scaling);
+criterion_main!(benches);

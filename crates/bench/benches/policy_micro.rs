@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the individual compiler policies: the per-decision
+//! costs whose containment the paper argues in §III-A4, §III-B1 and
+//! §III-C3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd_circuit::generators::random_circuit;
+use qccd_core::{compile, initial_mapping, CompilerConfig, DirectionPolicy, MappingPolicy};
+use qccd_machine::MachineSpec;
+use qccd_sim::{simulate, SimParams};
+use std::hint::black_box;
+
+fn bench_initial_mapping(c: &mut Criterion) {
+    let spec = MachineSpec::paper_l6();
+    let mut group = c.benchmark_group("initial_mapping");
+    for qubits in [32u32, 64, 78] {
+        let circuit = random_circuit(qubits, 1000, 1);
+        group.bench_with_input(BenchmarkId::new("greedy", qubits), &circuit, |b, circuit| {
+            b.iter(|| {
+                initial_mapping(
+                    black_box(circuit),
+                    &spec,
+                    MappingPolicy::GreedyInteraction,
+                )
+                .expect("fits")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_direction_policies(c: &mut Criterion) {
+    // Whole-compile cost under each direction policy isolates the policy's
+    // per-decision overhead (everything else held constant).
+    let spec = MachineSpec::paper_l6();
+    let circuit = random_circuit(64, 1438, 5);
+    let mut group = c.benchmark_group("direction_policy");
+    group.sample_size(10);
+    for (label, direction) in [
+        ("excess_capacity", DirectionPolicy::ExcessCapacity),
+        ("future_ops_p6", DirectionPolicy::FutureOps { proximity: 6 }),
+        (
+            "future_ops_p24",
+            DirectionPolicy::FutureOps { proximity: 24 },
+        ),
+        (
+            "gate_distance_p6",
+            DirectionPolicy::FutureOpsGateDistance { proximity: 6 },
+        ),
+    ] {
+        let mut config = CompilerConfig::baseline();
+        config.direction = direction;
+        group.bench_function(label, |b| {
+            b.iter(|| compile(black_box(&circuit), &spec, &config).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let spec = MachineSpec::paper_l6();
+    let circuit = random_circuit(64, 1438, 5);
+    let compiled = compile(&circuit, &spec, &CompilerConfig::optimized()).expect("compiles");
+    let params = SimParams::default();
+    c.bench_function("simulate_random_1438", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&compiled.schedule),
+                &circuit,
+                &spec,
+                &params,
+            )
+            .expect("valid schedule")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_initial_mapping,
+    bench_direction_policies,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the substrates: DAG construction, flow routing,
+//! schedule validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd_circuit::generators::{qft, random_circuit};
+use qccd_core::{compile, CompilerConfig};
+use qccd_flow::{min_cost_max_flow, Adjacency, FlowNetwork};
+use qccd_machine::MachineSpec;
+use std::hint::black_box;
+
+fn bench_dag_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_build");
+    for gates in [1000usize, 4000] {
+        let circuit = random_circuit(64, gates, 2);
+        group.bench_with_input(BenchmarkId::new("random", gates), &circuit, |b, circuit| {
+            b.iter(|| black_box(circuit).dependency_dag())
+        });
+    }
+    let qft_circuit = qft(64);
+    group.bench_function("qft64", |b| {
+        b.iter(|| black_box(&qft_circuit).dependency_dag())
+    });
+    group.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    c.bench_function("mcmf_line_16", |b| {
+        b.iter(|| {
+            let n = 16usize;
+            let mut net = FlowNetwork::new(n + 1);
+            for i in 0..n - 1 {
+                net.add_edge(i, i + 1, 2, 1);
+                net.add_edge(i + 1, i, 2, 1);
+            }
+            net.add_edge(n, 12, 1, 0);
+            min_cost_max_flow(black_box(&mut net), n, 0)
+        })
+    });
+    let line = Adjacency::line(64);
+    c.bench_function("bfs_line_64", |b| {
+        b.iter(|| black_box(&line).shortest_path(0, 63))
+    });
+}
+
+fn bench_schedule_validation(c: &mut Criterion) {
+    let spec = MachineSpec::paper_l6();
+    let circuit = random_circuit(64, 1438, 5);
+    let compiled = compile(&circuit, &spec, &CompilerConfig::optimized()).expect("compiles");
+    c.bench_function("validate_random_1438", |b| {
+        b.iter(|| {
+            black_box(&compiled.schedule)
+                .validate(&circuit, &spec)
+                .expect("valid")
+        })
+    });
+}
+
+criterion_group!(benches, bench_dag_build, bench_flow, bench_schedule_validation);
+criterion_main!(benches);

@@ -1,0 +1,296 @@
+//! Regenerates every table and figure of the paper's evaluation (§IV).
+//!
+//! ```text
+//! cargo run -p qccd-bench --release --bin paper_eval -- all [--per-size N]
+//! ```
+//!
+//! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`, `all`.
+
+use qccd_bench::{
+    aggregate_random, run_nisq_suite, run_random_suite, timed_compile, ComparisonRow,
+    RANDOM_SUITE_SEED,
+};
+use qccd_circuit::generators::{paper_suite, random_suite};
+use qccd_core::{compile, CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy};
+use qccd_machine::MachineSpec;
+use qccd_sim::SimParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut per_size = 30usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--per-size" => {
+                per_size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--per-size needs a number"));
+                i += 2;
+            }
+            "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "all" => {
+                command = args[i].clone();
+                i += 1;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let spec = MachineSpec::paper_l6();
+    let params = SimParams::default();
+    println!("# muzzle-shuttle paper evaluation");
+    println!("# machine: {spec}   random suite: {per_size} circuits/size, seed {RANDOM_SUITE_SEED:#x}");
+    println!();
+
+    let needs_suite = matches!(command.as_str(), "table2" | "fig8" | "table3" | "all");
+    let (nisq, random) = if needs_suite {
+        eprintln!("compiling NISQ suite...");
+        let nisq = run_nisq_suite(&spec, &params);
+        eprintln!("compiling random suite ({} circuits)...", per_size * 4);
+        let random = run_random_suite(&spec, &params, per_size);
+        (nisq, random)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    match command.as_str() {
+        "table2" => table2(&nisq, &random),
+        "fig8" => fig8(&nisq, &random),
+        "table3" => table3(&nisq, &random),
+        "ablation" => ablation(&spec),
+        "proximity" => proximity(&spec),
+        "mapping" => mapping_ablation(&spec),
+        "all" => {
+            table2(&nisq, &random);
+            fig8(&nisq, &random);
+            table3(&nisq, &random);
+            ablation(&spec);
+            proximity(&spec);
+            mapping_ablation(&spec);
+        }
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|all] [--per-size N]");
+    std::process::exit(2);
+}
+
+/// Table II: reduction in the number of shuttles.
+fn table2(nisq: &[ComparisonRow], random: &[ComparisonRow]) {
+    println!("## Table II — Reduction in the number of shuttles");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>10} {:>7} {:>8}",
+        "Benchmark", "Qubits", "2Q gates", "[7]", "This Work", "D(dn)", "%D"
+    );
+    for r in nisq {
+        println!(
+            "{:<14} {:>6} {:>8} {:>8} {:>10} {:>7} {:>7.2}%",
+            r.name,
+            r.qubits,
+            r.two_qubit_gates,
+            r.baseline_shuttles,
+            r.optimized_shuttles,
+            r.delta(),
+            r.delta_percent()
+        );
+    }
+    if !random.is_empty() {
+        let a = aggregate_random(random);
+        println!(
+            "{:<14} {:>6} {:>8} {:>8} {:>10} {:>7} {:>7.2}%   (means; s in parens below)",
+            "Random",
+            "60-75",
+            format!("{:.0}", a.gates.0),
+            format!("{:.0}", a.baseline.0),
+            format!("{:.0}", a.optimized.0),
+            format!("{:.0}", a.delta.0),
+            a.delta_percent.0
+        );
+        println!(
+            "{:<14} {:>6} {:>8} {:>8} {:>10} {:>7} {:>7.0}",
+            "  (std dev)",
+            "",
+            format!("({:.0})", a.gates.1),
+            format!("({:.0})", a.baseline.1),
+            format!("({:.0})", a.optimized.1),
+            format!("({:.0})", a.delta.1),
+            a.delta_percent.1
+        );
+    }
+    println!();
+}
+
+/// Fig. 8: improvement in program fidelity.
+fn fig8(nisq: &[ComparisonRow], random: &[ComparisonRow]) {
+    println!("## Fig. 8 — Program fidelity improvement (optimized / baseline)");
+    println!("{:<14} {:>12} {:>14} {:>14}", "Benchmark", "Improvement", "F(baseline)", "F(this work)");
+    for r in nisq {
+        println!(
+            "{:<14} {:>11.2}X {:>14.3e} {:>14.3e}",
+            r.name,
+            r.fidelity_improvement(),
+            r.baseline_sim.program_fidelity,
+            r.optimized_sim.program_fidelity
+        );
+    }
+    if !random.is_empty() {
+        let a = aggregate_random(random);
+        println!(
+            "{:<14} {:>11.2}X {:>14} {:>14}   (geometric mean)",
+            "Random", a.fidelity_improvement_geomean, "-", "-"
+        );
+    }
+    println!();
+}
+
+/// Table III: compilation time overhead.
+fn table3(nisq: &[ComparisonRow], random: &[ComparisonRow]) {
+    println!("## Table III — Compilation time overhead");
+    println!(
+        "{:<14} {:>18} {:>14} {:>10}",
+        "Benchmark", "This work (sec)", "[7] (sec)", "D(up)"
+    );
+    for r in nisq {
+        println!(
+            "{:<14} {:>18.4} {:>14.4} {:>10.4}",
+            r.name, r.optimized_compile_s, r.baseline_compile_s, r.compile_overhead_s()
+        );
+    }
+    if !random.is_empty() {
+        let a = aggregate_random(random);
+        println!(
+            "{:<14} {:>18.4} {:>14.4} {:>10.4}   (means)",
+            "Random",
+            a.compile_s.1,
+            a.compile_s.0,
+            a.compile_s.1 - a.compile_s.0
+        );
+    }
+    println!();
+}
+
+/// Ablation: each heuristic toggled independently (§III design choices).
+fn ablation(spec: &MachineSpec) {
+    println!("## Ablation — shuttle count per enabled heuristic");
+    let baseline = CompilerConfig::baseline();
+    let mut dir_only = baseline;
+    dir_only.direction = DirectionPolicy::FutureOps {
+        proximity: CompilerConfig::DEFAULT_PROXIMITY,
+    };
+    let mut dir_reorder = dir_only;
+    dir_reorder.reorder = true;
+    let mut rebalance_only = baseline;
+    rebalance_only.rebalance = RebalancePolicy::NearestNeighbor;
+    rebalance_only.ion_selection = IonSelection::MaxScore { wd: 0.5, ws: 0.5 };
+    let mut literal_gate_distance = CompilerConfig::optimized();
+    literal_gate_distance.direction = DirectionPolicy::FutureOpsGateDistance {
+        proximity: CompilerConfig::DEFAULT_PROXIMITY,
+    };
+    let configs: [(&str, CompilerConfig); 6] = [
+        ("baseline", baseline),
+        ("+direction", dir_only),
+        ("+dir+reorder", dir_reorder),
+        ("+rebalance", rebalance_only),
+        ("full(optimized)", CompilerConfig::optimized()),
+        ("full(gate-dist)", literal_gate_distance),
+    ];
+    print!("{:<14}", "Benchmark");
+    for (name, _) in &configs {
+        print!(" {:>16}", name);
+    }
+    println!();
+    for bench in paper_suite() {
+        print!("{:<14}", bench.name);
+        for (_, config) in &configs {
+            let shuttles = compile(&bench.circuit, spec, config)
+                .expect("paper benchmarks compile on the paper machine")
+                .stats
+                .shuttles;
+            print!(" {:>16}", shuttles);
+        }
+        println!();
+    }
+    println!();
+}
+
+/// §IV-E3 initial-mapping exploration: how much of the result depends on
+/// the shared greedy placement.
+fn mapping_ablation(spec: &MachineSpec) {
+    println!("## Initial-mapping ablation — optimized-compiler shuttles per placement policy");
+    let policies: [(&str, MappingPolicy); 3] = [
+        ("greedy[14]", MappingPolicy::GreedyInteraction),
+        ("round-robin", MappingPolicy::RoundRobin),
+        ("random", MappingPolicy::RandomBalanced { seed: 7 }),
+    ];
+    print!("{:<14}", "Benchmark");
+    for (name, _) in &policies {
+        print!(" {:>14}", format!("base/{name}"));
+        print!(" {:>14}", format!("opt/{name}"));
+    }
+    println!();
+    for bench in paper_suite() {
+        print!("{:<14}", bench.name);
+        for (_, mapping) in &policies {
+            for mut config in [CompilerConfig::baseline(), CompilerConfig::optimized()] {
+                config.mapping = *mapping;
+                let shuttles = compile(&bench.circuit, spec, &config)
+                    .expect("paper benchmarks compile on the paper machine")
+                    .stats
+                    .shuttles;
+                print!(" {:>14}", shuttles);
+            }
+        }
+        println!();
+    }
+    println!();
+}
+
+/// §III-A3 proximity design-parameter sweep.
+fn proximity(spec: &MachineSpec) {
+    println!("## Proximity sweep — shuttles vs design parameter (paper picks 6)");
+    let proxies = [1u32, 2, 3, 4, 6, 8, 12, 16, 24];
+    print!("{:<14} {:>9}", "Benchmark", "baseline");
+    for p in proxies {
+        print!(" {:>7}", format!("p={p}"));
+    }
+    println!();
+    let mut suite = paper_suite();
+    suite.extend(random_suite(2, RANDOM_SUITE_SEED));
+    for bench in suite {
+        let (base, _) = timed_compile(&bench.circuit, spec, &CompilerConfig::baseline());
+        print!("{:<14} {:>9}", bench.name, base.stats.shuttles);
+        for p in proxies {
+            let cfg = CompilerConfig::optimized_with_proximity(p);
+            let (r, _) = timed_compile(&bench.circuit, spec, &cfg);
+            print!(" {:>7}", r.stats.shuttles);
+        }
+        println!();
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use qccd_bench::compare;
+    use qccd_machine::MachineSpec;
+    use qccd_sim::SimParams;
+
+    #[test]
+    fn comparison_row_delta_math() {
+        let spec = MachineSpec::linear(2, 6, 2).unwrap();
+        let params = SimParams::default();
+        let bench = qccd_circuit::generators::BenchmarkCircuit {
+            name: "t".into(),
+            circuit: qccd_circuit::generators::random_circuit(8, 40, 1),
+        };
+        let row = compare(&bench, &spec, &params);
+        assert_eq!(
+            row.delta(),
+            row.baseline_shuttles as i64 - row.optimized_shuttles as i64
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Evaluation harness regenerating every table and figure of the paper.
+//!
+//! The [`paper_eval`](../paper_eval/index.html) binary drives this library:
+//!
+//! ```text
+//! cargo run -p qccd-bench --release --bin paper_eval -- all
+//! ```
+//!
+//! | Subcommand  | Paper artefact |
+//! |-------------|----------------|
+//! | `table2`    | Table II — reduction in the number of shuttles |
+//! | `fig8`      | Fig. 8 — program-fidelity improvement |
+//! | `table3`    | Table III — compilation-time overhead |
+//! | `ablation`  | per-heuristic contribution (§III design choices) |
+//! | `proximity` | §III-A3 proximity design-parameter sweep |
+//! | `all`       | everything above |
+//!
+//! Random-suite size defaults to the paper's 30 circuits per qubit count
+//! (120 total); pass `--per-size N` to shrink it for quick runs.
+
+use qccd_circuit::generators::{paper_suite, random_suite, BenchmarkCircuit};
+use qccd_circuit::Circuit;
+use qccd_core::{compile, CompileResult, CompilerConfig};
+use qccd_machine::MachineSpec;
+use qccd_sim::{simulate, SimParams, SimReport};
+use std::time::Instant;
+
+/// Seed used for the random benchmark suite, fixed for reproducibility.
+pub const RANDOM_SUITE_SEED: u64 = 0xDA7E_2022;
+
+/// One benchmark compiled under both configurations.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Benchmark name (Table II's first column).
+    pub name: String,
+    /// Qubit count.
+    pub qubits: u32,
+    /// Two-qubit gate count (Table II's "2Q gates").
+    pub two_qubit_gates: usize,
+    /// Baseline shuttle count (the paper's "\[7\]" column in Table II).
+    pub baseline_shuttles: usize,
+    /// Optimized shuttle count ("This Work").
+    pub optimized_shuttles: usize,
+    /// Baseline compile time, seconds.
+    pub baseline_compile_s: f64,
+    /// Optimized compile time, seconds.
+    pub optimized_compile_s: f64,
+    /// Baseline simulation report.
+    pub baseline_sim: SimReport,
+    /// Optimized simulation report.
+    pub optimized_sim: SimReport,
+}
+
+impl ComparisonRow {
+    /// Shuttle reduction `Δ` (Table II).
+    pub fn delta(&self) -> i64 {
+        self.baseline_shuttles as i64 - self.optimized_shuttles as i64
+    }
+
+    /// Percentage shuttle reduction `%Δ` (Table II).
+    pub fn delta_percent(&self) -> f64 {
+        if self.baseline_shuttles == 0 {
+            return 0.0;
+        }
+        100.0 * self.delta() as f64 / self.baseline_shuttles as f64
+    }
+
+    /// Fidelity improvement factor (Fig. 8).
+    pub fn fidelity_improvement(&self) -> f64 {
+        self.optimized_sim.fidelity_improvement_over(&self.baseline_sim)
+    }
+
+    /// Compile-time overhead `Δ↑` in seconds (Table III).
+    pub fn compile_overhead_s(&self) -> f64 {
+        self.optimized_compile_s - self.baseline_compile_s
+    }
+}
+
+/// Compiles `circuit` under `config`, measuring wall-clock compile time.
+///
+/// # Panics
+///
+/// Panics if compilation fails — the harness only runs benchmarks that fit
+/// the evaluation machine.
+pub fn timed_compile(circuit: &Circuit, spec: &MachineSpec, config: &CompilerConfig) -> (CompileResult, f64) {
+    let start = Instant::now();
+    let result = compile(circuit, spec, config).expect("benchmark circuits fit the paper machine");
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Runs one benchmark under baseline and optimized configurations and
+/// simulates both schedules.
+pub fn compare(bench: &BenchmarkCircuit, spec: &MachineSpec, params: &SimParams) -> ComparisonRow {
+    let (base, base_t) = timed_compile(&bench.circuit, spec, &CompilerConfig::baseline());
+    let (opt, opt_t) = timed_compile(&bench.circuit, spec, &CompilerConfig::optimized());
+    let baseline_sim = simulate(&base.schedule, &bench.circuit, spec, params)
+        .expect("compiled schedules are valid by construction");
+    let optimized_sim = simulate(&opt.schedule, &bench.circuit, spec, params)
+        .expect("compiled schedules are valid by construction");
+    ComparisonRow {
+        name: bench.name.clone(),
+        qubits: bench.circuit.num_qubits(),
+        two_qubit_gates: bench.circuit.two_qubit_gate_count(),
+        baseline_shuttles: base.stats.shuttles,
+        optimized_shuttles: opt.stats.shuttles,
+        baseline_compile_s: base_t,
+        optimized_compile_s: opt_t,
+        baseline_sim,
+        optimized_sim,
+    }
+}
+
+/// Runs the five named NISQ benchmarks (Table II's upper rows).
+pub fn run_nisq_suite(spec: &MachineSpec, params: &SimParams) -> Vec<ComparisonRow> {
+    paper_suite()
+        .iter()
+        .map(|b| compare(b, spec, params))
+        .collect()
+}
+
+/// Runs the random suite (`per_size` circuits × 4 qubit counts) and also
+/// returns the per-circuit rows.
+pub fn run_random_suite(
+    spec: &MachineSpec,
+    params: &SimParams,
+    per_size: usize,
+) -> Vec<ComparisonRow> {
+    random_suite(per_size, RANDOM_SUITE_SEED)
+        .iter()
+        .map(|b| compare(b, spec, params))
+        .collect()
+}
+
+/// Mean and population standard deviation of a sample.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Aggregates random-suite rows into the single "Random" row the paper
+/// reports (mean with standard deviation in parentheses).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAggregate {
+    /// Mean two-qubit gates (σ) — paper: 1438 (413).
+    pub gates: (f64, f64),
+    /// Mean baseline shuttles (σ).
+    pub baseline: (f64, f64),
+    /// Mean optimized shuttles (σ) — paper reports 775 (270).
+    pub optimized: (f64, f64),
+    /// Mean reduction Δ (σ) — paper: 273 (109).
+    pub delta: (f64, f64),
+    /// Mean %Δ (σ) — paper: 26% (6).
+    pub delta_percent: (f64, f64),
+    /// Geometric-mean fidelity improvement (Fig. 8's "Random" bar).
+    pub fidelity_improvement_geomean: f64,
+    /// Mean compile times (baseline, optimized), seconds.
+    pub compile_s: (f64, f64),
+}
+
+/// Computes the paper's "Random" aggregate row from per-circuit rows.
+pub fn aggregate_random(rows: &[ComparisonRow]) -> RandomAggregate {
+    let gates: Vec<f64> = rows.iter().map(|r| r.two_qubit_gates as f64).collect();
+    let base: Vec<f64> = rows.iter().map(|r| r.baseline_shuttles as f64).collect();
+    let opt: Vec<f64> = rows.iter().map(|r| r.optimized_shuttles as f64).collect();
+    let delta: Vec<f64> = rows.iter().map(|r| r.delta() as f64).collect();
+    let pct: Vec<f64> = rows.iter().map(|r| r.delta_percent()).collect();
+    let log_impr: Vec<f64> = rows
+        .iter()
+        .map(|r| {
+            r.optimized_sim.log_program_fidelity - r.baseline_sim.log_program_fidelity
+        })
+        .filter(|v| v.is_finite())
+        .collect();
+    let (log_mean, _) = mean_std(&log_impr);
+    let base_t: Vec<f64> = rows.iter().map(|r| r.baseline_compile_s).collect();
+    let opt_t: Vec<f64> = rows.iter().map(|r| r.optimized_compile_s).collect();
+    RandomAggregate {
+        gates: mean_std(&gates),
+        baseline: mean_std(&base),
+        optimized: mean_std(&opt),
+        delta: mean_std(&delta),
+        delta_percent: mean_std(&pct),
+        fidelity_improvement_geomean: log_mean.exp(),
+        compile_s: (mean_std(&base_t).0, mean_std(&opt_t).0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators::random_circuit;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn compare_produces_consistent_row() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let bench = BenchmarkCircuit {
+            name: "tiny".into(),
+            circuit: random_circuit(12, 80, 3),
+        };
+        let row = compare(&bench, &spec, &SimParams::default());
+        assert_eq!(row.two_qubit_gates, 80);
+        assert_eq!(row.baseline_sim.shuttles, row.baseline_shuttles);
+        assert_eq!(row.optimized_sim.shuttles, row.optimized_shuttles);
+        assert!(row.baseline_compile_s >= 0.0);
+    }
+
+    #[test]
+    fn aggregate_random_matches_rows() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let rows: Vec<ComparisonRow> = (0..3)
+            .map(|i| {
+                compare(
+                    &BenchmarkCircuit {
+                        name: format!("r{i}"),
+                        circuit: random_circuit(12, 60, i),
+                    },
+                    &spec,
+                    &SimParams::default(),
+                )
+            })
+            .collect();
+        let agg = aggregate_random(&rows);
+        assert!((agg.gates.0 - 60.0).abs() < 1e-9);
+        assert!(agg.baseline.0 >= agg.optimized.0, "optimized mean should not exceed baseline");
+    }
+}

@@ -1,0 +1,257 @@
+//! The [`Circuit`] container: an ordered, validated gate sequence.
+
+use crate::dag::DependencyDag;
+use crate::error::CircuitError;
+use crate::gate::{Gate, GateId, GateQubits, Opcode, Qubit};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered sequence of quantum gates over a fixed qubit register.
+///
+/// All gates are validated on insertion: operand qubits must be in range and
+/// distinct. The circuit is append-only; gate ids are stable program-order
+/// positions.
+///
+/// # Example
+///
+/// ```
+/// use qccd_circuit::{Circuit, Opcode, Qubit};
+///
+/// # fn main() -> Result<(), qccd_circuit::CircuitError> {
+/// let mut c = Circuit::new(3);
+/// c.push_single_qubit(Opcode::H, Qubit(0))?;
+/// c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1))?;
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Creates an empty circuit with gate capacity pre-allocated.
+    pub fn with_capacity(num_qubits: u32, gates: usize) -> Self {
+        Circuit {
+            num_qubits,
+            gates: Vec::with_capacity(gates),
+        }
+    }
+
+    /// The size of the qubit register.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Total number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit holds no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of two-qubit gates (the quantity the paper's tables report).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// The gates in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Looks up a gate by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Appends a validated single-qubit gate, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if `q` is outside the
+    /// register, [`CircuitError::ArityMismatch`] if `opcode` is not a
+    /// single-qubit opcode, or [`CircuitError::TooManyGates`] on overflow.
+    pub fn push_single_qubit(&mut self, opcode: Opcode, q: Qubit) -> Result<GateId, CircuitError> {
+        if opcode.arity() != 1 {
+            return Err(CircuitError::ArityMismatch {
+                gate: GateId(self.gates.len() as u32),
+                supplied: 1,
+                required: opcode.arity(),
+            });
+        }
+        self.check_qubit(q)?;
+        self.push_unchecked(opcode, GateQubits::One(q))
+    }
+
+    /// Appends a validated two-qubit gate, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if an operand is outside the
+    /// register, [`CircuitError::DuplicateOperand`] if `a == b`,
+    /// [`CircuitError::ArityMismatch`] if `opcode` is not a two-qubit opcode,
+    /// or [`CircuitError::TooManyGates`] on overflow.
+    pub fn push_two_qubit(
+        &mut self,
+        opcode: Opcode,
+        a: Qubit,
+        b: Qubit,
+    ) -> Result<GateId, CircuitError> {
+        if opcode.arity() != 2 {
+            return Err(CircuitError::ArityMismatch {
+                gate: GateId(self.gates.len() as u32),
+                supplied: 2,
+                required: opcode.arity(),
+            });
+        }
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        if a == b {
+            return Err(CircuitError::DuplicateOperand { qubit: a });
+        }
+        self.push_unchecked(opcode, GateQubits::Two(a, b))
+    }
+
+    fn push_unchecked(&mut self, opcode: Opcode, qubits: GateQubits) -> Result<GateId, CircuitError> {
+        let raw = u32::try_from(self.gates.len()).map_err(|_| CircuitError::TooManyGates)?;
+        if raw == u32::MAX {
+            return Err(CircuitError::TooManyGates);
+        }
+        let id = GateId(raw);
+        self.gates.push(Gate { id, opcode, qubits });
+        Ok(id)
+    }
+
+    fn check_qubit(&self, q: Qubit) -> Result<(), CircuitError> {
+        if q.0 >= self.num_qubits {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the gate-dependency DAG (§II-A of the paper) for this circuit.
+    pub fn dependency_dag(&self) -> DependencyDag {
+        DependencyDag::build(self)
+    }
+
+    /// Renders the circuit in the paper's text format, one gate per line.
+    pub fn to_program_text(&self) -> String {
+        let mut s = String::with_capacity(self.gates.len() * 16);
+        for g in &self.gates {
+            s.push_str(&g.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit({} qubits, {} gates, {} two-qubit)",
+            self.num_qubits,
+            self.gates.len(),
+            self.two_qubit_gate_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut c = Circuit::new(6);
+        let g0 = c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        let g1 = c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        assert_eq!(g0, GateId(0));
+        assert_eq!(g1, GateId(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.gate(g1).two_qubit_operands(), Some((Qubit(2), Qubit(3))));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        let err = c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(5)).unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::QubitOutOfRange {
+                qubit: Qubit(5),
+                num_qubits: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_operand() {
+        let mut c = Circuit::new(2);
+        let err = c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(1)).unwrap_err();
+        assert_eq!(err, CircuitError::DuplicateOperand { qubit: Qubit(1) });
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.push_single_qubit(Opcode::Ms, Qubit(0)),
+            Err(CircuitError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            c.push_two_qubit(Opcode::H, Qubit(0), Qubit(1)),
+            Err(CircuitError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn two_qubit_count_ignores_single_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.push_single_qubit(Opcode::H, Qubit(0)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_single_qubit(Opcode::Measure, Qubit(1)).unwrap();
+        assert_eq!(c.two_qubit_gate_count(), 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn program_text_round_trips_via_parser() {
+        let mut c = Circuit::new(4);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_single_qubit(Opcode::H, Qubit(2)).unwrap();
+        c.push_two_qubit(Opcode::Zz, Qubit(2), Qubit(3)).unwrap();
+        let text = c.to_program_text();
+        let parsed = crate::parser::parse_program(&text, 4).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut c = Circuit::new(2);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        assert_eq!(c.to_string(), "circuit(2 qubits, 1 gates, 1 two-qubit)");
+    }
+}

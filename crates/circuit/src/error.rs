@@ -1,0 +1,138 @@
+//! Error types for circuit construction and parsing.
+
+use crate::gate::{GateId, Qubit};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating a [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit index `qubit` outside `0..num_qubits`.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// The circuit's qubit count.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate used the same qubit for both operands.
+    DuplicateOperand {
+        /// The repeated qubit.
+        qubit: Qubit,
+    },
+    /// An opcode was used with the wrong number of operands.
+    ArityMismatch {
+        /// The gate in question.
+        gate: GateId,
+        /// Operands supplied.
+        supplied: usize,
+        /// Operands the opcode requires.
+        required: usize,
+    },
+    /// The circuit would exceed `u32::MAX` gates.
+    TooManyGates,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} out of range for circuit with {num_qubits} qubits"
+            ),
+            CircuitError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate uses {qubit} for both operands")
+            }
+            CircuitError::ArityMismatch {
+                gate,
+                supplied,
+                required,
+            } => write!(
+                f,
+                "gate {gate} supplied {supplied} operands but opcode requires {required}"
+            ),
+            CircuitError::TooManyGates => write!(f, "circuit exceeds the maximum gate count"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+/// Errors raised while parsing the text program format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseProgramError {
+    /// A line could not be tokenised as `OP q[i];` or `OP q[i], q[j];`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The mnemonic on a line is not a known [`Opcode`](crate::Opcode).
+    UnknownOpcode {
+        /// 1-based line number.
+        line: usize,
+        /// The unknown mnemonic.
+        mnemonic: String,
+    },
+    /// The parsed gate failed circuit validation.
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying circuit error.
+        source: CircuitError,
+    },
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseProgramError::Malformed { line, text } => {
+                write!(f, "line {line}: malformed statement `{text}`")
+            }
+            ParseProgramError::UnknownOpcode { line, mnemonic } => {
+                write!(f, "line {line}: unknown opcode `{mnemonic}`")
+            }
+            ParseProgramError::Invalid { line, source } => {
+                write!(f, "line {line}: invalid gate: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ParseProgramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseProgramError::Invalid { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: Qubit(9),
+            num_qubits: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "qubit q[9] out of range for circuit with 4 qubits"
+        );
+        let e = CircuitError::DuplicateOperand { qubit: Qubit(1) };
+        assert!(e.to_string().contains("both operands"));
+    }
+
+    #[test]
+    fn parse_error_exposes_source() {
+        let e = ParseProgramError::Invalid {
+            line: 3,
+            source: CircuitError::TooManyGates,
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("line 3"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Gate-level vocabulary: qubits, opcodes, gates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical qubit index within a [`Circuit`](crate::Circuit).
+///
+/// In the trapped-ion machine model each logical qubit is carried by exactly
+/// one physical ion, so the compiler uses the same index space for qubits and
+/// ions (`qccd_machine::IonId` wraps the same integer).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// Returns the raw index as a `usize`, convenient for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q[{}]", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(v: u32) -> Self {
+        Qubit(v)
+    }
+}
+
+/// A gate's position in its circuit (0-based program order).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// Returns the raw index as a `usize`, convenient for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// The operation a gate performs.
+///
+/// The shuttle compiler only cares about gate *arity* (which qubits must be
+/// co-located), but keeping the opcode allows faithful round-tripping of
+/// programs and lets the simulator assign per-opcode durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Mølmer–Sørensen two-qubit entangling gate (the native trapped-ion 2q gate).
+    Ms,
+    /// Ising-type ZZ interaction (QAOA cost layers compile to this).
+    Zz,
+    /// Controlled-phase rotation (QFT building block).
+    Cphase,
+    /// Hadamard.
+    H,
+    /// X-axis rotation.
+    Rx,
+    /// Y-axis rotation.
+    Ry,
+    /// Z-axis rotation.
+    Rz,
+    /// Pauli-X.
+    X,
+    /// Computational-basis measurement.
+    Measure,
+}
+
+impl Opcode {
+    /// Number of qubits this opcode acts on.
+    pub fn arity(self) -> usize {
+        match self {
+            Opcode::Ms | Opcode::Zz | Opcode::Cphase => 2,
+            _ => 1,
+        }
+    }
+
+    /// The canonical text-format mnemonic (upper case, as in the paper's listings).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Ms => "MS",
+            Opcode::Zz => "ZZ",
+            Opcode::Cphase => "CP",
+            Opcode::H => "H",
+            Opcode::Rx => "RX",
+            Opcode::Ry => "RY",
+            Opcode::Rz => "RZ",
+            Opcode::X => "X",
+            Opcode::Measure => "MEASURE",
+        }
+    }
+
+    /// Parses a mnemonic (case-insensitive). Returns `None` for unknown names.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        match s.to_ascii_uppercase().as_str() {
+            "MS" => Some(Opcode::Ms),
+            "ZZ" => Some(Opcode::Zz),
+            "CP" | "CPHASE" => Some(Opcode::Cphase),
+            "H" => Some(Opcode::H),
+            "RX" => Some(Opcode::Rx),
+            "RY" => Some(Opcode::Ry),
+            "RZ" => Some(Opcode::Rz),
+            "X" => Some(Opcode::X),
+            "MEASURE" | "M" => Some(Opcode::Measure),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The qubit operands of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateQubits {
+    /// A single-qubit gate operand.
+    One(Qubit),
+    /// A two-qubit gate operand pair, in program order.
+    Two(Qubit, Qubit),
+}
+
+impl GateQubits {
+    /// Iterates over the operand qubits in program order.
+    pub fn iter(&self) -> impl Iterator<Item = Qubit> + '_ {
+        let (a, b) = match *self {
+            GateQubits::One(q) => (q, None),
+            GateQubits::Two(q, r) => (q, Some(r)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Returns `true` if `q` is one of the operands.
+    pub fn contains(&self, q: Qubit) -> bool {
+        match *self {
+            GateQubits::One(a) => a == q,
+            GateQubits::Two(a, b) => a == q || b == q,
+        }
+    }
+
+    /// For a two-qubit gate containing `q`, returns the other operand.
+    pub fn partner_of(&self, q: Qubit) -> Option<Qubit> {
+        match *self {
+            GateQubits::Two(a, b) if a == q => Some(b),
+            GateQubits::Two(a, b) if b == q => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A single gate instance inside a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gate {
+    /// Position of this gate in the circuit's program order.
+    pub id: GateId,
+    /// What operation is applied.
+    pub opcode: Opcode,
+    /// Which qubits it acts on.
+    pub qubits: GateQubits,
+}
+
+impl Gate {
+    /// Returns `true` if this gate acts on two qubits.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self.qubits, GateQubits::Two(_, _))
+    }
+
+    /// For a two-qubit gate, returns `(first, second)` operands in program order.
+    pub fn two_qubit_operands(&self) -> Option<(Qubit, Qubit)> {
+        match self.qubits {
+            GateQubits::Two(a, b) => Some((a, b)),
+            GateQubits::One(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.qubits {
+            GateQubits::One(q) => write!(f, "{} {};", self.opcode, q),
+            GateQubits::Two(a, b) => write!(f, "{} {}, {};", self.opcode, a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_display_matches_paper_syntax() {
+        assert_eq!(Qubit(3).to_string(), "q[3]");
+    }
+
+    #[test]
+    fn opcode_arity() {
+        assert_eq!(Opcode::Ms.arity(), 2);
+        assert_eq!(Opcode::Zz.arity(), 2);
+        assert_eq!(Opcode::Cphase.arity(), 2);
+        assert_eq!(Opcode::H.arity(), 1);
+        assert_eq!(Opcode::Measure.arity(), 1);
+    }
+
+    #[test]
+    fn opcode_mnemonic_round_trip() {
+        for op in [
+            Opcode::Ms,
+            Opcode::Zz,
+            Opcode::Cphase,
+            Opcode::H,
+            Opcode::Rx,
+            Opcode::Ry,
+            Opcode::Rz,
+            Opcode::X,
+            Opcode::Measure,
+        ] {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("nope"), None);
+    }
+
+    #[test]
+    fn gate_qubits_partner() {
+        let gq = GateQubits::Two(Qubit(1), Qubit(5));
+        assert_eq!(gq.partner_of(Qubit(1)), Some(Qubit(5)));
+        assert_eq!(gq.partner_of(Qubit(5)), Some(Qubit(1)));
+        assert_eq!(gq.partner_of(Qubit(2)), None);
+        assert!(gq.contains(Qubit(5)));
+        assert!(!gq.contains(Qubit(0)));
+        assert_eq!(GateQubits::One(Qubit(3)).partner_of(Qubit(3)), None);
+    }
+
+    #[test]
+    fn gate_display_matches_paper_listing() {
+        let g = Gate {
+            id: GateId(0),
+            opcode: Opcode::Ms,
+            qubits: GateQubits::Two(Qubit(0), Qubit(1)),
+        };
+        assert_eq!(g.to_string(), "MS q[0], q[1];");
+    }
+
+    #[test]
+    fn gate_qubits_iter_order() {
+        let gq = GateQubits::Two(Qubit(7), Qubit(2));
+        let v: Vec<_> = gq.iter().collect();
+        assert_eq!(v, vec![Qubit(7), Qubit(2)]);
+        let v1: Vec<_> = GateQubits::One(Qubit(9)).iter().collect();
+        assert_eq!(v1, vec![Qubit(9)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic benchmark circuit generators.
+//!
+//! The paper evaluates on 5 NISQ benchmarks (drawn from QCCDSim and the
+//! Qiskit circuit library) plus 120 random circuits. Those exact circuit
+//! files are not redistributable, so each generator here reproduces the
+//! *interaction pattern* the paper attributes its results to (§IV-B):
+//!
+//! | Benchmark | Pattern | Generator |
+//! |---|---|---|
+//! | Supremacy | 2-D grid nearest-neighbour | [`supremacy`] |
+//! | QAOA | 3-regular-graph MaxCut rounds | [`qaoa`] |
+//! | QFT | all-to-all (each CP as 2 MS gates) | [`qft`] |
+//! | SquareRoot | short- **and** long-range mix | [`square_root`] |
+//! | QuadraticForm | all-to-all + local arithmetic | [`quadratic_form`] |
+//! | Random | uniform random pairs | [`random_circuit`] |
+//!
+//! All generators are deterministic functions of their parameters (and a
+//! `u64` seed where randomness is involved).
+
+mod qaoa;
+mod quadratic_form;
+mod qft;
+mod random;
+mod square_root;
+mod supremacy;
+mod suite;
+
+pub use qaoa::qaoa;
+pub use quadratic_form::quadratic_form;
+pub use qft::qft;
+pub use random::random_circuit;
+pub use square_root::square_root;
+pub use suite::{paper_suite, random_suite, BenchmarkCircuit, PaperBenchmark};
+pub use supremacy::supremacy;

@@ -1,0 +1,81 @@
+//! Uniform random two-qubit-gate circuits (the paper's 120-circuit suite).
+
+use crate::circuit::Circuit;
+use crate::gate::{Opcode, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random circuit of `num_gates` two-qubit MS gates over
+/// `num_qubits` qubits, with operand pairs drawn uniformly at random.
+///
+/// This reproduces the paper's random benchmark construction: "random
+/// circuits ... of sizes 60, 65, 70, and 75 qubits ... with average 1438
+/// 2-qubit gates" (§IV-A). Deterministic in `(num_qubits, num_gates, seed)`.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2` (no valid two-qubit gate exists).
+///
+/// # Example
+///
+/// ```
+/// use qccd_circuit::generators::random_circuit;
+///
+/// let c = random_circuit(60, 1438, 7);
+/// assert_eq!(c.num_qubits(), 60);
+/// assert_eq!(c.two_qubit_gate_count(), 1438);
+/// ```
+pub fn random_circuit(num_qubits: u32, num_gates: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "random circuit needs at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_capacity(num_qubits, num_gates);
+    for _ in 0..num_gates {
+        let a = rng.gen_range(0..num_qubits);
+        let b = loop {
+            let b = rng.gen_range(0..num_qubits);
+            if b != a {
+                break b;
+            }
+        };
+        c.push_two_qubit(Opcode::Ms, Qubit(a), Qubit(b))
+            .expect("generated operands are validated by construction");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_size_parameters() {
+        let c = random_circuit(5, 100, 1);
+        assert_eq!(c.num_qubits(), 5);
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.two_qubit_gate_count(), 100);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(random_circuit(10, 50, 42), random_circuit(10, 50, 42));
+        assert_ne!(random_circuit(10, 50, 42), random_circuit(10, 50, 43));
+    }
+
+    #[test]
+    fn covers_qubit_range() {
+        let c = random_circuit(8, 400, 3);
+        let mut used = [false; 8];
+        for g in c.gates() {
+            for q in g.qubits.iter() {
+                used[q.index()] = true;
+            }
+        }
+        assert!(used.iter().all(|&u| u), "all qubits should appear in 400 gates");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn rejects_single_qubit_register() {
+        random_circuit(1, 10, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's evaluation suite, packaged for the benchmark harness.
+
+use crate::circuit::Circuit;
+use crate::generators::{qaoa, qft, quadratic_form, random_circuit, square_root, supremacy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for one of the paper's five named NISQ benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperBenchmark {
+    /// Google supremacy-style 8×8 grid circuit (64q, 560 2q gates).
+    Supremacy,
+    /// QAOA MaxCut on a random 3-regular graph (64q, ≈1260 2q gates).
+    Qaoa,
+    /// Grover-style square root (78q, 1028 2q gates).
+    SquareRoot,
+    /// Quantum Fourier transform (64q, 4032 2q gates).
+    Qft,
+    /// Qiskit-style QuadraticForm (64q, 3400 2q gates).
+    QuadraticForm,
+}
+
+impl PaperBenchmark {
+    /// All five benchmarks in the order of Table II.
+    pub const ALL: [PaperBenchmark; 5] = [
+        PaperBenchmark::Supremacy,
+        PaperBenchmark::Qaoa,
+        PaperBenchmark::SquareRoot,
+        PaperBenchmark::Qft,
+        PaperBenchmark::QuadraticForm,
+    ];
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperBenchmark::Supremacy => "Supremacy",
+            PaperBenchmark::Qaoa => "QAOA",
+            PaperBenchmark::SquareRoot => "SquareRoot",
+            PaperBenchmark::Qft => "QFT",
+            PaperBenchmark::QuadraticForm => "QuadraticForm",
+        }
+    }
+
+    /// Generates the benchmark circuit at the paper's scale.
+    pub fn generate(self) -> Circuit {
+        match self {
+            PaperBenchmark::Supremacy => supremacy(8, 8, 20),
+            PaperBenchmark::Qaoa => qaoa(64, 13, 0xA0A0),
+            PaperBenchmark::SquareRoot => square_root(78, 9),
+            PaperBenchmark::Qft => qft(64),
+            PaperBenchmark::QuadraticForm => quadratic_form(64, 3400),
+        }
+    }
+}
+
+impl fmt::Display for PaperBenchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named circuit instance produced by the suite builders.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCircuit {
+    /// Human-readable name (e.g. `"QAOA"` or `"Random-65q-#12"`).
+    pub name: String,
+    /// The circuit itself.
+    pub circuit: Circuit,
+}
+
+/// Builds the five named NISQ benchmarks of Table II at paper scale.
+pub fn paper_suite() -> Vec<BenchmarkCircuit> {
+    PaperBenchmark::ALL
+        .iter()
+        .map(|b| BenchmarkCircuit {
+            name: b.name().to_owned(),
+            circuit: b.generate(),
+        })
+        .collect()
+}
+
+/// Builds the paper's random suite: `per_size` circuits for each of the
+/// sizes 60, 65, 70 and 75 qubits (the paper uses 30 per size → 120 total).
+///
+/// Gate counts are drawn per-circuit from a deterministic spread around the
+/// paper's mean of 1438 (σ ≈ 413), seeded by `seed`.
+pub fn random_suite(per_size: usize, seed: u64) -> Vec<BenchmarkCircuit> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(per_size * 4);
+    for &qubits in &[60u32, 65, 70, 75] {
+        for i in 0..per_size {
+            // Approximate the paper's N(1438, 413) gate-count distribution
+            // with a clamped triangular sample (sum of two uniforms).
+            let a = rng.gen_range(0.0..1.0f64);
+            let b = rng.gen_range(0.0..1.0f64);
+            let gates = (1438.0 + 413.0 * 1.7 * (a + b - 1.0)).round().max(200.0) as usize;
+            let circuit_seed = rng.gen::<u64>();
+            out.push(BenchmarkCircuit {
+                name: format!("Random-{qubits}q-#{i}"),
+                circuit: random_circuit(qubits, gates, circuit_seed),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_matches_table2_sizes() {
+        let suite = paper_suite();
+        let expect = [
+            ("Supremacy", 64, 560),
+            ("QAOA", 64, 1248),
+            ("SquareRoot", 78, 1028),
+            ("QFT", 64, 4032),
+            ("QuadraticForm", 64, 3400),
+        ];
+        assert_eq!(suite.len(), 5);
+        for (bench, (name, qubits, gates)) in suite.iter().zip(expect) {
+            assert_eq!(bench.name, name);
+            assert_eq!(bench.circuit.num_qubits(), qubits, "{name} qubits");
+            assert_eq!(bench.circuit.two_qubit_gate_count(), gates, "{name} gates");
+        }
+    }
+
+    #[test]
+    fn random_suite_shape() {
+        let suite = random_suite(3, 99);
+        assert_eq!(suite.len(), 12);
+        let sizes: Vec<u32> = suite.iter().map(|b| b.circuit.num_qubits()).collect();
+        assert_eq!(&sizes[..3], &[60, 60, 60]);
+        assert_eq!(&sizes[9..], &[75, 75, 75]);
+        for b in &suite {
+            assert!(b.circuit.two_qubit_gate_count() >= 200);
+        }
+    }
+
+    #[test]
+    fn random_suite_deterministic() {
+        let a = random_suite(2, 7);
+        let b = random_suite(2, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit, y.circuit);
+        }
+    }
+
+    #[test]
+    fn random_suite_mean_near_paper() {
+        let suite = random_suite(30, 2022);
+        let mean: f64 = suite
+            .iter()
+            .map(|b| b.circuit.two_qubit_gate_count() as f64)
+            .sum::<f64>()
+            / suite.len() as f64;
+        assert!(
+            (mean - 1438.0).abs() < 150.0,
+            "mean gate count {mean} too far from paper's 1438"
+        );
+    }
+}

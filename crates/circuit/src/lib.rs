@@ -1,0 +1,46 @@
+//! Quantum circuit intermediate representation for the muzzle-shuttle
+//! QCCD compiler.
+//!
+//! This crate provides the circuit-level substrate that the paper's compiler
+//! operates on:
+//!
+//! * [`Qubit`], [`GateId`], [`Opcode`], [`Gate`] — the basic vocabulary.
+//! * [`Circuit`] — an ordered sequence of validated gates.
+//! * [`DependencyDag`] — the gate-dependency graph of §II-A of the paper
+//!   (a layered DAG; gates in a layer are mutually independent).
+//! * [`parser`] — a tiny text format for programs such as `MS q[0], q[1];`,
+//!   mirroring the listings in the paper.
+//! * [`generators`] — synthetic benchmark circuits reproducing the
+//!   interaction patterns of the paper's evaluation suite (Supremacy, QAOA,
+//!   QFT, SquareRoot, QuadraticForm, Random).
+//! * [`stats`] — circuit statistics (interaction graph, locality metrics).
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_circuit::{Circuit, Opcode, Qubit};
+//!
+//! # fn main() -> Result<(), qccd_circuit::CircuitError> {
+//! let mut circuit = Circuit::new(4);
+//! circuit.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1))?;
+//! circuit.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3))?;
+//! let dag = circuit.dependency_dag();
+//! assert_eq!(dag.layer_count(), 1); // both gates are independent
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod dag;
+mod error;
+mod gate;
+
+pub mod generators;
+pub mod parser;
+pub mod qasm;
+pub mod stats;
+
+pub use circuit::Circuit;
+pub use dag::{DependencyDag, ReadySet};
+pub use error::{CircuitError, ParseProgramError};
+pub use gate::{Gate, GateId, GateQubits, Opcode, Qubit};

@@ -1,0 +1,174 @@
+//! Text-format parser for the paper's program listings.
+//!
+//! The format is one statement per line, matching the listings in the paper:
+//!
+//! ```text
+//! # comments start with '#' or '//'
+//! MS q[0], q[1];
+//! H q[2];
+//! ```
+//!
+//! Trailing semicolons are required; whitespace is free-form; opcodes are
+//! case-insensitive.
+
+use crate::circuit::Circuit;
+use crate::error::ParseProgramError;
+use crate::gate::{Opcode, Qubit};
+
+/// Parses a program over `num_qubits` qubits.
+///
+/// # Errors
+///
+/// Returns a [`ParseProgramError`] naming the first offending line if a
+/// statement is malformed, uses an unknown opcode, or fails circuit
+/// validation (out-of-range qubit, duplicate operand, wrong arity).
+///
+/// # Example
+///
+/// ```
+/// use qccd_circuit::parser::parse_program;
+///
+/// # fn main() -> Result<(), qccd_circuit::ParseProgramError> {
+/// let c = parse_program("MS q[0], q[1];\nMS q[2], q[3];", 4)?;
+/// assert_eq!(c.two_qubit_gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_program(text: &str, num_qubits: u32) -> Result<Circuit, ParseProgramError> {
+    let mut circuit = Circuit::new(num_qubits);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = strip_comment(raw).trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let stmt = stmt.strip_suffix(';').ok_or_else(|| ParseProgramError::Malformed {
+            line,
+            text: raw.trim().to_owned(),
+        })?;
+        let mut parts = stmt.splitn(2, char::is_whitespace);
+        let mnemonic = parts.next().unwrap_or("");
+        let operands = parts.next().unwrap_or("").trim();
+        let opcode =
+            Opcode::from_mnemonic(mnemonic).ok_or_else(|| ParseProgramError::UnknownOpcode {
+                line,
+                mnemonic: mnemonic.to_owned(),
+            })?;
+        let qubits = parse_operands(operands).ok_or_else(|| ParseProgramError::Malformed {
+            line,
+            text: raw.trim().to_owned(),
+        })?;
+        let result = match qubits.as_slice() {
+            [q] => circuit.push_single_qubit(opcode, *q).map(|_| ()),
+            [a, b] => circuit.push_two_qubit(opcode, *a, *b).map(|_| ()),
+            _ => {
+                return Err(ParseProgramError::Malformed {
+                    line,
+                    text: raw.trim().to_owned(),
+                })
+            }
+        };
+        result.map_err(|source| ParseProgramError::Invalid { line, source })?;
+    }
+    Ok(circuit)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find('#')
+        .into_iter()
+        .chain(line.find("//"))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// Parses `q[0], q[1]`-style operand lists. Returns `None` on any syntax error.
+fn parse_operands(s: &str) -> Option<Vec<Qubit>> {
+    if s.is_empty() {
+        return None;
+    }
+    s.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            let inner = tok.strip_prefix("q[")?.strip_suffix(']')?;
+            inner.trim().parse::<u32>().ok().map(Qubit)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateQubits;
+
+    #[test]
+    fn parses_paper_sample_program() {
+        // Fig. 2a of the paper.
+        let text = "1. MS q[0], q[1];\n2. MS q[2], q[3];";
+        // Leading "1." numerals are not part of the format; strip them first.
+        let cleaned: String = text
+            .lines()
+            .map(|l| l.trim_start_matches(|c: char| c.is_ascii_digit() || c == '.').trim())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let c = parse_program(&cleaned, 6).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.gate(crate::GateId(0)).qubits,
+            GateQubits::Two(Qubit(0), Qubit(1))
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\nMS q[0], q[1]; // inline\n  \n// full line\nH q[2];";
+        let c = parse_program(text, 3).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_program("MS q[0], q[1]", 2).unwrap_err();
+        assert!(matches!(err, ParseProgramError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let err = parse_program("FOO q[0];", 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseProgramError::UnknownOpcode { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_operand_syntax() {
+        for bad in ["MS q0, q1;", "MS q[0] q[1];", "MS ;", "MS q[x];"] {
+            let err = parse_program(bad, 4).unwrap_err();
+            assert!(
+                matches!(err, ParseProgramError::Malformed { .. }),
+                "expected malformed for {bad:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_qubit_with_line_number() {
+        let err = parse_program("MS q[0], q[1];\nMS q[0], q[9];", 2).unwrap_err();
+        assert!(matches!(err, ParseProgramError::Invalid { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_three_operands() {
+        let err = parse_program("MS q[0], q[1], q[2];", 4).unwrap_err();
+        assert!(matches!(err, ParseProgramError::Malformed { .. }));
+    }
+
+    #[test]
+    fn case_insensitive_opcodes() {
+        let c = parse_program("ms q[0], q[1];\nh q[0];", 2).unwrap();
+        assert_eq!(c.gate(crate::GateId(0)).opcode, Opcode::Ms);
+        assert_eq!(c.gate(crate::GateId(1)).opcode, Opcode::H);
+    }
+}

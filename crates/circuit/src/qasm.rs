@@ -1,0 +1,141 @@
+//! OpenQASM 2.0 export, so circuits built or generated here can be fed to
+//! mainstream toolchains (Qiskit, tket, …) for cross-checking.
+//!
+//! Gate mapping:
+//!
+//! | Opcode | QASM emission |
+//! |---|---|
+//! | `Ms` | `rxx(pi/2) a, b;` (the Mølmer–Sørensen interaction) |
+//! | `Zz` | `rzz(pi/2) a, b;` |
+//! | `Cphase` | `cp(pi/4) a, b;` |
+//! | `H`/`X` | `h q;` / `x q;` |
+//! | `Rx`/`Ry`/`Rz` | `rx(pi/2) q;` etc. (angles are not tracked by this IR; a representative angle is emitted) |
+//! | `Measure` | `measure q -> c;` |
+//!
+//! The shuttle compiler never inspects angles — only which qubits must be
+//! co-located — so the IR stores none; exported angles are placeholders and
+//! noted in the file header.
+
+use crate::circuit::Circuit;
+use crate::gate::{GateQubits, Opcode};
+use std::fmt::Write as _;
+
+/// Renders `circuit` as an OpenQASM 2.0 program.
+///
+/// # Example
+///
+/// ```
+/// use qccd_circuit::{qasm::to_qasm, Circuit, Opcode, Qubit};
+///
+/// # fn main() -> Result<(), qccd_circuit::CircuitError> {
+/// let mut c = Circuit::new(2);
+/// c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1))?;
+/// let text = to_qasm(&c);
+/// assert!(text.contains("rxx(pi/2) q[0], q[1];"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    let mut out = String::with_capacity(64 + circuit.len() * 24);
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    out.push_str("// exported by muzzle-shuttle; rotation angles are representative placeholders\n");
+    let _ = writeln!(out, "qreg q[{n}];");
+    let has_measure = circuit.gates().iter().any(|g| g.opcode == Opcode::Measure);
+    if has_measure {
+        let _ = writeln!(out, "creg c[{n}];");
+    }
+    for gate in circuit.gates() {
+        match (gate.opcode, gate.qubits) {
+            (Opcode::Ms, GateQubits::Two(a, b)) => {
+                let _ = writeln!(out, "rxx(pi/2) q[{}], q[{}];", a.0, b.0);
+            }
+            (Opcode::Zz, GateQubits::Two(a, b)) => {
+                let _ = writeln!(out, "rzz(pi/2) q[{}], q[{}];", a.0, b.0);
+            }
+            (Opcode::Cphase, GateQubits::Two(a, b)) => {
+                let _ = writeln!(out, "cp(pi/4) q[{}], q[{}];", a.0, b.0);
+            }
+            (Opcode::H, GateQubits::One(q)) => {
+                let _ = writeln!(out, "h q[{}];", q.0);
+            }
+            (Opcode::X, GateQubits::One(q)) => {
+                let _ = writeln!(out, "x q[{}];", q.0);
+            }
+            (Opcode::Rx, GateQubits::One(q)) => {
+                let _ = writeln!(out, "rx(pi/2) q[{}];", q.0);
+            }
+            (Opcode::Ry, GateQubits::One(q)) => {
+                let _ = writeln!(out, "ry(pi/2) q[{}];", q.0);
+            }
+            (Opcode::Rz, GateQubits::One(q)) => {
+                let _ = writeln!(out, "rz(pi/2) q[{}];", q.0);
+            }
+            (Opcode::Measure, GateQubits::One(q)) => {
+                let _ = writeln!(out, "measure q[{0}] -> c[{0}];", q.0);
+            }
+            // Arity is validated at construction; these cannot occur.
+            (op, qubits) => unreachable!("opcode {op} with operands {qubits:?}"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Qubit;
+    use crate::generators::qft;
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(5);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;\n"));
+        assert!(q.contains("qreg q[5];"));
+        assert!(!q.contains("creg"), "no measure, no classical register");
+    }
+
+    #[test]
+    fn all_opcodes_emit() {
+        let mut c = Circuit::new(3);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_two_qubit(Opcode::Zz, Qubit(1), Qubit(2)).unwrap();
+        c.push_two_qubit(Opcode::Cphase, Qubit(0), Qubit(2)).unwrap();
+        for (op, q) in [
+            (Opcode::H, 0),
+            (Opcode::X, 1),
+            (Opcode::Rx, 2),
+            (Opcode::Ry, 0),
+            (Opcode::Rz, 1),
+            (Opcode::Measure, 2),
+        ] {
+            c.push_single_qubit(op, Qubit(q)).unwrap();
+        }
+        let q = to_qasm(&c);
+        for needle in [
+            "rxx(pi/2) q[0], q[1];",
+            "rzz(pi/2) q[1], q[2];",
+            "cp(pi/4) q[0], q[2];",
+            "h q[0];",
+            "x q[1];",
+            "rx(pi/2) q[2];",
+            "ry(pi/2) q[0];",
+            "rz(pi/2) q[1];",
+            "measure q[2] -> c[2];",
+            "creg c[3];",
+        ] {
+            assert!(q.contains(needle), "missing {needle:?} in:\n{q}");
+        }
+    }
+
+    #[test]
+    fn line_count_matches_gates() {
+        let c = qft(8);
+        let q = to_qasm(&c);
+        let body_lines = q.lines().filter(|l| l.ends_with(';')).count();
+        // OPENQASM + include + qreg + one line per gate.
+        assert_eq!(body_lines, 3 + c.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! Circuit statistics: interaction graph and locality metrics.
+//!
+//! Used by the greedy initial-mapping policy (interaction weights) and by
+//! the evaluation harness to characterise benchmark gate patterns the way
+//! §IV-B of the paper does (nearest-neighbour vs all-to-all vs mixed).
+
+use crate::circuit::Circuit;
+use crate::gate::Qubit;
+use std::collections::HashMap;
+
+/// Weighted qubit-interaction graph: how many two-qubit gates touch each
+/// unordered qubit pair.
+#[derive(Debug, Clone, Default)]
+pub struct InteractionGraph {
+    weights: HashMap<(Qubit, Qubit), u32>,
+    num_qubits: u32,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let mut weights = HashMap::new();
+        for g in circuit.gates() {
+            if let Some((a, b)) = g.two_qubit_operands() {
+                let key = normalize(a, b);
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+        InteractionGraph {
+            weights,
+            num_qubits: circuit.num_qubits(),
+        }
+    }
+
+    /// Number of qubits in the underlying circuit.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Interaction weight (gate count) between `a` and `b`.
+    pub fn weight(&self, a: Qubit, b: Qubit) -> u32 {
+        if a == b {
+            return 0;
+        }
+        self.weights.get(&normalize(a, b)).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct interacting pairs.
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Iterates over `((a, b), weight)` for every interacting pair.
+    pub fn iter(&self) -> impl Iterator<Item = ((Qubit, Qubit), u32)> + '_ {
+        self.weights.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Total interaction weight incident to `q`.
+    pub fn degree_weight(&self, q: Qubit) -> u32 {
+        self.weights
+            .iter()
+            .filter(|((a, b), _)| *a == q || *b == q)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// Density: distinct interacting pairs / all possible pairs, in `[0, 1]`.
+    /// All-to-all circuits (QFT) approach 1; grid circuits stay near
+    /// `2/num_qubits`.
+    pub fn density(&self) -> f64 {
+        if self.num_qubits < 2 {
+            return 0.0;
+        }
+        let possible = (self.num_qubits as f64) * (self.num_qubits as f64 - 1.0) / 2.0;
+        self.weights.len() as f64 / possible
+    }
+}
+
+fn normalize(a: Qubit, b: Qubit) -> (Qubit, Qubit) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Summary statistics of a circuit's gate pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Register size.
+    pub num_qubits: u32,
+    /// Total gate count.
+    pub total_gates: usize,
+    /// Two-qubit gate count (what the paper's tables report).
+    pub two_qubit_gates: usize,
+    /// DAG depth in layers.
+    pub depth: u32,
+    /// Interaction-graph density in `[0, 1]`.
+    pub interaction_density: f64,
+    /// Mean index distance `|i − j|` over two-qubit gates — a proxy for
+    /// how "long range" the pattern is under a linear qubit layout.
+    pub mean_gate_range: f64,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    pub fn compute(circuit: &Circuit) -> Self {
+        let graph = InteractionGraph::build(circuit);
+        let dag = circuit.dependency_dag();
+        let (mut range_sum, mut count) = (0u64, 0u64);
+        for g in circuit.gates() {
+            if let Some((a, b)) = g.two_qubit_operands() {
+                range_sum += u64::from(a.0.abs_diff(b.0));
+                count += 1;
+            }
+        }
+        CircuitStats {
+            num_qubits: circuit.num_qubits(),
+            total_gates: circuit.len(),
+            two_qubit_gates: count as usize,
+            depth: dag.layer_count(),
+            interaction_density: graph.density(),
+            mean_gate_range: if count == 0 {
+                0.0
+            } else {
+                range_sum as f64 / count as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Opcode;
+    use crate::generators::{qft, supremacy};
+
+    #[test]
+    fn weights_accumulate() {
+        let mut c = Circuit::new(3);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(0)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let g = InteractionGraph::build(&c);
+        assert_eq!(g.weight(Qubit(0), Qubit(1)), 2);
+        assert_eq!(g.weight(Qubit(1), Qubit(0)), 2); // symmetric
+        assert_eq!(g.weight(Qubit(0), Qubit(2)), 0);
+        assert_eq!(g.weight(Qubit(1), Qubit(1)), 0); // self weight is 0
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree_weight(Qubit(1)), 3);
+    }
+
+    #[test]
+    fn qft_is_denser_than_supremacy() {
+        let dense = CircuitStats::compute(&qft(16));
+        let sparse = CircuitStats::compute(&supremacy(4, 4, 8));
+        assert!(dense.interaction_density > 0.99);
+        assert!(sparse.interaction_density < 0.25);
+        assert!(dense.mean_gate_range > sparse.mean_gate_range);
+    }
+
+    #[test]
+    fn stats_on_empty_circuit() {
+        let s = CircuitStats::compute(&Circuit::new(4));
+        assert_eq!(s.two_qubit_gates, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.mean_gate_range, 0.0);
+    }
+
+    #[test]
+    fn density_single_qubit_is_zero() {
+        let g = InteractionGraph::build(&Circuit::new(1));
+        assert_eq!(g.density(), 0.0);
+    }
+}

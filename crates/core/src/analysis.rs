@@ -1,0 +1,207 @@
+//! Post-compilation schedule analysis: where the shuttles went.
+//!
+//! Answers the questions the paper's discussion sections raise — which ions
+//! travel, between which traps, and how shuttle effort relates to gate
+//! count — for any compiled [`Schedule`].
+
+use qccd_machine::{IonId, Operation, Schedule, TrapId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate movement analysis of a compiled schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleAnalysis {
+    /// Shuttle hops between each ordered trap pair: `flow[from][to]`.
+    pub trap_flow: Vec<Vec<usize>>,
+    /// Shuttle hops performed by each ion, indexed by ion id.
+    pub ion_travel: Vec<usize>,
+    /// Gates executed in each trap.
+    pub trap_gates: Vec<usize>,
+    /// Total shuttle hops.
+    pub shuttles: usize,
+    /// Total gates.
+    pub gates: usize,
+}
+
+impl ScheduleAnalysis {
+    /// Analyses `schedule` for a machine with `num_traps` traps and
+    /// `num_ions` ions.
+    pub fn analyze(schedule: &Schedule, num_traps: u32, num_ions: u32) -> Self {
+        let mut trap_flow = vec![vec![0usize; num_traps as usize]; num_traps as usize];
+        let mut ion_travel = vec![0usize; num_ions as usize];
+        let mut trap_gates = vec![0usize; num_traps as usize];
+        let mut shuttles = 0usize;
+        let mut gates = 0usize;
+        for op in &schedule.operations {
+            match *op {
+                Operation::Shuttle { ion, from, to } => {
+                    trap_flow[from.index()][to.index()] += 1;
+                    ion_travel[ion.index()] += 1;
+                    shuttles += 1;
+                }
+                Operation::Gate { trap, .. } => {
+                    trap_gates[trap.index()] += 1;
+                    gates += 1;
+                }
+            }
+        }
+        ScheduleAnalysis {
+            trap_flow,
+            ion_travel,
+            trap_gates,
+            shuttles,
+            gates,
+        }
+    }
+
+    /// Shuttle-to-gate ratio — the quantity §IV-C correlates with fidelity
+    /// improvement.
+    pub fn shuttle_to_gate_ratio(&self) -> f64 {
+        if self.gates == 0 {
+            return 0.0;
+        }
+        self.shuttles as f64 / self.gates as f64
+    }
+
+    /// The most-travelled ion and its hop count, if any ion moved.
+    pub fn busiest_ion(&self) -> Option<(IonId, usize)> {
+        self.ion_travel
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &hops)| hops)
+            .filter(|(_, &hops)| hops > 0)
+            .map(|(i, &hops)| (IonId(i as u32), hops))
+    }
+
+    /// Fraction of ions that never shuttle — high values mean the initial
+    /// mapping plus direction policy kept most ions stationary.
+    pub fn stationary_ion_fraction(&self) -> f64 {
+        if self.ion_travel.is_empty() {
+            return 1.0;
+        }
+        self.ion_travel.iter().filter(|&&h| h == 0).count() as f64
+            / self.ion_travel.len() as f64
+    }
+
+    /// Net ion flow between a trap pair: hops `a→b` minus hops `b→a`.
+    /// Large one-way imbalances indicate migration (the QFT "pile-up"
+    /// pattern discussed in EXPERIMENTS.md).
+    pub fn net_flow(&self, a: TrapId, b: TrapId) -> i64 {
+        self.trap_flow[a.index()][b.index()] as i64 - self.trap_flow[b.index()][a.index()] as i64
+    }
+
+    /// Ping-pong volume between a trap pair: `2 × min(a→b, b→a)` — the
+    /// back-and-forth traffic the future-ops policy exists to remove
+    /// (Fig. 4's pathology).
+    pub fn ping_pong_volume(&self, a: TrapId, b: TrapId) -> usize {
+        2 * self.trap_flow[a.index()][b.index()].min(self.trap_flow[b.index()][a.index()])
+    }
+
+    /// Total ping-pong volume across all trap pairs.
+    pub fn total_ping_pong(&self) -> usize {
+        let n = self.trap_flow.len();
+        let mut total = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                total += self.ping_pong_volume(TrapId(a as u32), TrapId(b as u32));
+            }
+        }
+        total
+    }
+}
+
+impl fmt::Display for ScheduleAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} shuttles / {} gates (ratio {:.3}), {:.0}% ions stationary, ping-pong {}",
+            self.shuttles,
+            self.gates,
+            self.shuttle_to_gate_ratio(),
+            100.0 * self.stationary_ion_fraction(),
+            self.total_ping_pong()
+        )?;
+        write!(f, "gates per trap: {:?}", self.trap_gates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, compile_with_mapping, CompilerConfig};
+    use qccd_circuit::generators::random_circuit;
+    use qccd_circuit::{Circuit, Opcode, Qubit};
+    use qccd_machine::{InitialMapping, MachineSpec};
+
+    #[test]
+    fn counts_match_schedule_stats() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let circuit = random_circuit(12, 100, 5);
+        let r = compile(&circuit, &spec, &CompilerConfig::optimized()).unwrap();
+        let a = ScheduleAnalysis::analyze(&r.schedule, 3, 12);
+        assert_eq!(a.shuttles, r.stats.shuttles);
+        assert_eq!(a.gates, 100);
+        assert_eq!(a.ion_travel.iter().sum::<usize>(), a.shuttles);
+        assert_eq!(a.trap_gates.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn fig4_baseline_ping_pongs_optimized_does_not() {
+        // The Fig. 4 program: baseline shuttles ion 2 back and forth.
+        let mut c = Circuit::new(5);
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(4)).unwrap();
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
+        )
+        .unwrap();
+        let base =
+            compile_with_mapping(&c, &spec, &CompilerConfig::baseline(), mapping.clone()).unwrap();
+        let opt = compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        let base_a = ScheduleAnalysis::analyze(&base.schedule, 2, 5);
+        let opt_a = ScheduleAnalysis::analyze(&opt.schedule, 2, 5);
+        assert_eq!(base_a.ping_pong_volume(TrapId(0), TrapId(1)), 4);
+        assert_eq!(opt_a.total_ping_pong(), 0);
+        assert_eq!(base_a.busiest_ion(), Some((IonId(2), 4)));
+        assert_eq!(opt_a.busiest_ion(), Some((IonId(1), 1)));
+    }
+
+    #[test]
+    fn net_flow_is_antisymmetric() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let circuit = random_circuit(12, 120, 8);
+        let r = compile(&circuit, &spec, &CompilerConfig::optimized()).unwrap();
+        let a = ScheduleAnalysis::analyze(&r.schedule, 3, 12);
+        for x in 0..3u32 {
+            for y in 0..3u32 {
+                assert_eq!(a.net_flow(TrapId(x), TrapId(y)), -a.net_flow(TrapId(y), TrapId(x)));
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_fraction_bounds() {
+        let spec = MachineSpec::linear(2, 8, 2).unwrap();
+        let circuit = Circuit::new(4);
+        let r = compile(&circuit, &spec, &CompilerConfig::optimized()).unwrap();
+        let a = ScheduleAnalysis::analyze(&r.schedule, 2, 4);
+        assert_eq!(a.stationary_ion_fraction(), 1.0);
+        assert_eq!(a.busiest_ion(), None);
+        assert_eq!(a.shuttle_to_gate_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let spec = MachineSpec::linear(2, 8, 2).unwrap();
+        let circuit = random_circuit(8, 40, 2);
+        let r = compile(&circuit, &spec, &CompilerConfig::optimized()).unwrap();
+        let a = ScheduleAnalysis::analyze(&r.schedule, 2, 8);
+        let text = a.to_string();
+        assert!(text.contains("gates per trap"));
+        assert!(text.contains("ratio"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Compiler error type.
+
+use qccd_machine::{MachineError, TrapId, ValidateScheduleError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`compile`](crate::compile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The circuit has more qubits than the machine can initially host.
+    CircuitTooLarge {
+        /// Qubits in the circuit.
+        qubits: u32,
+        /// Initial hosting capacity (`traps × (total − comm)`).
+        capacity: u32,
+    },
+    /// A machine-level operation failed (invalid spec, etc.).
+    Machine(MachineError),
+    /// Re-balancing could not free space anywhere: every candidate
+    /// destination was full or unreachable within the recursion budget.
+    /// With a sane communication capacity (≥ 1 free slot per trap on
+    /// average) this indicates an over-subscribed machine.
+    ShuttleDeadlock {
+        /// The trap that could not be freed.
+        trap: TrapId,
+    },
+    /// The produced schedule failed replay validation — an internal
+    /// compiler bug, reported rather than silently returned.
+    InternalValidation(ValidateScheduleError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::CircuitTooLarge { qubits, capacity } => write!(
+                f,
+                "circuit with {qubits} qubits exceeds machine initial capacity of {capacity} ions"
+            ),
+            CompileError::Machine(e) => write!(f, "machine error: {e}"),
+            CompileError::ShuttleDeadlock { trap } => {
+                write!(f, "re-balancing deadlock: no destination can relieve trap {trap}")
+            }
+            CompileError::InternalValidation(e) => {
+                write!(f, "internal error: compiled schedule failed validation: {e}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Machine(e) => Some(e),
+            CompileError::InternalValidation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MachineError> for CompileError {
+    fn from(e: MachineError) -> Self {
+        CompileError::Machine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = CompileError::CircuitTooLarge {
+            qubits: 100,
+            capacity: 90,
+        };
+        assert!(e.to_string().contains("100 qubits"));
+        let e = CompileError::ShuttleDeadlock { trap: TrapId(4) };
+        assert!(e.to_string().contains("T4"));
+    }
+
+    #[test]
+    fn machine_error_converts_and_chains() {
+        let e: CompileError = MachineError::NoTraps.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,753 @@
+//! The compile loop: earliest-ready-gate-first scheduling with pluggable
+//! shuttle-direction, re-ordering, and re-balancing policies.
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::mapping::initial_mapping;
+use crate::policies::{decide_direction, MoveDecision};
+use crate::rebalance::{choose_destination, choose_ion, eviction_route};
+use crate::stats::CompileStats;
+use qccd_circuit::{Circuit, DependencyDag, GateId, GateQubits, ReadySet};
+use qccd_machine::{
+    InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId,
+};
+use std::collections::VecDeque;
+
+/// A compiled program plus its compile-time statistics.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The validated, executable schedule.
+    pub schedule: Schedule,
+    /// Counters collected during compilation.
+    pub stats: CompileStats,
+}
+
+/// Compiles `circuit` onto `spec` under `config`.
+///
+/// The returned schedule is replay-validated before being returned: every
+/// gate executes exactly once in dependency order with co-located operands,
+/// and every shuttle hop is legal.
+///
+/// # Errors
+///
+/// * [`CompileError::CircuitTooLarge`] — more qubits than the machine hosts.
+/// * [`CompileError::ShuttleDeadlock`] — re-balancing could not free space
+///   (pathologically over-subscribed machines).
+/// * [`CompileError::InternalValidation`] — the produced schedule failed
+///   replay validation (a compiler bug, never silent).
+///
+/// # Example
+///
+/// ```
+/// use qccd_circuit::generators::supremacy;
+/// use qccd_core::{compile, CompilerConfig};
+/// use qccd_machine::MachineSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let result = compile(
+///     &supremacy(4, 4, 8),
+///     &MachineSpec::linear(2, 10, 2)?,
+///     &CompilerConfig::optimized(),
+/// )?;
+/// println!("{} shuttles", result.stats.shuttles);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+) -> Result<CompileResult, CompileError> {
+    let mapping = initial_mapping(circuit, spec, config.mapping)?;
+    compile_with_mapping(circuit, spec, config, mapping)
+}
+
+/// Compiles with a caller-provided initial mapping (for mapping-policy
+/// ablations and tests that pin exact placements).
+///
+/// # Errors
+///
+/// As [`compile`], plus [`CompileError::Machine`] if the mapping does not
+/// fit the spec.
+pub fn compile_with_mapping(
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+    mapping: InitialMapping,
+) -> Result<CompileResult, CompileError> {
+    let state = MachineState::with_mapping(spec, &mapping)?;
+    let dag = circuit.dependency_dag();
+    let ready = dag.ready_set();
+    let pending: VecDeque<GateId> = dag.topological_order().into();
+    let mut scheduler = Scheduler {
+        circuit,
+        config,
+        dag,
+        ready,
+        state,
+        pending,
+        ops: Vec::with_capacity(circuit.len() * 2),
+        stats: CompileStats::default(),
+        in_rebalance: false,
+    };
+    scheduler.run()?;
+    let schedule = Schedule::new(mapping, scheduler.ops);
+    schedule
+        .validate(circuit, spec)
+        .map_err(CompileError::InternalValidation)?;
+    Ok(CompileResult {
+        schedule,
+        stats: scheduler.stats,
+    })
+}
+
+struct Scheduler<'a> {
+    circuit: &'a Circuit,
+    config: &'a CompilerConfig,
+    dag: DependencyDag,
+    ready: ReadySet,
+    state: MachineState,
+    /// Planned execution order of not-yet-executed gates; front = active.
+    /// Always a subsequence of the initial (layer, id)-sorted topological
+    /// order, so layers are non-decreasing along the queue.
+    pending: VecDeque<GateId>,
+    ops: Vec<Operation>,
+    stats: CompileStats,
+    /// Set while shuttles belong to a re-balancing eviction, for stats.
+    in_rebalance: bool,
+}
+
+impl Scheduler<'_> {
+    /// Maximum re-balancing recursion depth before declaring deadlock.
+    fn depth_limit(&self) -> u32 {
+        2 * self.state.spec().num_traps() + 4
+    }
+
+    fn run(&mut self) -> Result<(), CompileError> {
+        while !self.pending.is_empty() {
+            self.execute_at(0, self.config.reorder)?;
+        }
+        Ok(())
+    }
+
+    /// Executes the gate at `pending[pos]`, inserting shuttles as needed,
+    /// then removes it from the queue. With `allow_reorder`, a blocked
+    /// favourable direction may first hoist-and-execute a candidate gate
+    /// found *after* `pos` (so `pos` stays valid throughout).
+    fn execute_at(&mut self, pos: usize, allow_reorder: bool) -> Result<(), CompileError> {
+        let gate_id = self.pending[pos];
+        let gate = self.circuit.gate(gate_id);
+        let exec_trap = match gate.qubits {
+            GateQubits::One(q) => {
+                self.stats.local_gates += 1;
+                self.state.trap_of(IonId::from(q))
+            }
+            GateQubits::Two(a, b) => {
+                let (ia, ib) = (IonId::from(a), IonId::from(b));
+                if self.state.trap_of(ia) == self.state.trap_of(ib) {
+                    self.stats.local_gates += 1;
+                } else {
+                    self.shuttle_for_gate(pos, allow_reorder)?;
+                }
+                debug_assert_eq!(self.state.trap_of(ia), self.state.trap_of(ib));
+                self.state.trap_of(ia)
+            }
+        };
+        self.ops.push(Operation::Gate {
+            gate: gate_id,
+            trap: exec_trap,
+        });
+        self.stats.gate_ops += 1;
+        self.ready.mark_done(&self.dag, gate_id);
+        self.pending.remove(pos);
+        Ok(())
+    }
+
+    /// Brings the operands of the two-qubit gate at `pending[pos]` into the
+    /// same trap.
+    fn shuttle_for_gate(&mut self, pos: usize, allow_reorder: bool) -> Result<(), CompileError> {
+        let (qa, qb) = self
+            .circuit
+            .gate(self.pending[pos])
+            .two_qubit_operands()
+            .expect("only two-qubit gates need shuttles");
+        let (ia, ib) = (IonId::from(qa), IonId::from(qb));
+
+        let mut decision = decide_direction(
+            self.config.direction,
+            self.circuit,
+            &self.dag,
+            &self.state,
+            &self.pending,
+            pos,
+        );
+
+        // §III-B: if the favourable destination is full, try to hoist a
+        // pending same-layer gate whose own favourable move *leaves* that
+        // trap (Algorithm 1).
+        if self.state.is_full(decision.to) && allow_reorder {
+            if let Some(cand_pos) = self.find_reorder_candidate(pos, decision.to) {
+                self.stats.reorders += 1;
+                self.execute_at(cand_pos, false)?;
+                // The hoisted gate may have moved one of our operands.
+                if self.state.trap_of(ia) == self.state.trap_of(ib) {
+                    return Ok(());
+                }
+                decision = decide_direction(
+                    self.config.direction,
+                    self.circuit,
+                    &self.dag,
+                    &self.state,
+                    &self.pending,
+                    pos,
+                );
+            }
+        }
+
+        // Favourable direction still blocked. If the move score strongly
+        // favours the full trap (many upcoming gates live there), evicting
+        // one ion and keeping the favourable direction amortises over those
+        // gates; on a thin margin, moving the other ion out is cheaper.
+        if self.state.is_full(decision.to) {
+            let other = if decision.ion == ia { ib } else { ia };
+            let opposite = decision.opposite(other);
+            // Experiments show eviction cascades cost more than they save
+            // even when the score strongly favours the full trap, so the
+            // opposite move is always preferred when it has room.
+            if !self.state.is_full(opposite.to) {
+                decision = opposite;
+                self.stats.opposite_direction_moves += 1;
+            } else {
+                let stationary = other;
+                let mut attempts = 0u32;
+                while self.state.is_full(decision.to) {
+                    if attempts > self.depth_limit() {
+                        return Err(CompileError::ShuttleDeadlock { trap: decision.to });
+                    }
+                    attempts += 1;
+                    self.rebalance(decision.to, &[stationary], &[decision.from])?;
+                }
+            }
+        }
+
+        let stationary = if decision.ion == ia { ib } else { ia };
+        self.move_ion(decision, stationary)
+    }
+
+    /// Moves `decision.ion` hop-by-hop to `decision.to`, re-balancing full
+    /// traps encountered on the way.
+    fn move_ion(
+        &mut self,
+        decision: MoveDecision,
+        stationary: IonId,
+    ) -> Result<(), CompileError> {
+        let MoveDecision { ion, to: dest, .. } = decision;
+        let mut hops = 0u32;
+        let hop_limit = 4 * self.state.spec().num_traps() + 8;
+        while self.state.trap_of(ion) != dest {
+            if hops > hop_limit {
+                return Err(CompileError::ShuttleDeadlock { trap: dest });
+            }
+            hops += 1;
+            let cur = self.state.trap_of(ion);
+            let topology = self.state.spec().topology();
+            // Prefer a route whose interior traps have room; fall back to
+            // the unconditional shortest path and re-balance blockers.
+            let path = topology
+                .shortest_path_filtered(cur, dest, |t| t == dest || !self.state.is_full(t))
+                .or_else(|| topology.shortest_path(cur, dest))
+                .ok_or(CompileError::ShuttleDeadlock { trap: dest })?;
+            let next = path[1];
+            let mut attempts = 0u32;
+            while self.state.is_full(next) {
+                // Traffic block (§III-C): next trap on the route is full.
+                // Deep eviction chains may pass through `cur`, so the moving
+                // ion protects itself via the keep list too. Evictions can
+                // themselves refill `next`; loop until it has room.
+                if attempts > self.depth_limit() {
+                    return Err(CompileError::ShuttleDeadlock { trap: next });
+                }
+                attempts += 1;
+                // `cur` is not avoided: the moving ion departs it right
+                // after the eviction, so parking an evicted ion there is
+                // safe and often the nearest option (Fig. 7's 1-hop case).
+                self.rebalance(next, &[stationary, ion], &[dest])?;
+            }
+            self.hop(ion, next)?;
+        }
+        Ok(())
+    }
+
+    /// Emits one validated shuttle hop.
+    fn hop(&mut self, ion: IonId, to: TrapId) -> Result<(), CompileError> {
+        let from = self.state.trap_of(ion);
+        self.state.shuttle(ion, to)?;
+        self.ops.push(Operation::Shuttle { ion, from, to });
+        self.stats.shuttles += 1;
+        if self.in_rebalance {
+            self.stats.rebalance_shuttles += 1;
+        }
+        Ok(())
+    }
+
+    /// Relieves the full trap `blocked` by evicting one ion (§III-C).
+    ///
+    /// `keep` lists ions that must stay put (active gate operands); `avoid`
+    /// lists traps the eviction should not fill (the active move's
+    /// endpoints). Entirely iterative: congestion on the eviction route is
+    /// resolved by *cascade-clearing* — shifting one ion forward out of each
+    /// full trap along the remaining route, processed from the destination
+    /// end backward, which is always legal because entries into a trap only
+    /// ever come from the step after its own clearing.
+    fn rebalance(
+        &mut self,
+        blocked: TrapId,
+        keep: &[IonId],
+        avoid: &[TrapId],
+    ) -> Result<(), CompileError> {
+        self.stats.rebalances += 1;
+        // The avoid list is a preference (keep space in the active move's
+        // endpoints); when it excludes every candidate — easy on 2-3-trap
+        // machines — relax it rather than deadlock.
+        let dest = choose_destination(self.config.rebalance, &self.state, blocked, avoid)
+            .or_else(|| choose_destination(self.config.rebalance, &self.state, blocked, &[]))
+            .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
+        let ion = choose_ion(
+            self.config.ion_selection,
+            self.circuit,
+            &self.state,
+            &self.pending,
+            blocked,
+            dest,
+            keep,
+        )
+        .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
+        let route = eviction_route(
+            self.config.rebalance,
+            self.state.spec().topology(),
+            blocked,
+            dest,
+        )
+        .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
+
+        let was_in_rebalance = self.in_rebalance;
+        self.in_rebalance = true;
+        let result = self.walk_eviction(ion, route, keep);
+        self.in_rebalance = was_in_rebalance;
+        result
+    }
+
+    /// Walks the evicted `ion` along `route` to its destination, cascade-
+    /// clearing full traps on the way and re-routing if the destination
+    /// itself fills up. Total hops are bounded; no recursion.
+    fn walk_eviction(
+        &mut self,
+        ion: IonId,
+        mut route: Vec<TrapId>,
+        keep: &[IonId],
+    ) -> Result<(), CompileError> {
+        let mut keep_all: Vec<IonId> = keep.to_vec();
+        keep_all.push(ion);
+        let hop_limit = 6 * self.state.spec().num_traps() + 12;
+        let mut hops = 0u32;
+        let mut idx = 0usize;
+        while idx + 1 < route.len() {
+            if hops > hop_limit {
+                return Err(CompileError::ShuttleDeadlock { trap: route[idx + 1] });
+            }
+            let next = route[idx + 1];
+            if self.state.is_full(next) {
+                let dest_unreachable = idx + 2 >= route.len();
+                if !dest_unreachable {
+                    // Cascade-clear the remaining interior, far end first.
+                    // Each full trap shifts one ion one segment forward; the
+                    // shift target is never full at shift time because
+                    // nothing enters a trap before its own step runs.
+                    for j in ((idx + 1)..route.len() - 1).rev() {
+                        if !self.state.is_full(route[j]) || self.state.is_full(route[j + 1]) {
+                            continue;
+                        }
+                        let shifted = choose_ion(
+                            self.config.ion_selection,
+                            self.circuit,
+                            &self.state,
+                            &self.pending,
+                            route[j],
+                            route[j + 1],
+                            &keep_all,
+                        )
+                        .ok_or(CompileError::ShuttleDeadlock { trap: route[j] })?;
+                        self.hop(shifted, route[j + 1])?;
+                        hops += 1;
+                    }
+                }
+                if self.state.is_full(next) {
+                    // The destination filled up since it was chosen, or the
+                    // whole remaining route is jammed solid: re-route from
+                    // the current trap to a fresh (currently non-full)
+                    // destination, preferring a route with free interiors.
+                    let cur = route[idx];
+                    let new_dest =
+                        choose_destination(self.config.rebalance, &self.state, cur, &[])
+                            .ok_or(CompileError::ShuttleDeadlock { trap: cur })?;
+                    let topology = self.state.spec().topology();
+                    route = topology
+                        .shortest_path_filtered(cur, new_dest, |t| {
+                            t == new_dest || !self.state.is_full(t)
+                        })
+                        .or_else(|| {
+                            eviction_route(self.config.rebalance, topology, cur, new_dest)
+                        })
+                        .ok_or(CompileError::ShuttleDeadlock { trap: cur })?;
+                    idx = 0;
+                    hops += 1; // re-routing consumes budget to guarantee exit
+                    continue;
+                }
+            }
+            self.hop(ion, next)?;
+            hops += 1;
+            idx += 1;
+        }
+        Ok(())
+    }
+
+    /// Algorithm 1: find a pending, ready gate in the active gate's layer
+    /// whose favourable shuttle direction moves an ion *out of*
+    /// `old_destination`, freeing a slot there. Returns its position in
+    /// `pending` (always after `active_pos`).
+    fn find_reorder_candidate(&self, active_pos: usize, old_destination: TrapId) -> Option<usize> {
+        let active_layer = self.dag.layer_of(self.pending[active_pos]);
+        for pos in (active_pos + 1)..self.pending.len() {
+            let gid = self.pending[pos];
+            // The queue is layer-sorted; once past the active layer no
+            // earlier-or-equal-layer candidate can follow.
+            if self.dag.layer_of(gid) > active_layer {
+                break;
+            }
+            if !self.ready.is_ready(gid) {
+                continue;
+            }
+            let Some((qa, qb)) = self.circuit.gate(gid).two_qubit_operands() else {
+                continue;
+            };
+            let (ia, ib) = (IonId::from(qa), IonId::from(qb));
+            if self.state.trap_of(ia) == self.state.trap_of(ib) {
+                continue; // local gate frees nothing
+            }
+            let dir = decide_direction(
+                self.config.direction,
+                self.circuit,
+                &self.dag,
+                &self.state,
+                &self.pending,
+                pos,
+            );
+            if dir.from == old_destination && !self.state.is_full(dir.to) {
+                return Some(pos);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy};
+    use qccd_circuit::{Opcode, Qubit};
+
+    fn ms(c: &mut Circuit, a: u32, b: u32) {
+        c.push_two_qubit(Opcode::Ms, Qubit(a), Qubit(b)).unwrap();
+    }
+
+    /// The Fig. 4 program: baseline ping-pongs (4 shuttles), future-ops
+    /// moves ion 1 once (1 shuttle).
+    fn fig4_setup() -> (Circuit, MachineSpec, InitialMapping) {
+        let mut c = Circuit::new(5);
+        ms(&mut c, 1, 2); // A
+        ms(&mut c, 2, 3); // B
+        ms(&mut c, 1, 2); // C
+        ms(&mut c, 2, 4); // D
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
+        )
+        .unwrap();
+        (c, spec, mapping)
+    }
+
+    #[test]
+    fn fig4_baseline_ping_pongs_4_shuttles() {
+        let (c, spec, mapping) = fig4_setup();
+        let r =
+            compile_with_mapping(&c, &spec, &CompilerConfig::baseline(), mapping).unwrap();
+        assert_eq!(r.stats.shuttles, 4, "EC policy shuttles ion 2 back and forth");
+    }
+
+    #[test]
+    fn fig4_future_ops_needs_1_shuttle() {
+        let (c, spec, mapping) = fig4_setup();
+        let r =
+            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        assert_eq!(
+            r.stats.shuttles, 1,
+            "moving ion 1 to T1 satisfies all four gates"
+        );
+    }
+
+    #[test]
+    fn co_located_circuit_needs_no_shuttles() {
+        // Two independent 2-qubit clusters: the balanced greedy mapping
+        // puts one cluster per trap, so no gate ever crosses traps.
+        let mut c = Circuit::new(4);
+        ms(&mut c, 0, 1);
+        ms(&mut c, 2, 3);
+        ms(&mut c, 1, 0);
+        ms(&mut c, 3, 2);
+        let spec = MachineSpec::linear(2, 10, 2).unwrap();
+        for config in [CompilerConfig::baseline(), CompilerConfig::optimized()] {
+            let r = compile(&c, &spec, &config).unwrap();
+            assert_eq!(r.stats.shuttles, 0, "greedy mapping co-locates each cluster");
+            assert_eq!(r.stats.local_gates, 4);
+        }
+    }
+
+    #[test]
+    fn single_qubit_gates_never_shuttle() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.push_single_qubit(Opcode::H, Qubit(q)).unwrap();
+        }
+        let spec = MachineSpec::linear(3, 3, 1).unwrap();
+        let r = compile(&c, &spec, &CompilerConfig::optimized()).unwrap();
+        assert_eq!(r.stats.shuttles, 0);
+        assert_eq!(r.stats.gate_ops, 6);
+    }
+
+    #[test]
+    fn empty_circuit_compiles() {
+        let c = Circuit::new(4);
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let r = compile(&c, &spec, &CompilerConfig::optimized()).unwrap();
+        assert!(r.schedule.operations.is_empty());
+    }
+
+    #[test]
+    fn distant_traps_cost_distance_hops() {
+        // Two interacting qubits pinned to the ends of an L4 machine.
+        let mut c = Circuit::new(4);
+        ms(&mut c, 0, 3);
+        let spec = MachineSpec::linear(4, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(1), TrapId(2), TrapId(3)],
+        )
+        .unwrap();
+        let r =
+            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        assert_eq!(r.stats.shuttles, 3, "3 hops across L4");
+    }
+
+    #[test]
+    fn full_destination_triggers_rebalance_or_opposite() {
+        // T1 full; gate needs ions 0 (T0) and 3 (T1).
+        let mut c = Circuit::new(6);
+        ms(&mut c, 0, 3);
+        // Anchor ion 3's future in T1 so future-ops wants 0 → T1.
+        ms(&mut c, 3, 4);
+        ms(&mut c, 3, 5);
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![
+                TrapId(0),
+                TrapId(0),
+                TrapId(0),
+                TrapId(1),
+                TrapId(1),
+                TrapId(1),
+            ],
+        )
+        .unwrap();
+        // Fill T1 to capacity 4 is impossible via initial mapping (cap 3),
+        // so this exercises the non-full path; the full-trap cases are
+        // covered by the integration tests on saturated machines.
+        let r =
+            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        assert!(r.stats.shuttles >= 1);
+    }
+
+    #[test]
+    fn reorder_saves_shuttles_when_destination_full() {
+        // Engineered Fig. 6-style scenario on L3 (capacity 4, comm 1):
+        // T0 = {0, 6}, T1 = {1, 2, 3}, T2 = {4, 5, 7}.
+        //
+        //   g0 (6,1): future gate g3 (6,2) pulls ion 6 into T1 → T1 FULL.
+        //   g1 (0,2): ACTIVE — future gate g4 (0,3) wants ion 0 → T1, full.
+        //   g2 (3,5): same-layer candidate — future gate g5 (3,4) wants
+        //             ion 3 OUT of T1 into T2, freeing a slot.
+        //
+        // With re-ordering, g2 is hoisted before g1 (Algorithm 1).
+        let mut c = Circuit::new(8);
+        ms(&mut c, 6, 1); // g0
+        ms(&mut c, 0, 2); // g1 (active when blocked)
+        ms(&mut c, 3, 5); // g2 (candidate, same layer 0)
+        ms(&mut c, 6, 2); // g3
+        ms(&mut c, 0, 3); // g4
+        ms(&mut c, 3, 4); // g5
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![
+                TrapId(0), // 0
+                TrapId(1), // 1
+                TrapId(1), // 2
+                TrapId(1), // 3
+                TrapId(2), // 4
+                TrapId(2), // 5
+                TrapId(0), // 6
+                TrapId(2), // 7
+            ],
+        )
+        .unwrap();
+        let with_reorder =
+            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping.clone())
+                .unwrap();
+        assert!(
+            with_reorder.stats.reorders >= 1,
+            "the engineered blockage must trigger Algorithm 1"
+        );
+        let mut no_reorder_cfg = CompilerConfig::optimized();
+        no_reorder_cfg.reorder = false;
+        let without = compile_with_mapping(&c, &spec, &no_reorder_cfg, mapping).unwrap();
+        assert!(
+            with_reorder.stats.shuttles <= without.stats.shuttles,
+            "re-ordering must not cost extra shuttles here ({} vs {})",
+            with_reorder.stats.shuttles,
+            without.stats.shuttles
+        );
+    }
+
+    #[test]
+    fn stats_gate_count_matches_circuit() {
+        let mut c = Circuit::new(6);
+        for i in 0..5 {
+            ms(&mut c, i, (i + 1) % 6);
+        }
+        let spec = MachineSpec::linear(3, 4, 2).unwrap();
+        let r = compile(&c, &spec, &CompilerConfig::optimized()).unwrap();
+        assert_eq!(r.stats.gate_ops, 5);
+        assert_eq!(r.schedule.stats().gates, 5);
+        assert_eq!(r.schedule.stats().shuttles, r.stats.shuttles);
+    }
+
+    #[test]
+    fn rejects_oversized_circuit() {
+        let c = Circuit::new(20);
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        assert!(matches!(
+            compile(&c, &spec, &CompilerConfig::optimized()),
+            Err(CompileError::CircuitTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn all_policy_combinations_produce_valid_schedules() {
+        use qccd_circuit::generators::random_circuit;
+        let c = random_circuit(12, 60, 42);
+        let spec = MachineSpec::linear(3, 6, 2).unwrap();
+        for direction in [
+            DirectionPolicy::ExcessCapacity,
+            DirectionPolicy::FutureOps { proximity: 6 },
+        ] {
+            for reorder in [false, true] {
+                for rebalance in [RebalancePolicy::FromTrapZero, RebalancePolicy::NearestNeighbor]
+                {
+                    for ion_selection in [
+                        IonSelection::ChainEnd,
+                        IonSelection::MaxScore { wd: 0.5, ws: 0.5 },
+                    ] {
+                        let config = CompilerConfig {
+                            direction,
+                            reorder,
+                            rebalance,
+                            ion_selection,
+                            mapping: MappingPolicy::GreedyInteraction,
+                        };
+                        // compile() validates by replay internally.
+                        let r = compile(&c, &spec, &config)
+                            .unwrap_or_else(|e| panic!("{config}: {e}"));
+                        assert_eq!(r.stats.gate_ops, 60);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_eviction_through_jammed_corridor() {
+        // comm capacity 0 lets traps start genuinely full. L5 with
+        // T1, T2, T3 all full and a gate between end traps T0 and T4:
+        // the mover must cross three jammed traps, forcing cascade-clears.
+        let spec = MachineSpec::linear(5, 3, 0).unwrap();
+        let mut traps = Vec::new();
+        for (t, occ) in [1u32, 3, 3, 3, 1].into_iter().enumerate() {
+            for _ in 0..occ {
+                traps.push(TrapId(t as u32));
+            }
+        }
+        let mapping = InitialMapping::from_traps(&spec, traps).unwrap();
+        // Qubit 0 in T0; qubit 10 in T4.
+        let mut c = Circuit::new(11);
+        ms(&mut c, 0, 10);
+        for config in [CompilerConfig::baseline(), CompilerConfig::optimized()] {
+            let r = compile_with_mapping(&c, &spec, &config, mapping.clone())
+                .unwrap_or_else(|e| panic!("{config}: {e}"));
+            // The schedule validated internally; the corridor must have
+            // triggered at least one re-balancing eviction.
+            assert!(r.stats.rebalances >= 1, "{config}");
+            assert!(r.stats.shuttles >= 4, "{config}: 4 hops minimum");
+        }
+    }
+
+    #[test]
+    fn full_destination_with_full_opposite_rebalances() {
+        // Both endpoint traps full: the scheduler must evict, not error.
+        let spec = MachineSpec::linear(3, 3, 0).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![
+                TrapId(0),
+                TrapId(0),
+                TrapId(0),
+                TrapId(1),
+                TrapId(1),
+                TrapId(1),
+            ],
+        )
+        .unwrap();
+        let mut c = Circuit::new(6);
+        ms(&mut c, 0, 3);
+        for config in [CompilerConfig::baseline(), CompilerConfig::optimized()] {
+            let r = compile_with_mapping(&c, &spec, &config, mapping.clone())
+                .unwrap_or_else(|e| panic!("{config}: {e}"));
+            assert!(r.stats.rebalances >= 1, "{config}");
+        }
+    }
+
+    #[test]
+    fn optimized_beats_baseline_on_random_circuit() {
+        use qccd_circuit::generators::random_circuit;
+        let c = random_circuit(30, 300, 7);
+        let spec = MachineSpec::linear(4, 10, 2).unwrap();
+        let base = compile(&c, &spec, &CompilerConfig::baseline()).unwrap();
+        let opt = compile(&c, &spec, &CompilerConfig::optimized()).unwrap();
+        assert!(
+            opt.stats.shuttles < base.stats.shuttles,
+            "optimized {} >= baseline {}",
+            opt.stats.shuttles,
+            base.stats.shuttles
+        );
+    }
+}

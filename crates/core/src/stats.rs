@@ -1,0 +1,63 @@
+//! Compile statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters collected during one compile.
+///
+/// `shuttles` is the paper's headline metric (Table II). The finer-grained
+/// counters expose how each heuristic contributed, for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Total shuttle hops emitted (gate moves + re-balancing).
+    pub shuttles: usize,
+    /// Shuttle hops emitted by re-balancing evictions only.
+    pub rebalance_shuttles: usize,
+    /// Gates executed (always equals the circuit's gate count on success).
+    pub gate_ops: usize,
+    /// Gates that executed without any shuttle (operands already co-located).
+    pub local_gates: usize,
+    /// Times the gate re-ordering heuristic hoisted a candidate (§III-B).
+    pub reorders: usize,
+    /// Times a full trap was relieved by evicting an ion (§III-C).
+    pub rebalances: usize,
+    /// Times the favourable direction was blocked and the opposite
+    /// direction was taken instead.
+    pub opposite_direction_moves: usize,
+}
+
+impl fmt::Display for CompileStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shuttles ({} from rebalancing), {} gates ({} local), {} reorders, {} rebalances",
+            self.shuttles,
+            self.rebalance_shuttles,
+            self.gate_ops,
+            self.local_gates,
+            self.reorders,
+            self.rebalances
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = CompileStats {
+            shuttles: 10,
+            rebalance_shuttles: 2,
+            gate_ops: 50,
+            local_gates: 40,
+            reorders: 1,
+            rebalances: 2,
+            opposite_direction_moves: 0,
+        };
+        let text = s.to_string();
+        assert!(text.contains("10 shuttles"));
+        assert!(text.contains("1 reorders"));
+    }
+}

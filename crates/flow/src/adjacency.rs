@@ -1,0 +1,333 @@
+//! Small undirected graph with BFS shortest paths.
+
+use std::collections::VecDeque;
+
+/// An undirected graph on nodes `0..n`, stored as adjacency lists.
+///
+/// Used to model trap topologies (the paper's L6 is [`Adjacency::line`]`(6)`)
+/// and to answer the shortest-path queries both re-balancing policies need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency {
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Adjacency {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Adjacency {
+            neighbors: vec![Vec::new(); n],
+        }
+    }
+
+    /// A path graph `0 — 1 — … — n−1` (the paper's "Lk" linear topologies).
+    pub fn line(n: usize) -> Self {
+        let mut g = Adjacency::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    /// A cycle graph `0 — 1 — … — n−1 — 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (a cycle needs at least 3 nodes).
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring requires at least 3 nodes");
+        let mut g = Adjacency::line(n);
+        g.add_edge(n - 1, 0);
+        g
+    }
+
+    /// A `rows × cols` grid graph in row-major node order.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let mut g = Adjacency::new(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    g.add_edge(i, i + 1);
+                }
+                if r + 1 < rows {
+                    g.add_edge(i, i + cols);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// Adds the undirected edge `a — b`. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range, or if `a == b` (self-loop).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        if !self.neighbors[a].contains(&b) {
+            self.neighbors[a].push(b);
+            self.neighbors[b].push(a);
+        }
+    }
+
+    /// Neighbours of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.neighbors[node]
+    }
+
+    /// Returns `true` if `a — b` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a < self.len() && self.neighbors[a].contains(&b)
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Hop distance between `from` and `to`, or `None` if disconnected.
+    pub fn distance(&self, from: usize, to: usize) -> Option<usize> {
+        self.bfs(from, to, &|_| true).map(|p| p.len() - 1)
+    }
+
+    /// A shortest path from `from` to `to` inclusive, or `None` if
+    /// disconnected. Ties are broken toward lower-indexed neighbours.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        self.bfs(from, to, &|_| true)
+    }
+
+    /// A shortest path whose *interior* nodes all satisfy `allowed`
+    /// (endpoints are always permitted). Used to route shuttles around
+    /// full traps.
+    pub fn shortest_path_filtered(
+        &self,
+        from: usize,
+        to: usize,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        self.bfs(from, to, &allowed)
+    }
+
+    fn bfs(
+        &self,
+        from: usize,
+        to: usize,
+        interior_allowed: &dyn Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        if from >= self.len() || to >= self.len() {
+            return None;
+        }
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: Vec<Option<usize>> = vec![None; self.len()];
+        let mut visited = vec![false; self.len()];
+        let mut queue = VecDeque::new();
+        visited[from] = true;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            let mut nbrs = self.neighbors[u].clone();
+            nbrs.sort_unstable();
+            for v in nbrs {
+                if visited[v] {
+                    continue;
+                }
+                if v != to && !interior_allowed(v) {
+                    continue;
+                }
+                visited[v] = true;
+                prev[v] = Some(u);
+                if v == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(p) = prev[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_structure() {
+        let g = Adjacency::line(6);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(4, 5));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let g = Adjacency::ring(5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.distance(0, 4), Some(1));
+        assert_eq!(g.distance(0, 2), Some(2));
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = Adjacency::grid(2, 3);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.distance(0, 5), Some(3));
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let g = Adjacency::line(6);
+        assert_eq!(g.shortest_path(3, 5).unwrap(), vec![3, 4, 5]);
+        assert_eq!(g.shortest_path(5, 3).unwrap(), vec![5, 4, 3]);
+        assert_eq!(g.shortest_path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn filtered_path_routes_around_blocked_node() {
+        let mut g = Adjacency::ring(6);
+        // Direct path 0->1->2; block node 1, must go the long way.
+        g.add_edge(0, 2); // add a chord so both routes exist
+        let p = g
+            .shortest_path_filtered(0, 2, |n| n != 1)
+            .expect("path exists via chord");
+        assert!(!p[1..p.len() - 1].contains(&1));
+    }
+
+    #[test]
+    fn filtered_path_none_when_cut() {
+        let g = Adjacency::line(4);
+        assert_eq!(g.shortest_path_filtered(0, 3, |n| n != 2), None);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = Adjacency::new(3);
+        assert_eq!(g.distance(0, 2), None);
+        assert_eq!(g.shortest_path(0, 2), None);
+    }
+
+    #[test]
+    fn out_of_range_queries_return_none() {
+        let g = Adjacency::line(3);
+        assert_eq!(g.shortest_path(0, 9), None);
+        assert_eq!(g.distance(9, 0), None);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Adjacency::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Adjacency::new(2);
+        g.add_edge(1, 1);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference all-pairs distances via Floyd–Warshall.
+    #[allow(clippy::needless_range_loop)] // index-triple form is the canonical FW presentation
+    fn floyd_warshall(g: &Adjacency) -> Vec<Vec<Option<usize>>> {
+        let n = g.len();
+        let mut d = vec![vec![None; n]; n];
+        for i in 0..n {
+            d[i][i] = Some(0);
+            for &j in g.neighbors(i) {
+                d[i][j] = Some(1);
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if let (Some(a), Some(b)) = (d[i][k], d[k][j]) {
+                        if d[i][j].is_none_or(|c| a + b < c) {
+                            d[i][j] = Some(a + b);
+                        }
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    fn random_graph() -> impl Strategy<Value = Adjacency> {
+        (2usize..=8, proptest::collection::vec((0usize..8, 0usize..8), 0..16)).prop_map(
+            |(n, raw_edges)| {
+                let mut g = Adjacency::new(n);
+                for (a, b) in raw_edges {
+                    let (a, b) = (a % n, b % n);
+                    if a != b {
+                        g.add_edge(a, b);
+                    }
+                }
+                g
+            },
+        )
+    }
+
+    proptest! {
+        /// BFS distances agree with the Floyd–Warshall reference on
+        /// arbitrary graphs, including disconnected ones.
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn bfs_matches_floyd_warshall(g in random_graph()) {
+            let reference = floyd_warshall(&g);
+            for i in 0..g.len() {
+                for j in 0..g.len() {
+                    prop_assert_eq!(g.distance(i, j), reference[i][j], "pair ({}, {})", i, j);
+                }
+            }
+        }
+
+        /// Every returned shortest path is a real path of the right length.
+        #[test]
+        fn shortest_paths_are_valid_walks(g in random_graph()) {
+            for i in 0..g.len() {
+                for j in 0..g.len() {
+                    if let Some(p) = g.shortest_path(i, j) {
+                        prop_assert_eq!(p[0], i);
+                        prop_assert_eq!(*p.last().expect("non-empty"), j);
+                        for w in p.windows(2) {
+                            prop_assert!(g.has_edge(w[0], w[1]));
+                        }
+                        prop_assert_eq!(Some(p.len() - 1), g.distance(i, j));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph substrate for the muzzle-shuttle QCCD compiler.
+//!
+//! The baseline compiler of Murali et al. (ISCA'20) resolves traffic blocks
+//! with a minimum-cost maximum-flow computation over the trap topology; the
+//! optimized compiler of the paper replaces the destination search with a
+//! nearest-neighbour scan but still needs shortest paths. This crate
+//! provides both primitives, self-contained:
+//!
+//! * [`Adjacency`] — a small undirected graph with BFS shortest paths.
+//! * [`FlowNetwork`] / [`min_cost_max_flow`] — successive-shortest-path
+//!   min-cost max-flow with non-negative edge costs.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_flow::Adjacency;
+//!
+//! let line = Adjacency::line(6);
+//! assert_eq!(line.shortest_path(0, 5).unwrap(), vec![0, 1, 2, 3, 4, 5]);
+//! assert_eq!(line.distance(4, 1), Some(3));
+//! ```
+
+mod adjacency;
+mod mcmf;
+
+pub use adjacency::Adjacency;
+pub use mcmf::{min_cost_max_flow, FlowEdge, FlowNetwork, FlowResult};

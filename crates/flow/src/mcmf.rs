@@ -1,0 +1,362 @@
+//! Minimum-cost maximum-flow via successive shortest paths.
+//!
+//! The baseline QCCD compiler (Murali et al., ISCA'20) formulates trap
+//! re-balancing as an MCMF problem: full traps are sources, traps with
+//! excess capacity are sinks, and shuttle-path segments carry unit costs.
+//! This module implements the classic successive-shortest-path algorithm
+//! with Bellman–Ford path selection (costs here are small and non-negative,
+//! so SPFA-style relaxation is plenty fast for ≤ dozens of traps).
+
+/// One directed edge in a [`FlowNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEdge {
+    /// Edge head (target node).
+    pub to: usize,
+    /// Remaining capacity.
+    pub capacity: i64,
+    /// Cost per unit of flow (non-negative).
+    pub cost: i64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+    /// `true` for original edges, `false` for residual reverses.
+    is_forward: bool,
+}
+
+/// A directed flow network on nodes `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use qccd_flow::{FlowNetwork, min_cost_max_flow};
+///
+/// let mut net = FlowNetwork::new(4);
+/// net.add_edge(0, 1, 2, 1);
+/// net.add_edge(0, 2, 1, 2);
+/// net.add_edge(1, 3, 2, 1);
+/// net.add_edge(2, 3, 1, 2);
+/// let result = min_cost_max_flow(&mut net, 0, 3);
+/// assert_eq!(result.flow, 3);
+/// assert_eq!(result.cost, 2 * 2 + 1 * 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<FlowEdge>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Returns `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, `capacity < 0`, or `cost < 0`.
+    pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64, cost: i64) {
+        assert!(from < self.len() && to < self.len(), "endpoint out of range");
+        assert!(capacity >= 0, "capacity must be non-negative");
+        assert!(cost >= 0, "cost must be non-negative");
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(FlowEdge {
+            to,
+            capacity,
+            cost,
+            rev: rev_from,
+            is_forward: true,
+        });
+        self.graph[to].push(FlowEdge {
+            to: from,
+            capacity: 0,
+            cost: -cost,
+            rev: rev_to,
+            is_forward: false,
+        });
+    }
+
+    /// Flow currently assigned along each *forward* edge, as
+    /// `(from, to, flow)` triples in insertion order.
+    pub fn forward_flows(&self) -> Vec<(usize, usize, i64)> {
+        let mut out = Vec::new();
+        for (from, edges) in self.graph.iter().enumerate() {
+            for e in edges {
+                if e.is_forward {
+                    // Flow pushed = capacity of the residual reverse edge.
+                    let flow = self.graph[e.to][e.rev].capacity;
+                    out.push((from, e.to, flow));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The result of a min-cost max-flow computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowResult {
+    /// Total flow pushed from source to sink.
+    pub flow: i64,
+    /// Total cost of that flow.
+    pub cost: i64,
+}
+
+/// Computes minimum-cost maximum flow from `source` to `sink`, mutating the
+/// network's residual capacities in place.
+///
+/// Runs successive shortest augmenting paths (SPFA); with the unit-ish
+/// capacities and ≤ tens of nodes used for trap re-balancing this is
+/// effectively instantaneous.
+///
+/// # Panics
+///
+/// Panics if `source` or `sink` is out of range.
+pub fn min_cost_max_flow(net: &mut FlowNetwork, source: usize, sink: usize) -> FlowResult {
+    assert!(source < net.len() && sink < net.len(), "node out of range");
+    let n = net.len();
+    let mut total_flow = 0i64;
+    let mut total_cost = 0i64;
+
+    loop {
+        // SPFA (Bellman–Ford with a queue) over the residual graph.
+        let mut dist = vec![i64::MAX; n];
+        let mut in_queue = vec![false; n];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n]; // (node, edge idx)
+        dist[source] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(source);
+        in_queue[source] = true;
+        while let Some(u) = queue.pop_front() {
+            in_queue[u] = false;
+            let du = dist[u];
+            for (ei, e) in net.graph[u].iter().enumerate() {
+                if e.capacity > 0 && du != i64::MAX && du + e.cost < dist[e.to] {
+                    dist[e.to] = du + e.cost;
+                    prev[e.to] = Some((u, ei));
+                    if !in_queue[e.to] {
+                        queue.push_back(e.to);
+                        in_queue[e.to] = true;
+                    }
+                }
+            }
+        }
+        if dist[sink] == i64::MAX {
+            break; // no augmenting path remains
+        }
+        // Find bottleneck along the path.
+        let mut bottleneck = i64::MAX;
+        let mut v = sink;
+        while let Some((u, ei)) = prev[v] {
+            bottleneck = bottleneck.min(net.graph[u][ei].capacity);
+            v = u;
+        }
+        // Apply it.
+        let mut v = sink;
+        while let Some((u, ei)) = prev[v] {
+            let rev = net.graph[u][ei].rev;
+            net.graph[u][ei].capacity -= bottleneck;
+            net.graph[v][rev].capacity += bottleneck;
+            v = u;
+        }
+        total_flow += bottleneck;
+        total_cost += bottleneck * dist[sink];
+    }
+
+    FlowResult {
+        flow: total_flow,
+        cost: total_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 5, 3);
+        let r = min_cost_max_flow(&mut net, 0, 1);
+        assert_eq!(r, FlowResult { flow: 5, cost: 15 });
+    }
+
+    #[test]
+    fn prefers_cheaper_path() {
+        // Two parallel 0→1 routes; cheap one saturates first.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1, 10); // expensive direct
+        net.add_edge(0, 2, 1, 1);
+        net.add_edge(2, 3, 1, 1);
+        net.add_edge(3, 1, 1, 1); // cheap detour, total cost 3
+        let r = min_cost_max_flow(&mut net, 0, 1);
+        assert_eq!(r.flow, 2);
+        assert_eq!(r.cost, 3 + 10);
+    }
+
+    #[test]
+    fn disconnected_graph_zero_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4, 1);
+        let r = min_cost_max_flow(&mut net, 0, 2);
+        assert_eq!(r, FlowResult { flow: 0, cost: 0 });
+    }
+
+    #[test]
+    fn respects_bottleneck() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 10, 1);
+        net.add_edge(1, 2, 3, 1);
+        let r = min_cost_max_flow(&mut net, 0, 2);
+        assert_eq!(r.flow, 3);
+        assert_eq!(r.cost, 6);
+    }
+
+    #[test]
+    fn forward_flows_report_assignment() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 2, 1);
+        net.add_edge(1, 2, 2, 1);
+        min_cost_max_flow(&mut net, 0, 2);
+        let flows = net.forward_flows();
+        assert_eq!(flows, vec![(0, 1, 2), (1, 2, 2)]);
+    }
+
+    #[test]
+    fn rebalance_shaped_instance_picks_nearest_sink() {
+        // Line of 6 traps; trap 4 is full (source); traps 0, 3, 5 have
+        // spare capacity. Unit cost per hop. MCMF should route to 3 or 5
+        // (cost 1), never to 0 (cost 4).
+        let n = 6;
+        let src = n; // super-source
+        let sink = n + 1; // super-sink
+        let mut net = FlowNetwork::new(n + 2);
+        for i in 0..n - 1 {
+            net.add_edge(i, i + 1, 10, 1);
+            net.add_edge(i + 1, i, 10, 1);
+        }
+        net.add_edge(src, 4, 1, 0); // one ion must leave trap 4
+        for free in [0, 3, 5] {
+            net.add_edge(free, sink, 1, 0);
+        }
+        let r = min_cost_max_flow(&mut net, src, sink);
+        assert_eq!(r.flow, 1);
+        assert_eq!(r.cost, 1, "flow should use a 1-hop route to trap 3 or 5");
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let mut net = FlowNetwork::new(5);
+        net.add_edge(0, 1, 3, 2);
+        net.add_edge(0, 2, 2, 4);
+        net.add_edge(1, 3, 2, 1);
+        net.add_edge(2, 3, 2, 1);
+        net.add_edge(1, 2, 1, 1);
+        net.add_edge(3, 4, 4, 1);
+        let r = min_cost_max_flow(&mut net, 0, 4);
+        // Conservation: for every interior node, inflow == outflow.
+        let flows = net.forward_flows();
+        for node in 1..4 {
+            let inflow: i64 = flows.iter().filter(|(_, t, _)| *t == node).map(|(_, _, f)| f).sum();
+            let outflow: i64 = flows.iter().filter(|(s, _, _)| *s == node).map(|(_, _, f)| f).sum();
+            assert_eq!(inflow, outflow, "node {node}");
+        }
+        assert!(r.flow >= 3, "expected near-max flow, got {}", r.flow);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-negative")]
+    fn rejects_negative_capacity() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, -1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be non-negative")]
+    fn rejects_negative_cost() {
+        let mut net = FlowNetwork::new(2);
+        net.add_edge(0, 1, 1, -2);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use crate::adjacency::Adjacency;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On a unit-cost bidirectional graph, one unit of min-cost flow
+        /// costs exactly the BFS distance.
+        #[test]
+        fn unit_flow_cost_equals_bfs_distance(
+            n in 2usize..=8,
+            raw_edges in proptest::collection::vec((0usize..8, 0usize..8), 1..16),
+            endpoints in (0usize..8, 0usize..8),
+        ) {
+            let mut adj = Adjacency::new(n);
+            for (a, b) in raw_edges {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    adj.add_edge(a, b);
+                }
+            }
+            let (src, dst) = (endpoints.0 % n, endpoints.1 % n);
+            prop_assume!(src != dst);
+
+            // Super-source limits the flow to one unit.
+            let mut net = FlowNetwork::new(n + 1);
+            for a in 0..n {
+                for &b in adj.neighbors(a) {
+                    net.add_edge(a, b, 1, 1);
+                }
+            }
+            net.add_edge(n, src, 1, 0);
+            let result = min_cost_max_flow(&mut net, n, dst);
+            match adj.distance(src, dst) {
+                Some(d) => {
+                    prop_assert_eq!(result.flow, 1);
+                    prop_assert_eq!(result.cost, d as i64);
+                }
+                None => prop_assert_eq!(result.flow, 0),
+            }
+        }
+
+        /// Flow never exceeds the trivial cut bounds (out-degree of source,
+        /// in-degree of sink) and cost is non-negative.
+        #[test]
+        fn flow_respects_degree_bounds(
+            n in 2usize..=7,
+            raw_edges in proptest::collection::vec((0usize..7, 0usize..7, 1i64..4), 1..20),
+        ) {
+            let mut net = FlowNetwork::new(n);
+            let mut out_cap = vec![0i64; n];
+            let mut in_cap = vec![0i64; n];
+            for (a, b, cap) in raw_edges {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    net.add_edge(a, b, cap, 1);
+                    out_cap[a] += cap;
+                    in_cap[b] += cap;
+                }
+            }
+            let result = min_cost_max_flow(&mut net, 0, n - 1);
+            prop_assert!(result.flow <= out_cap[0]);
+            prop_assert!(result.flow <= in_cap[n - 1]);
+            prop_assert!(result.cost >= 0);
+            prop_assert!(result.flow >= 0);
+        }
+    }
+}

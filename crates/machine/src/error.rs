@@ -1,0 +1,131 @@
+//! Error types for machine construction and state transitions.
+
+use crate::ids::{IonId, TrapId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by machine-spec validation and state transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A machine must have at least one trap.
+    NoTraps,
+    /// Communication capacity must be strictly less than total capacity,
+    /// leaving room for at least one resident ion per trap.
+    CommCapacityTooLarge {
+        /// Total per-trap capacity.
+        total: u32,
+        /// Requested communication capacity.
+        comm: u32,
+    },
+    /// Total capacity of zero is meaningless.
+    ZeroCapacity,
+    /// More ions requested than the machine can initially host
+    /// (`traps × (total − comm)`).
+    TooManyIons {
+        /// Ions requested.
+        ions: u32,
+        /// Initial hosting capacity of the machine.
+        initial_capacity: u32,
+    },
+    /// A trap id outside the machine.
+    TrapOutOfRange {
+        /// The offending trap.
+        trap: TrapId,
+        /// Number of traps in the machine.
+        num_traps: u32,
+    },
+    /// An ion id outside the machine's register.
+    IonOutOfRange {
+        /// The offending ion.
+        ion: IonId,
+        /// Number of ions in the machine.
+        num_ions: u32,
+    },
+    /// Shuttle target is not adjacent to the ion's current trap.
+    NotAdjacent {
+        /// Current trap.
+        from: TrapId,
+        /// Requested destination.
+        to: TrapId,
+    },
+    /// Shuttle destination has no excess capacity.
+    TrapFull {
+        /// The full trap.
+        trap: TrapId,
+    },
+    /// Shuttle source and destination are the same trap.
+    SelfShuttle {
+        /// The trap in question.
+        trap: TrapId,
+    },
+    /// An initial mapping overfilled a trap beyond `total − comm`.
+    MappingOverfill {
+        /// The overfilled trap.
+        trap: TrapId,
+        /// Ions assigned to it.
+        assigned: u32,
+        /// Its initial hosting capacity (`total − comm`).
+        initial_capacity: u32,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NoTraps => write!(f, "machine must have at least one trap"),
+            MachineError::CommCapacityTooLarge { total, comm } => write!(
+                f,
+                "communication capacity {comm} must be less than total capacity {total}"
+            ),
+            MachineError::ZeroCapacity => write!(f, "trap capacity must be positive"),
+            MachineError::TooManyIons {
+                ions,
+                initial_capacity,
+            } => write!(
+                f,
+                "{ions} ions exceed the machine's initial hosting capacity of {initial_capacity}"
+            ),
+            MachineError::TrapOutOfRange { trap, num_traps } => {
+                write!(f, "trap {trap} out of range for machine with {num_traps} traps")
+            }
+            MachineError::IonOutOfRange { ion, num_ions } => {
+                write!(f, "ion {ion} out of range for machine with {num_ions} ions")
+            }
+            MachineError::NotAdjacent { from, to } => {
+                write!(f, "traps {from} and {to} are not connected by a shuttle path")
+            }
+            MachineError::TrapFull { trap } => {
+                write!(f, "trap {trap} has no excess capacity to accept an ion")
+            }
+            MachineError::SelfShuttle { trap } => {
+                write!(f, "shuttle source and destination are both {trap}")
+            }
+            MachineError::MappingOverfill {
+                trap,
+                assigned,
+                initial_capacity,
+            } => write!(
+                f,
+                "initial mapping assigns {assigned} ions to trap {trap} whose initial capacity is {initial_capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_entities() {
+        let e = MachineError::NotAdjacent {
+            from: TrapId(0),
+            to: TrapId(3),
+        };
+        assert_eq!(e.to_string(), "traps T0 and T3 are not connected by a shuttle path");
+        let e = MachineError::TrapFull { trap: TrapId(2) };
+        assert!(e.to_string().contains("T2"));
+    }
+}

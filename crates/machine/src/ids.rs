@@ -1,0 +1,89 @@
+//! Typed identifiers for traps and ions.
+
+use qccd_circuit::Qubit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a trap (0-based, dense).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TrapId(pub u32);
+
+impl TrapId {
+    /// Raw index as `usize`, convenient for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TrapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a physical ion.
+///
+/// The workspace uses the identity qubit↔ion assignment: `IonId(i)` carries
+/// logical [`Qubit`]`(i)`. The *trap* an ion sits in changes over the
+/// program; the qubit it carries never does (QCCD machines move ions, they
+/// do not relabel them).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct IonId(pub u32);
+
+impl IonId {
+    /// Raw index as `usize`, convenient for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The logical qubit this ion carries.
+    #[inline]
+    pub fn qubit(self) -> Qubit {
+        Qubit(self.0)
+    }
+}
+
+impl From<Qubit> for IonId {
+    fn from(q: Qubit) -> Self {
+        IonId(q.0)
+    }
+}
+
+impl From<IonId> for Qubit {
+    fn from(i: IonId) -> Self {
+        Qubit(i.0)
+    }
+}
+
+impl fmt::Display for IonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ion{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TrapId(3).to_string(), "T3");
+        assert_eq!(IonId(7).to_string(), "ion7");
+    }
+
+    #[test]
+    fn qubit_ion_round_trip() {
+        let q = Qubit(5);
+        let ion: IonId = q.into();
+        assert_eq!(ion, IonId(5));
+        assert_eq!(ion.qubit(), q);
+        let back: Qubit = ion.into();
+        assert_eq!(back, q);
+    }
+}

@@ -1,0 +1,139 @@
+//! Initial ion→trap assignments.
+
+use crate::error::MachineError;
+use crate::ids::{IonId, TrapId};
+use crate::spec::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// An initial placement of ions into traps, validated against a
+/// [`MachineSpec`]'s initial capacity (`total − communication` per trap).
+///
+/// The *policy* that chooses a good mapping lives in the compiler crate
+/// (greedy interaction-based placement, \[14\] in the paper); this type is the
+/// validated result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InitialMapping {
+    trap_of: Vec<TrapId>,
+}
+
+impl InitialMapping {
+    /// Builds a mapping from an explicit per-ion trap list.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::TrapOutOfRange`] if a trap id is invalid.
+    /// * [`MachineError::MappingOverfill`] if a trap receives more than
+    ///   `total − comm` ions.
+    pub fn from_traps(spec: &MachineSpec, trap_of: Vec<TrapId>) -> Result<Self, MachineError> {
+        let mut loads = vec![0u32; spec.num_traps() as usize];
+        for &t in &trap_of {
+            spec.check_trap(t)?;
+            loads[t.index()] += 1;
+        }
+        let cap = spec.initial_capacity_per_trap();
+        for (i, &load) in loads.iter().enumerate() {
+            if load > cap {
+                return Err(MachineError::MappingOverfill {
+                    trap: TrapId(i as u32),
+                    assigned: load,
+                    initial_capacity: cap,
+                });
+            }
+        }
+        Ok(InitialMapping { trap_of })
+    }
+
+    /// Fills traps in order: ions `0..cap` into trap 0, the next `cap` into
+    /// trap 1, and so on (`cap = total − comm`). This is the naive placement
+    /// both compilers share when no interaction information is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::TooManyIons`] if the machine cannot host
+    /// `num_ions`.
+    pub fn round_robin(spec: &MachineSpec, num_ions: u32) -> Result<Self, MachineError> {
+        if num_ions > spec.initial_capacity() {
+            return Err(MachineError::TooManyIons {
+                ions: num_ions,
+                initial_capacity: spec.initial_capacity(),
+            });
+        }
+        let cap = spec.initial_capacity_per_trap();
+        let trap_of = (0..num_ions).map(|i| TrapId(i / cap)).collect();
+        Ok(InitialMapping { trap_of })
+    }
+
+    /// Number of ions mapped.
+    pub fn num_ions(&self) -> u32 {
+        self.trap_of.len() as u32
+    }
+
+    /// The trap assigned to `ion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ion` is not part of the mapping.
+    pub fn trap_of(&self, ion: IonId) -> TrapId {
+        self.trap_of[ion.index()]
+    }
+
+    /// Per-ion trap assignments, indexed by ion id.
+    pub fn as_slice(&self) -> &[TrapId] {
+        &self.trap_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_fills_sequentially() {
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let m = InitialMapping::round_robin(&spec, 6).unwrap();
+        // cap = 3 per trap: ions 0..3 -> T0, 3..6 -> T1 (matches Fig. 1).
+        assert_eq!(m.trap_of(IonId(0)), TrapId(0));
+        assert_eq!(m.trap_of(IonId(2)), TrapId(0));
+        assert_eq!(m.trap_of(IonId(3)), TrapId(1));
+        assert_eq!(m.trap_of(IonId(5)), TrapId(1));
+    }
+
+    #[test]
+    fn round_robin_rejects_overflow() {
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        assert_eq!(
+            InitialMapping::round_robin(&spec, 7).unwrap_err(),
+            MachineError::TooManyIons {
+                ions: 7,
+                initial_capacity: 6
+            }
+        );
+    }
+
+    #[test]
+    fn from_traps_validates_capacity() {
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let err = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(0), TrapId(0)],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::MappingOverfill {
+                trap: TrapId(0),
+                assigned: 4,
+                initial_capacity: 3
+            }
+        );
+    }
+
+    #[test]
+    fn from_traps_validates_trap_ids() {
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        assert!(matches!(
+            InitialMapping::from_traps(&spec, vec![TrapId(7)]),
+            Err(MachineError::TrapOutOfRange { .. })
+        ));
+    }
+}

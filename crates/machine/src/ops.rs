@@ -1,0 +1,85 @@
+//! Compiled operations: gates pinned to traps and shuttle hops.
+
+use crate::ids::{IonId, TrapId};
+use qccd_circuit::GateId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One operation in a compiled [`Schedule`](crate::Schedule).
+///
+/// A shuttle hop bundles the physical SPLIT → MOVE → MERGE sequence of
+/// Fig. 3 of the paper: the ion splits from its chain in `from`, traverses
+/// one shuttle-path segment, and merges into the chain in `to`. Multi-trap
+/// moves appear as consecutive hops — the paper counts each hop as one
+/// shuttle ("T4 sending ion to T0 needing 4 shuttles", Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operation {
+    /// Execute circuit gate `gate` inside `trap` (all operand ions must be
+    /// co-located there).
+    Gate {
+        /// The circuit gate being executed.
+        gate: GateId,
+        /// The trap in which it executes.
+        trap: TrapId,
+    },
+    /// Shuttle `ion` one hop from `from` to the adjacent trap `to`.
+    Shuttle {
+        /// The ion being moved.
+        ion: IonId,
+        /// Source trap.
+        from: TrapId,
+        /// Destination trap (must be adjacent to `from`).
+        to: TrapId,
+    },
+}
+
+impl Operation {
+    /// Returns `true` for shuttle hops.
+    pub fn is_shuttle(&self) -> bool {
+        matches!(self, Operation::Shuttle { .. })
+    }
+
+    /// Returns `true` for gate executions.
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Operation::Gate { .. })
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Gate { gate, trap } => write!(f, "exec {gate} @ {trap}"),
+            Operation::Shuttle { ion, from, to } => write!(f, "shuttle {ion}: {from} -> {to}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let g = Operation::Gate {
+            gate: GateId(3),
+            trap: TrapId(1),
+        };
+        let s = Operation::Shuttle {
+            ion: IonId(2),
+            from: TrapId(0),
+            to: TrapId(1),
+        };
+        assert!(g.is_gate() && !g.is_shuttle());
+        assert!(s.is_shuttle() && !s.is_gate());
+    }
+
+    #[test]
+    fn display() {
+        let s = Operation::Shuttle {
+            ion: IonId(2),
+            from: TrapId(0),
+            to: TrapId(1),
+        };
+        assert_eq!(s.to_string(), "shuttle ion2: T0 -> T1");
+    }
+}

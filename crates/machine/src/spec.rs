@@ -1,0 +1,172 @@
+//! Validated machine specification.
+
+use crate::error::MachineError;
+use crate::ids::TrapId;
+use crate::topology::TrapTopology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A QCCD machine specification: interconnect topology plus per-trap
+/// capacities (§II-B1 of the paper).
+///
+/// * **Total trap capacity** — maximum ions a trap can physically hold.
+/// * **Communication capacity** — slots kept *unoccupied* at initial
+///   allocation so shuttled ions from other traps can be accepted.
+///
+/// The paper's evaluation platform is `MachineSpec::linear(6, 17, 2)`:
+/// "the 'L6' trap topology ... 6 traps connected in a linear fashion. Each
+/// trap has a total capacity of 17 with a communication capacity of 2 per
+/// trap" (§IV-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    topology: TrapTopology,
+    total_capacity: u32,
+    comm_capacity: u32,
+}
+
+impl MachineSpec {
+    /// Creates a validated spec from an arbitrary topology.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::NoTraps`] if the topology is empty.
+    /// * [`MachineError::ZeroCapacity`] if `total_capacity == 0`.
+    /// * [`MachineError::CommCapacityTooLarge`] if
+    ///   `comm_capacity >= total_capacity`.
+    pub fn new(
+        topology: TrapTopology,
+        total_capacity: u32,
+        comm_capacity: u32,
+    ) -> Result<Self, MachineError> {
+        if topology.num_traps() == 0 {
+            return Err(MachineError::NoTraps);
+        }
+        if total_capacity == 0 {
+            return Err(MachineError::ZeroCapacity);
+        }
+        if comm_capacity >= total_capacity {
+            return Err(MachineError::CommCapacityTooLarge {
+                total: total_capacity,
+                comm: comm_capacity,
+            });
+        }
+        Ok(MachineSpec {
+            topology,
+            total_capacity,
+            comm_capacity,
+        })
+    }
+
+    /// Shorthand for a linear ("Lk") machine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MachineSpec::new`].
+    pub fn linear(traps: u32, total_capacity: u32, comm_capacity: u32) -> Result<Self, MachineError> {
+        MachineSpec::new(TrapTopology::linear(traps), total_capacity, comm_capacity)
+    }
+
+    /// The paper's evaluation platform: L6, capacity 17, comm capacity 2.
+    pub fn paper_l6() -> Self {
+        MachineSpec::linear(6, 17, 2).expect("paper parameters are valid")
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> &TrapTopology {
+        &self.topology
+    }
+
+    /// Number of traps.
+    pub fn num_traps(&self) -> u32 {
+        self.topology.num_traps()
+    }
+
+    /// Maximum ions a single trap can hold.
+    pub fn total_capacity(&self) -> u32 {
+        self.total_capacity
+    }
+
+    /// Slots reserved for incoming shuttled ions at initial allocation.
+    pub fn comm_capacity(&self) -> u32 {
+        self.comm_capacity
+    }
+
+    /// Ions a trap may host at *initial allocation*
+    /// (`total − communication`).
+    pub fn initial_capacity_per_trap(&self) -> u32 {
+        self.total_capacity - self.comm_capacity
+    }
+
+    /// Total ions the whole machine may host at initial allocation.
+    pub fn initial_capacity(&self) -> u32 {
+        self.initial_capacity_per_trap() * self.num_traps()
+    }
+
+    /// Validates a trap id against this machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::TrapOutOfRange`] for ids beyond the topology.
+    pub fn check_trap(&self, t: TrapId) -> Result<(), MachineError> {
+        if t.0 >= self.num_traps() {
+            return Err(MachineError::TrapOutOfRange {
+                trap: t,
+                num_traps: self.num_traps(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MachineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(cap {}, comm {})",
+            self.topology, self.total_capacity, self.comm_capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l6_parameters() {
+        let m = MachineSpec::paper_l6();
+        assert_eq!(m.num_traps(), 6);
+        assert_eq!(m.total_capacity(), 17);
+        assert_eq!(m.comm_capacity(), 2);
+        assert_eq!(m.initial_capacity_per_trap(), 15);
+        assert_eq!(m.initial_capacity(), 90); // enough for 78-qubit SquareRoot
+        assert_eq!(m.to_string(), "L6(cap 17, comm 2)");
+    }
+
+    #[test]
+    fn rejects_comm_ge_total() {
+        assert_eq!(
+            MachineSpec::linear(2, 4, 4).unwrap_err(),
+            MachineError::CommCapacityTooLarge { total: 4, comm: 4 }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_capacity_and_no_traps() {
+        assert_eq!(
+            MachineSpec::linear(2, 0, 0).unwrap_err(),
+            MachineError::ZeroCapacity
+        );
+        assert_eq!(
+            MachineSpec::linear(0, 4, 1).unwrap_err(),
+            MachineError::NoTraps
+        );
+    }
+
+    #[test]
+    fn check_trap_bounds() {
+        let m = MachineSpec::linear(3, 4, 1).unwrap();
+        assert!(m.check_trap(TrapId(2)).is_ok());
+        assert!(m.check_trap(TrapId(3)).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Live machine state: ion chains per trap and the shuttle primitive.
+
+use crate::error::MachineError;
+use crate::ids::{IonId, TrapId};
+use crate::mapping::InitialMapping;
+use crate::spec::MachineSpec;
+
+/// Live placement of ions in a QCCD machine.
+///
+/// Tracks the ordered ion chain inside each trap (§II, Fig. 1: "Inside a
+/// trap, ions form a chain") and enforces the capacity and adjacency
+/// invariants on every [`shuttle`](MachineState::shuttle):
+///
+/// 1. every ion is in exactly one trap;
+/// 2. trap occupancy never exceeds total capacity;
+/// 3. shuttles only traverse topology edges into traps with excess capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineState {
+    spec: MachineSpec,
+    chains: Vec<Vec<IonId>>,
+    trap_of: Vec<TrapId>,
+}
+
+impl MachineState {
+    /// Creates a state from a validated initial mapping.
+    ///
+    /// Chains are ordered by ion id within each trap, matching the paper's
+    /// figures where freshly loaded traps hold consecutive ions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MappingOverfill`] if the mapping does not fit
+    /// this spec (possible when the mapping was built for a different spec).
+    pub fn with_mapping(spec: &MachineSpec, mapping: &InitialMapping) -> Result<Self, MachineError> {
+        let mut chains: Vec<Vec<IonId>> = vec![Vec::new(); spec.num_traps() as usize];
+        let mut trap_of = Vec::with_capacity(mapping.num_ions() as usize);
+        for (i, &t) in mapping.as_slice().iter().enumerate() {
+            spec.check_trap(t)?;
+            chains[t.index()].push(IonId(i as u32));
+            trap_of.push(t);
+        }
+        let cap = spec.initial_capacity_per_trap();
+        for (i, chain) in chains.iter().enumerate() {
+            if chain.len() as u32 > cap {
+                return Err(MachineError::MappingOverfill {
+                    trap: TrapId(i as u32),
+                    assigned: chain.len() as u32,
+                    initial_capacity: cap,
+                });
+            }
+        }
+        Ok(MachineState {
+            spec: spec.clone(),
+            chains,
+            trap_of,
+        })
+    }
+
+    /// The machine specification this state lives on.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Number of ions in the machine.
+    pub fn num_ions(&self) -> u32 {
+        self.trap_of.len() as u32
+    }
+
+    /// The trap currently holding `ion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ion` is not part of this machine.
+    pub fn trap_of(&self, ion: IonId) -> TrapId {
+        self.trap_of[ion.index()]
+    }
+
+    /// The ordered ion chain inside `trap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trap` is out of range.
+    pub fn chain(&self, trap: TrapId) -> &[IonId] {
+        &self.chains[trap.index()]
+    }
+
+    /// Number of ions currently in `trap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trap` is out of range.
+    pub fn occupancy(&self, trap: TrapId) -> u32 {
+        self.chains[trap.index()].len() as u32
+    }
+
+    /// Excess capacity of `trap`: `total capacity − occupancy` (§II-B1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trap` is out of range.
+    pub fn excess_capacity(&self, trap: TrapId) -> u32 {
+        self.spec.total_capacity() - self.occupancy(trap)
+    }
+
+    /// Returns `true` if `trap` cannot accept another ion.
+    pub fn is_full(&self, trap: TrapId) -> bool {
+        self.excess_capacity(trap) == 0
+    }
+
+    /// Moves `ion` one hop into the adjacent trap `to` (split from its
+    /// current chain, traverse the shuttle path, merge at the end of the
+    /// destination chain — the SPLIT/MOVE/MERGE sequence of Fig. 3).
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::IonOutOfRange`] — unknown ion.
+    /// * [`MachineError::TrapOutOfRange`] — unknown destination.
+    /// * [`MachineError::SelfShuttle`] — `to` equals the current trap.
+    /// * [`MachineError::NotAdjacent`] — no shuttle path between the traps.
+    /// * [`MachineError::TrapFull`] — destination has no excess capacity.
+    pub fn shuttle(&mut self, ion: IonId, to: TrapId) -> Result<(), MachineError> {
+        if ion.index() >= self.trap_of.len() {
+            return Err(MachineError::IonOutOfRange {
+                ion,
+                num_ions: self.num_ions(),
+            });
+        }
+        self.spec.check_trap(to)?;
+        let from = self.trap_of[ion.index()];
+        if from == to {
+            return Err(MachineError::SelfShuttle { trap: from });
+        }
+        if !self.spec.topology().are_adjacent(from, to) {
+            return Err(MachineError::NotAdjacent { from, to });
+        }
+        if self.is_full(to) {
+            return Err(MachineError::TrapFull { trap: to });
+        }
+        let chain = &mut self.chains[from.index()];
+        let pos = chain
+            .iter()
+            .position(|&i| i == ion)
+            .expect("trap_of and chains are kept consistent");
+        chain.remove(pos);
+        self.chains[to.index()].push(ion);
+        self.trap_of[ion.index()] = to;
+        Ok(())
+    }
+
+    /// Verifies the internal invariants (ion conservation, capacity,
+    /// chain/trap_of consistency). Cheap enough for tests and debug asserts.
+    pub fn check_invariants(&self) -> bool {
+        let mut seen = vec![false; self.trap_of.len()];
+        for (ti, chain) in self.chains.iter().enumerate() {
+            if chain.len() as u32 > self.spec.total_capacity() {
+                return false;
+            }
+            for &ion in chain {
+                if ion.index() >= seen.len()
+                    || seen[ion.index()]
+                    || self.trap_of[ion.index()] != TrapId(ti as u32)
+                {
+                    return false;
+                }
+                seen[ion.index()] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_state() -> MachineState {
+        // Fig. 1: 2 traps, capacity 4, comm 1, ions 0-2 in T0, 3-5 in T1.
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 6).unwrap();
+        MachineState::with_mapping(&spec, &mapping).unwrap()
+    }
+
+    #[test]
+    fn fig1_excess_capacities() {
+        let s = fig1_state();
+        assert_eq!(s.excess_capacity(TrapId(0)), 1);
+        assert_eq!(s.excess_capacity(TrapId(1)), 1);
+        assert_eq!(s.chain(TrapId(0)), &[IonId(0), IonId(1), IonId(2)]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn shuttle_moves_ion_and_updates_chains() {
+        let mut s = fig1_state();
+        s.shuttle(IonId(2), TrapId(1)).unwrap();
+        assert_eq!(s.trap_of(IonId(2)), TrapId(1));
+        assert_eq!(s.chain(TrapId(0)), &[IonId(0), IonId(1)]);
+        assert_eq!(
+            s.chain(TrapId(1)),
+            &[IonId(3), IonId(4), IonId(5), IonId(2)]
+        );
+        assert_eq!(s.excess_capacity(TrapId(1)), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn shuttle_into_full_trap_fails() {
+        let mut s = fig1_state();
+        s.shuttle(IonId(2), TrapId(1)).unwrap(); // T1 now full
+        let err = s.shuttle(IonId(1), TrapId(1)).unwrap_err();
+        assert_eq!(err, MachineError::TrapFull { trap: TrapId(1) });
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn shuttle_requires_adjacency() {
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 4).unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        // Ion 0 is in T0; T2 is two hops away.
+        let err = s.shuttle(IonId(0), TrapId(2)).unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::NotAdjacent {
+                from: TrapId(0),
+                to: TrapId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn shuttle_rejects_self_and_bad_ids() {
+        let mut s = fig1_state();
+        assert_eq!(
+            s.shuttle(IonId(0), TrapId(0)).unwrap_err(),
+            MachineError::SelfShuttle { trap: TrapId(0) }
+        );
+        assert!(matches!(
+            s.shuttle(IonId(99), TrapId(1)),
+            Err(MachineError::IonOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.shuttle(IonId(0), TrapId(9)),
+            Err(MachineError::TrapOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip_shuttle_restores_occupancy() {
+        let mut s = fig1_state();
+        s.shuttle(IonId(2), TrapId(1)).unwrap();
+        s.shuttle(IonId(2), TrapId(0)).unwrap();
+        assert_eq!(s.occupancy(TrapId(0)), 3);
+        assert_eq!(s.occupancy(TrapId(1)), 3);
+        // Merge appends: ion 2 is now at the END of T0's chain.
+        assert_eq!(s.chain(TrapId(0)), &[IonId(0), IonId(1), IonId(2)]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn with_mapping_rejects_overfull() {
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let loose = MachineSpec::linear(2, 8, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&loose, 8).unwrap();
+        assert!(matches!(
+            MachineState::with_mapping(&spec, &mapping),
+            Err(MachineError::MappingOverfill { .. })
+        ));
+    }
+}

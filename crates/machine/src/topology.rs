@@ -1,0 +1,247 @@
+//! Trap interconnect topologies.
+
+use crate::ids::TrapId;
+use qccd_flow::Adjacency;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How traps are interconnected by shuttle paths.
+///
+/// The paper evaluates on the "L6" topology — 6 traps connected in a line
+/// (Fig. 7) — built by [`TrapTopology::linear`]`(6)`. Ring and grid
+/// variants are provided for architecture exploration (Murali et al.
+/// study G-shaped topologies too).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrapTopology {
+    kind: TopologyKind,
+    #[serde(skip, default = "empty_adjacency")]
+    adj: Adjacency,
+}
+
+fn empty_adjacency() -> Adjacency {
+    Adjacency::new(0)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum TopologyKind {
+    Linear { n: u32 },
+    Ring { n: u32 },
+    Grid { rows: u32, cols: u32 },
+    Custom { n: u32, edges: Vec<(u32, u32)> },
+}
+
+impl TrapTopology {
+    /// `n` traps in a line: `T0 — T1 — … — T(n−1)` (the paper's "Ln").
+    pub fn linear(n: u32) -> Self {
+        TrapTopology {
+            kind: TopologyKind::Linear { n },
+            adj: Adjacency::line(n as usize),
+        }
+    }
+
+    /// `n` traps in a ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: u32) -> Self {
+        TrapTopology {
+            kind: TopologyKind::Ring { n },
+            adj: Adjacency::ring(n as usize),
+        }
+    }
+
+    /// `rows × cols` traps in a grid, row-major trap ids.
+    pub fn grid(rows: u32, cols: u32) -> Self {
+        TrapTopology {
+            kind: TopologyKind::Grid { rows, cols },
+            adj: Adjacency::grid(rows as usize, cols as usize),
+        }
+    }
+
+    /// An arbitrary interconnect over `n` traps with explicit shuttle-path
+    /// `edges` — for exploring machine layouts beyond lines, rings and
+    /// grids (H-junctions, X-junctions, combs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or is a self-loop.
+    pub fn custom(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut adj = Adjacency::new(n as usize);
+        for &(a, b) in edges {
+            adj.add_edge(a as usize, b as usize);
+        }
+        TrapTopology {
+            kind: TopologyKind::Custom {
+                n,
+                edges: edges.to_vec(),
+            },
+            adj,
+        }
+    }
+
+    /// Rebuilds the adjacency structure after deserialisation.
+    ///
+    /// Serde skips the derived adjacency lists (they are pure functions of
+    /// the topology kind); call this once on a deserialised value before
+    /// issuing path queries.
+    pub fn rebuild_adjacency(&mut self) {
+        self.adj = match &self.kind {
+            TopologyKind::Linear { n } => Adjacency::line(*n as usize),
+            TopologyKind::Ring { n } => Adjacency::ring(*n as usize),
+            TopologyKind::Grid { rows, cols } => Adjacency::grid(*rows as usize, *cols as usize),
+            TopologyKind::Custom { n, edges } => {
+                let mut adj = Adjacency::new(*n as usize);
+                for &(a, b) in edges {
+                    adj.add_edge(a as usize, b as usize);
+                }
+                adj
+            }
+        };
+    }
+
+    /// Number of traps.
+    pub fn num_traps(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Returns `true` if `a` and `b` share a shuttle-path segment.
+    pub fn are_adjacent(&self, a: TrapId, b: TrapId) -> bool {
+        self.adj.has_edge(a.index(), b.index())
+    }
+
+    /// Neighbouring traps of `t`.
+    pub fn neighbors(&self, t: TrapId) -> Vec<TrapId> {
+        self.adj
+            .neighbors(t.index())
+            .iter()
+            .map(|&i| TrapId(i as u32))
+            .collect()
+    }
+
+    /// Hop distance between two traps, or `None` if disconnected.
+    pub fn distance(&self, from: TrapId, to: TrapId) -> Option<u32> {
+        self.adj.distance(from.index(), to.index()).map(|d| d as u32)
+    }
+
+    /// Shortest trap path `from → … → to` inclusive, or `None` if
+    /// disconnected.
+    pub fn shortest_path(&self, from: TrapId, to: TrapId) -> Option<Vec<TrapId>> {
+        self.adj
+            .shortest_path(from.index(), to.index())
+            .map(|p| p.into_iter().map(|i| TrapId(i as u32)).collect())
+    }
+
+    /// Shortest path whose interior traps all satisfy `allowed` — used to
+    /// route shuttles around full traps where possible.
+    pub fn shortest_path_filtered(
+        &self,
+        from: TrapId,
+        to: TrapId,
+        allowed: impl Fn(TrapId) -> bool,
+    ) -> Option<Vec<TrapId>> {
+        self.adj
+            .shortest_path_filtered(from.index(), to.index(), |i| allowed(TrapId(i as u32)))
+            .map(|p| p.into_iter().map(|i| TrapId(i as u32)).collect())
+    }
+
+    /// All trap ids.
+    pub fn traps(&self) -> impl Iterator<Item = TrapId> {
+        (0..self.num_traps()).map(TrapId)
+    }
+}
+
+impl fmt::Display for TrapTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            TopologyKind::Linear { n } => write!(f, "L{n}"),
+            TopologyKind::Ring { n } => write!(f, "R{n}"),
+            TopologyKind::Grid { rows, cols } => write!(f, "G{rows}x{cols}"),
+            TopologyKind::Custom { n, edges } => write!(f, "C{n}e{}", edges.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l6_matches_paper() {
+        let t = TrapTopology::linear(6);
+        assert_eq!(t.num_traps(), 6);
+        assert_eq!(t.to_string(), "L6");
+        assert!(t.are_adjacent(TrapId(3), TrapId(4)));
+        assert!(!t.are_adjacent(TrapId(0), TrapId(5)));
+        // Fig. 7: T4 to T0 needs 4 shuttles.
+        assert_eq!(t.distance(TrapId(4), TrapId(0)), Some(4));
+        assert_eq!(t.distance(TrapId(4), TrapId(3)), Some(1));
+    }
+
+    #[test]
+    fn shortest_path_endpoints_inclusive() {
+        let t = TrapTopology::linear(4);
+        assert_eq!(
+            t.shortest_path(TrapId(0), TrapId(3)).unwrap(),
+            vec![TrapId(0), TrapId(1), TrapId(2), TrapId(3)]
+        );
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = TrapTopology::ring(6);
+        assert_eq!(t.distance(TrapId(0), TrapId(5)), Some(1));
+        assert_eq!(t.distance(TrapId(0), TrapId(3)), Some(3));
+    }
+
+    #[test]
+    fn grid_neighbors() {
+        let t = TrapTopology::grid(2, 3);
+        let mut n = t.neighbors(TrapId(4)); // middle of bottom row
+        n.sort_unstable();
+        assert_eq!(n, vec![TrapId(1), TrapId(3), TrapId(5)]);
+        assert_eq!(t.to_string(), "G2x3");
+    }
+
+    #[test]
+    fn filtered_path_avoids_blocked_trap() {
+        let t = TrapTopology::ring(6);
+        let p = t
+            .shortest_path_filtered(TrapId(0), TrapId(2), |trap| trap != TrapId(1))
+            .expect("ring offers an alternative route");
+        assert!(!p[1..p.len() - 1].contains(&TrapId(1)));
+        assert_eq!(p.len(), 5); // 0-5-4-3-2
+    }
+
+    #[test]
+    fn custom_topology_h_junction() {
+        // An H of 5 traps: 0-2, 1-2, 2-3, 3-4 (a junction at 2).
+        let t = TrapTopology::custom(5, &[(0, 2), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(t.num_traps(), 5);
+        assert_eq!(t.distance(TrapId(0), TrapId(1)), Some(2));
+        assert_eq!(t.distance(TrapId(0), TrapId(4)), Some(3));
+        assert_eq!(t.to_string(), "C5e4");
+        let mut n = t.neighbors(TrapId(2));
+        n.sort_unstable();
+        assert_eq!(n, vec![TrapId(0), TrapId(1), TrapId(3)]);
+    }
+
+    #[test]
+    fn custom_topology_rebuilds() {
+        let mut t = TrapTopology::custom(3, &[(0, 1), (1, 2)]);
+        t.adj = super::empty_adjacency();
+        t.rebuild_adjacency();
+        assert_eq!(t.distance(TrapId(0), TrapId(2)), Some(2));
+    }
+
+    #[test]
+    fn rebuild_adjacency_restores_structure() {
+        // After deserialisation the adjacency field is empty; rebuild must
+        // restore it from the topology kind.
+        let mut t = TrapTopology::linear(6);
+        t.adj = super::empty_adjacency();
+        assert_eq!(t.distance(TrapId(0), TrapId(5)), None);
+        t.rebuild_adjacency();
+        assert_eq!(t.distance(TrapId(0), TrapId(5)), Some(5));
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulator error type.
+
+use qccd_machine::ValidateScheduleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by [`simulate`](crate::simulate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The schedule failed replay validation against the circuit/machine.
+    InvalidSchedule(ValidateScheduleError),
+    /// The simulation parameters contain negative or non-finite values.
+    InvalidParams,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidSchedule(e) => write!(f, "schedule is not executable: {e}"),
+            SimError::InvalidParams => write!(f, "simulation parameters must be finite and non-negative"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidSchedule(e) => Some(e),
+            SimError::InvalidParams => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::GateId;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::InvalidSchedule(ValidateScheduleError::MissingGate { gate: GateId(3) });
+        assert!(e.to_string().contains("g3"));
+        assert!(e.source().is_some());
+        assert!(SimError::InvalidParams.source().is_none());
+    }
+}

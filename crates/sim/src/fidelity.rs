@@ -1,0 +1,86 @@
+//! The analytical gate-fidelity model of §II-B3.
+
+use crate::params::SimParams;
+
+/// The chain-size scaling factor `A = a0 · m / log2(m)` for an `m`-ion
+/// chain (§II-B3: "A is a scaling factor that varies as
+/// #qubits/log(#qubits)"). Chains shorter than 2 are clamped to 2.
+pub fn chain_scaling_factor(params: &SimParams, chain_len: u32) -> f64 {
+    let m = f64::from(chain_len.max(2));
+    params.motional_scale_a0 * m / m.log2()
+}
+
+/// Two-qubit gate fidelity `F = 1 − Γτ − A(2n̄ + 1)`, clamped to `[0, 1]`.
+///
+/// * `tau_us` — gate duration in µs.
+/// * `n_bar` — the chain's motional mode at gate time.
+/// * `chain_len` — ions in the chain (drives `A`).
+///
+/// # Example
+///
+/// ```
+/// use qccd_sim::{two_qubit_gate_fidelity, SimParams};
+///
+/// let p = SimParams::default();
+/// let cold = two_qubit_gate_fidelity(&p, 100.0, 0.0, 4);
+/// let hot = two_qubit_gate_fidelity(&p, 100.0, 50.0, 4);
+/// assert!(cold > hot, "heated chains degrade gate fidelity");
+/// ```
+pub fn two_qubit_gate_fidelity(params: &SimParams, tau_us: f64, n_bar: f64, chain_len: u32) -> f64 {
+    let a = chain_scaling_factor(params, chain_len);
+    let f = 1.0 - params.gamma_per_us * tau_us - a * (2.0 * n_bar + 1.0);
+    f.clamp(0.0, 1.0)
+}
+
+/// Single-qubit gate fidelity `F = 1 − Γτ` (no motional coupling term —
+/// single-qubit rotations do not drive the shared motional bus).
+pub fn one_qubit_gate_fidelity(params: &SimParams, tau_us: f64) -> f64 {
+    (1.0 - params.gamma_per_us * tau_us).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_decreases_with_heat() {
+        let p = SimParams::default();
+        let f0 = two_qubit_gate_fidelity(&p, 100.0, 0.0, 4);
+        let f1 = two_qubit_gate_fidelity(&p, 100.0, 10.0, 4);
+        let f2 = two_qubit_gate_fidelity(&p, 100.0, 100.0, 4);
+        assert!(f0 > f1 && f1 > f2);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_chain_length() {
+        let p = SimParams::default();
+        // m/log2(m) grows for m >= 3.
+        let short = two_qubit_gate_fidelity(&p, 100.0, 5.0, 4);
+        let long = two_qubit_gate_fidelity(&p, 100.0, 5.0, 16);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn fidelity_clamped_to_unit_interval() {
+        let p = SimParams::default();
+        let f = two_qubit_gate_fidelity(&p, 1e12, 1e12, 17);
+        assert_eq!(f, 0.0);
+        let f = two_qubit_gate_fidelity(&p, 0.0, 0.0, 2);
+        assert!(f <= 1.0 && f > 0.99);
+    }
+
+    #[test]
+    fn scaling_factor_matches_formula() {
+        let p = SimParams::default();
+        let a4 = chain_scaling_factor(&p, 4);
+        assert!((a4 - p.motional_scale_a0 * 4.0 / 2.0).abs() < 1e-12);
+        // Clamps below 2 (log2(1) = 0 would divide by zero).
+        assert_eq!(chain_scaling_factor(&p, 1), chain_scaling_factor(&p, 2));
+    }
+
+    #[test]
+    fn one_qubit_fidelity_is_time_only() {
+        let p = SimParams::default();
+        assert!(one_qubit_gate_fidelity(&p, 10.0) > one_qubit_gate_fidelity(&p, 1000.0));
+    }
+}

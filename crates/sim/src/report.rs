@@ -1,0 +1,110 @@
+//! Simulation reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome of replaying one schedule through the physical model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Product of all gate fidelities, in `[0, 1]` — the paper's "program
+    /// fidelity" (Fig. 8 reports ratios of this between compilers). May
+    /// underflow to `0.0` for deep noisy programs; use
+    /// [`log_program_fidelity`](Self::log_program_fidelity) for ratios.
+    pub program_fidelity: f64,
+    /// Natural logarithm of the program fidelity, exact even when the
+    /// product itself underflows. `f64::NEG_INFINITY` when any single gate
+    /// hit fidelity 0.
+    pub log_program_fidelity: f64,
+    /// End-to-end execution time: the maximum trap-local clock, µs.
+    pub makespan_us: f64,
+    /// Shuttle hops replayed.
+    pub shuttles: usize,
+    /// Gates replayed.
+    pub gates: usize,
+    /// Mean motional mode `n̄` across chains when the program ends — a
+    /// direct readout of accumulated shuttle heating.
+    pub final_mean_motional_mode: f64,
+    /// The worst single gate fidelity observed.
+    pub min_gate_fidelity: f64,
+}
+
+impl SimReport {
+    /// Fidelity improvement of `self` over `other`, as the paper reports it
+    /// ("22.68X"): `self.program_fidelity / other.program_fidelity`,
+    /// computed in log space so it stays exact when both fidelities
+    /// underflow `f64`.
+    ///
+    /// Returns `f64::INFINITY` if `other` has truly zero fidelity (a gate
+    /// at fidelity 0) and `self` does not; `1.0` if both are zero.
+    pub fn fidelity_improvement_over(&self, other: &SimReport) -> f64 {
+        match (
+            self.log_program_fidelity.is_infinite(),
+            other.log_program_fidelity.is_infinite(),
+        ) {
+            (true, true) => 1.0,
+            (false, true) => f64::INFINITY,
+            (true, false) => 0.0,
+            (false, false) => (self.log_program_fidelity - other.log_program_fidelity).exp(),
+        }
+    }
+
+    /// The improvement as a log10 ("orders of magnitude"), convenient for
+    /// plotting Fig. 8 when ratios overflow.
+    pub fn fidelity_improvement_log10(&self, other: &SimReport) -> f64 {
+        (self.log_program_fidelity - other.log_program_fidelity) / std::f64::consts::LN_10
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fidelity {:.3e}, makespan {:.1} us, {} shuttles, {} gates, final n̄ {:.2}",
+            self.program_fidelity, self.makespan_us, self.shuttles, self.gates,
+            self.final_mean_motional_mode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(fidelity: f64) -> SimReport {
+        SimReport {
+            program_fidelity: fidelity,
+            log_program_fidelity: if fidelity == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                fidelity.ln()
+            },
+            makespan_us: 100.0,
+            shuttles: 1,
+            gates: 2,
+            final_mean_motional_mode: 0.5,
+            min_gate_fidelity: fidelity,
+        }
+    }
+
+    #[test]
+    fn improvement_ratio() {
+        let a = report(0.02);
+        let b = report(0.001);
+        assert!((a.fidelity_improvement_over(&b) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_handles_zero() {
+        let z = report(0.0);
+        let a = report(0.5);
+        assert_eq!(a.fidelity_improvement_over(&z), f64::INFINITY);
+        assert_eq!(z.fidelity_improvement_over(&z), 1.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = report(0.25).to_string();
+        assert!(s.contains("2.5e-1") || s.contains("2.500e-1"), "{s}");
+        assert!(s.contains("1 shuttles"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Schedule replay: per-trap clocks, chain heating, program fidelity.
+
+use crate::error::SimError;
+use crate::fidelity::{one_qubit_gate_fidelity, two_qubit_gate_fidelity};
+use crate::params::SimParams;
+use crate::report::SimReport;
+use qccd_circuit::{Circuit, GateId, GateQubits};
+use qccd_machine::{IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
+
+/// Event passed to the trace observer for every replayed operation.
+/// See [`simulate_traced`](crate::simulate_traced) for the public surface.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpObserver {
+    Gate {
+        gate: GateId,
+        trap: TrapId,
+        start_us: f64,
+        end_us: f64,
+        fidelity: f64,
+        n_bar: f64,
+        chain_len: u32,
+    },
+    Shuttle {
+        ion: IonId,
+        from: TrapId,
+        to: TrapId,
+        start_us: f64,
+        end_us: f64,
+        dest_n_bar_after: f64,
+    },
+}
+
+/// Replays `schedule` through the physical model and reports program
+/// fidelity and makespan.
+///
+/// The schedule is first replay-validated (legal shuttles, co-located gate
+/// operands, dependency order); simulation then tracks:
+///
+/// * a clock per trap (serial in-trap execution, parallel across traps;
+///   a shuttle hop occupies both endpoint traps for its full
+///   split+move+merge duration);
+/// * an availability time per qubit (a gate cannot start before the gates
+///   feeding it have finished, even across traps);
+/// * a motional mode `n̄` per chain, fed by background heating (per
+///   trap-local elapsed time) and by shuttle split/merge quanta.
+///
+/// # Errors
+///
+/// * [`SimError::InvalidSchedule`] — the schedule does not execute
+///   `circuit` legally on `spec`.
+/// * [`SimError::InvalidParams`] — `params` contains negative or
+///   non-finite values.
+pub fn simulate(
+    schedule: &Schedule,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    params: &SimParams,
+) -> Result<SimReport, SimError> {
+    simulate_inner(schedule, circuit, spec, params, &mut |_| {}).map(|(report, _)| report)
+}
+
+/// Core replay loop shared by [`simulate`] and
+/// [`simulate_traced`](crate::simulate_traced). Returns the report plus the
+/// final per-trap motional modes.
+pub(crate) fn simulate_inner(
+    schedule: &Schedule,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    params: &SimParams,
+    observer: &mut dyn FnMut(OpObserver),
+) -> Result<(SimReport, Vec<f64>), SimError> {
+    if !params.is_valid() {
+        return Err(SimError::InvalidParams);
+    }
+    schedule
+        .validate(circuit, spec)
+        .map_err(SimError::InvalidSchedule)?;
+
+    let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
+        .expect("validate() already replayed the mapping");
+    let num_traps = spec.num_traps() as usize;
+    let mut clock = vec![0.0f64; num_traps]; // µs, per trap
+    let mut n_bar = vec![0.0f64; num_traps]; // motional mode per chain
+    let mut avail = vec![0.0f64; state.num_ions() as usize]; // per qubit, µs
+    // Energy carried by an ion in transit (Fig. 3: "MOVE ... q[a1] energy ^").
+    let mut carried = vec![0.0f64; state.num_ions() as usize];
+
+    let mut fidelity_log_sum = 0.0f64; // sum of ln(F); exp at the end
+    let mut zero_fidelity = false;
+    let mut min_gate_fidelity = 1.0f64;
+    let mut gates = 0usize;
+    let mut shuttles = 0usize;
+
+    let heat_rate_per_us = params.background_heating_quanta_per_s * 1e-6;
+
+    for op in &schedule.operations {
+        match *op {
+            Operation::Gate { gate, trap } => {
+                let g = circuit.gate(gate);
+                let t = trap.index();
+                let chain_len = state.occupancy(trap);
+                let (tau, fidelity) = match g.qubits {
+                    GateQubits::One(_) => {
+                        let tau = params.one_qubit_gate_us;
+                        (tau, one_qubit_gate_fidelity(params, tau))
+                    }
+                    GateQubits::Two(_, _) => {
+                        let tau = params.two_qubit_gate_us(chain_len);
+                        // n̄ is sampled after background heating up to the
+                        // gate's start time (below); use current value plus
+                        // the idle-heating increment for the start time.
+                        (tau, f64::NAN) // computed after heating update
+                    }
+                };
+                let start = g
+                    .qubits
+                    .iter()
+                    .map(|q| avail[q.index()])
+                    .fold(clock[t], f64::max);
+                // Background heating for the idle + busy interval.
+                let end = start + tau;
+                n_bar[t] += heat_rate_per_us * (end - clock[t]).max(0.0);
+                let fidelity = if fidelity.is_nan() {
+                    two_qubit_gate_fidelity(params, tau, n_bar[t], chain_len)
+                } else {
+                    fidelity
+                };
+                clock[t] = end;
+                for q in g.qubits.iter() {
+                    avail[q.index()] = end;
+                }
+                observer(OpObserver::Gate {
+                    gate: g.id,
+                    trap,
+                    start_us: start,
+                    end_us: end,
+                    fidelity,
+                    n_bar: n_bar[t],
+                    chain_len,
+                });
+                gates += 1;
+                min_gate_fidelity = min_gate_fidelity.min(fidelity);
+                if fidelity <= 0.0 {
+                    zero_fidelity = true;
+                } else {
+                    fidelity_log_sum += fidelity.ln();
+                }
+            }
+            Operation::Shuttle { ion, from, to } => {
+                let (fi, ti) = (from.index(), to.index());
+                let tau = params.shuttle_hop_us();
+                let start = clock[fi].max(clock[ti]).max(avail[IonId::from(ion.qubit()).index()]);
+                let end = start + tau;
+                // Background heating up to `end` on both chains.
+                n_bar[fi] += heat_rate_per_us * (end - clock[fi]).max(0.0);
+                n_bar[ti] += heat_rate_per_us * (end - clock[ti]).max(0.0);
+                // Fig. 3 energy transport:
+                //   SPLIT — the departing ion carries its per-ion share of
+                //   the chain's motional energy ("Split reduces chain-0's
+                //   energy"), while the split pulse itself deposits quanta
+                //   into the remaining chain.
+                let m_src = f64::from(state.occupancy(from)).max(1.0);
+                let share = n_bar[fi] / m_src;
+                n_bar[fi] = n_bar[fi] - share + params.split_heating_quanta;
+                //   MOVE — transit adds energy to the shuttled ion.
+                carried[ion.index()] += share + params.move_heating_quanta;
+                //   MERGE — the arriving ion's energy joins the destination
+                //   chain plus the merge pulse ("Merging q[a1] increases
+                //   chain-1's energy").
+                n_bar[ti] += carried[ion.index()] + params.merge_heating_quanta;
+                carried[ion.index()] = 0.0;
+                clock[fi] = end;
+                clock[ti] = end;
+                avail[ion.index()] = end;
+                state
+                    .shuttle(ion, to)
+                    .expect("validate() already replayed every hop");
+                // The transport pulses themselves are lossy operations.
+                fidelity_log_sum += (1.0 - params.shuttle_infidelity).ln();
+                observer(OpObserver::Shuttle {
+                    ion,
+                    from,
+                    to,
+                    start_us: start,
+                    end_us: end,
+                    dest_n_bar_after: n_bar[ti],
+                });
+                shuttles += 1;
+            }
+        }
+    }
+
+    let (program_fidelity, log_program_fidelity) = if zero_fidelity {
+        (0.0, f64::NEG_INFINITY)
+    } else {
+        (fidelity_log_sum.exp(), fidelity_log_sum)
+    };
+    let makespan_us = clock.iter().copied().fold(0.0f64, f64::max);
+    let final_mean_motional_mode = if num_traps == 0 {
+        0.0
+    } else {
+        n_bar.iter().sum::<f64>() / num_traps as f64
+    };
+
+    Ok((
+        SimReport {
+            program_fidelity,
+            log_program_fidelity,
+            makespan_us,
+            shuttles,
+            gates,
+            final_mean_motional_mode,
+            min_gate_fidelity,
+        },
+        n_bar,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::{GateId, Opcode, Qubit};
+    use qccd_machine::{InitialMapping, TrapId};
+
+    fn two_trap_fixture() -> (Circuit, MachineSpec, InitialMapping) {
+        let mut c = Circuit::new(4);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)],
+        )
+        .unwrap();
+        (c, spec, mapping)
+    }
+
+    fn schedule_with_shuttle(mapping: InitialMapping) -> Schedule {
+        Schedule::new(
+            mapping,
+            vec![
+                Operation::Gate {
+                    gate: GateId(0),
+                    trap: TrapId(0),
+                },
+                Operation::Gate {
+                    gate: GateId(1),
+                    trap: TrapId(1),
+                },
+                Operation::Shuttle {
+                    ion: IonId(1),
+                    from: TrapId(0),
+                    to: TrapId(1),
+                },
+                Operation::Gate {
+                    gate: GateId(2),
+                    trap: TrapId(1),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_replay_counts_and_bounds() {
+        let (c, spec, mapping) = two_trap_fixture();
+        let report = simulate(
+            &schedule_with_shuttle(mapping),
+            &c,
+            &spec,
+            &SimParams::default(),
+        )
+        .unwrap();
+        assert_eq!(report.gates, 3);
+        assert_eq!(report.shuttles, 1);
+        assert!(report.program_fidelity > 0.0 && report.program_fidelity < 1.0);
+        assert!(report.min_gate_fidelity <= 1.0);
+        assert!(report.final_mean_motional_mode > 0.0, "shuttle must heat chains");
+    }
+
+    #[test]
+    fn parallel_traps_overlap_in_time() {
+        // Gates 0 and 1 run in different traps concurrently: the makespan
+        // must be far less than the serial sum.
+        let (c, spec, mapping) = two_trap_fixture();
+        let report = simulate(
+            &schedule_with_shuttle(mapping),
+            &c,
+            &spec,
+            &SimParams::default(),
+        )
+        .unwrap();
+        let p = SimParams::default();
+        let serial = 2.0 * p.two_qubit_gate_us(2) + p.shuttle_hop_us() + p.two_qubit_gate_us(3);
+        assert!(report.makespan_us < serial);
+        // And at least gate + shuttle + gate on the critical path.
+        let critical = p.two_qubit_gate_us(2) + p.shuttle_hop_us();
+        assert!(report.makespan_us > critical);
+    }
+
+    #[test]
+    fn more_shuttles_means_lower_fidelity() {
+        // Same circuit, same final placement — but the second schedule
+        // ping-pongs an ion before the last gate.
+        let (c, spec, mapping) = two_trap_fixture();
+        let lean = schedule_with_shuttle(mapping.clone());
+        let mut ops = lean.operations.clone();
+        ops.insert(
+            2,
+            Operation::Shuttle {
+                ion: IonId(2),
+                from: TrapId(1),
+                to: TrapId(0),
+            },
+        );
+        ops.insert(
+            3,
+            Operation::Shuttle {
+                ion: IonId(2),
+                from: TrapId(0),
+                to: TrapId(1),
+            },
+        );
+        let wasteful = Schedule::new(mapping, ops);
+        let p = SimParams::default();
+        let lean_report = simulate(&lean, &c, &spec, &p).unwrap();
+        let wasteful_report = simulate(&wasteful, &c, &spec, &p).unwrap();
+        assert!(
+            lean_report.program_fidelity > wasteful_report.program_fidelity,
+            "extra shuttles must strictly reduce program fidelity"
+        );
+        assert!(lean_report.makespan_us < wasteful_report.makespan_us);
+        assert!(
+            wasteful_report.fidelity_improvement_over(&lean_report) < 1.0
+        );
+    }
+
+    #[test]
+    fn invalid_schedule_rejected() {
+        let (c, spec, mapping) = two_trap_fixture();
+        let bad = Schedule::new(mapping, vec![]); // misses every gate
+        assert!(matches!(
+            simulate(&bad, &c, &spec, &SimParams::default()),
+            Err(SimError::InvalidSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let (c, spec, mapping) = two_trap_fixture();
+        let p = SimParams {
+            move_us: f64::INFINITY,
+            ..SimParams::default()
+        };
+        assert_eq!(
+            simulate(&schedule_with_shuttle(mapping), &c, &spec, &p),
+            Err(SimError::InvalidParams)
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_perfect() {
+        let c = Circuit::new(2);
+        let spec = MachineSpec::linear(1, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 2).unwrap();
+        let report = simulate(
+            &Schedule::new(mapping, vec![]),
+            &c,
+            &spec,
+            &SimParams::default(),
+        )
+        .unwrap();
+        assert_eq!(report.program_fidelity, 1.0);
+        assert_eq!(report.makespan_us, 0.0);
+        assert_eq!(report.final_mean_motional_mode, 0.0);
+    }
+
+    #[test]
+    fn dependency_forces_serialization_across_traps() {
+        // Gate 2 depends on gates 0 and 1 via qubits 1 and 2; it cannot
+        // start before both finish even though it runs in trap T1.
+        let (c, spec, mapping) = two_trap_fixture();
+        let report = simulate(
+            &schedule_with_shuttle(mapping),
+            &c,
+            &spec,
+            &SimParams::default(),
+        )
+        .unwrap();
+        let p = SimParams::default();
+        // Critical path: gate0 (ion 1 busy) -> shuttle -> gate2.
+        let expect = p.two_qubit_gate_us(2) + p.shuttle_hop_us() + p.two_qubit_gate_us(3);
+        assert!((report.makespan_us - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! Detailed simulation traces: per-operation records and per-trap
+//! utilization, for debugging compilations and plotting heat/fidelity
+//! timelines.
+
+use crate::error::SimError;
+use crate::params::SimParams;
+use crate::report::SimReport;
+use crate::simulator::{simulate_inner, OpObserver};
+use qccd_circuit::{Circuit, GateId};
+use qccd_machine::{IonId, MachineSpec, Schedule, TrapId};
+use serde::{Deserialize, Serialize};
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A gate execution.
+    Gate {
+        /// Which circuit gate ran.
+        gate: GateId,
+        /// The trap it ran in.
+        trap: TrapId,
+        /// Start time, µs.
+        start_us: f64,
+        /// End time, µs.
+        end_us: f64,
+        /// The gate's fidelity under the §II-B3 model.
+        fidelity: f64,
+        /// The chain's motional mode when the gate ran.
+        n_bar: f64,
+        /// Ions in the chain when the gate ran.
+        chain_len: u32,
+    },
+    /// A shuttle hop (split + move + merge).
+    Shuttle {
+        /// The moved ion.
+        ion: IonId,
+        /// Source trap.
+        from: TrapId,
+        /// Destination trap.
+        to: TrapId,
+        /// Start time, µs.
+        start_us: f64,
+        /// End time, µs.
+        end_us: f64,
+        /// Destination chain's motional mode after the merge.
+        dest_n_bar_after: f64,
+    },
+}
+
+impl TraceRecord {
+    /// Start time of the record, µs.
+    pub fn start_us(&self) -> f64 {
+        match *self {
+            TraceRecord::Gate { start_us, .. } | TraceRecord::Shuttle { start_us, .. } => start_us,
+        }
+    }
+
+    /// End time of the record, µs.
+    pub fn end_us(&self) -> f64 {
+        match *self {
+            TraceRecord::Gate { end_us, .. } | TraceRecord::Shuttle { end_us, .. } => end_us,
+        }
+    }
+}
+
+/// Per-trap usage summary.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrapUtilization {
+    /// Gates executed in this trap.
+    pub gates: usize,
+    /// Shuttle hops departing from this trap.
+    pub departures: usize,
+    /// Shuttle hops arriving at this trap.
+    pub arrivals: usize,
+    /// Busy time (gates + shuttle participation), µs.
+    pub busy_us: f64,
+    /// The chain's motional mode at program end.
+    pub final_n_bar: f64,
+}
+
+/// A full simulation trace: the summary report plus per-op records and
+/// per-trap utilization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimTrace {
+    /// The aggregate report (identical to [`simulate`](crate::simulate)'s).
+    pub report: SimReport,
+    /// Per-operation records in schedule order.
+    pub records: Vec<TraceRecord>,
+    /// Per-trap usage, indexed by trap id.
+    pub utilization: Vec<TrapUtilization>,
+}
+
+impl SimTrace {
+    /// The records of gates whose fidelity fell below `threshold` — the
+    /// first places to look when a compilation underperforms.
+    pub fn worst_gates(&self, threshold: f64) -> Vec<&TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Gate { fidelity, .. } if *fidelity < threshold))
+            .collect()
+    }
+
+    /// Total idle fraction of the machine: 1 − mean(busy) / makespan.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.report.makespan_us <= 0.0 || self.utilization.is_empty() {
+            return 0.0;
+        }
+        let mean_busy = self.utilization.iter().map(|u| u.busy_us).sum::<f64>()
+            / self.utilization.len() as f64;
+        (1.0 - mean_busy / self.report.makespan_us).clamp(0.0, 1.0)
+    }
+}
+
+/// Like [`simulate`](crate::simulate) but additionally returns per-op
+/// records and per-trap utilization.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`](crate::simulate).
+pub fn simulate_traced(
+    schedule: &Schedule,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    params: &SimParams,
+) -> Result<SimTrace, SimError> {
+    let mut records = Vec::with_capacity(schedule.operations.len());
+    let mut utilization = vec![TrapUtilization::default(); spec.num_traps() as usize];
+    let (report, final_n_bar) = simulate_inner(schedule, circuit, spec, params, &mut |obs: OpObserver| {
+        match obs {
+            OpObserver::Gate {
+                gate,
+                trap,
+                start_us,
+                end_us,
+                fidelity,
+                n_bar,
+                chain_len,
+            } => {
+                records.push(TraceRecord::Gate {
+                    gate,
+                    trap,
+                    start_us,
+                    end_us,
+                    fidelity,
+                    n_bar,
+                    chain_len,
+                });
+                let u = &mut utilization[trap.index()];
+                u.gates += 1;
+                u.busy_us += end_us - start_us;
+            }
+            OpObserver::Shuttle {
+                ion,
+                from,
+                to,
+                start_us,
+                end_us,
+                dest_n_bar_after,
+            } => {
+                records.push(TraceRecord::Shuttle {
+                    ion,
+                    from,
+                    to,
+                    start_us,
+                    end_us,
+                    dest_n_bar_after,
+                });
+                utilization[from.index()].departures += 1;
+                utilization[from.index()].busy_us += end_us - start_us;
+                utilization[to.index()].arrivals += 1;
+                utilization[to.index()].busy_us += end_us - start_us;
+            }
+        }
+    })?;
+    for (t, u) in utilization.iter_mut().enumerate() {
+        u.final_n_bar = final_n_bar[t];
+    }
+    Ok(SimTrace {
+        report,
+        records,
+        utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use qccd_circuit::{Opcode, Qubit};
+    use qccd_machine::{InitialMapping, Operation};
+
+    fn fixture() -> (Circuit, MachineSpec, Schedule) {
+        let mut c = Circuit::new(4);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)],
+        )
+        .unwrap();
+        let schedule = Schedule::new(
+            mapping,
+            vec![
+                Operation::Gate {
+                    gate: GateId(0),
+                    trap: TrapId(0),
+                },
+                Operation::Gate {
+                    gate: GateId(1),
+                    trap: TrapId(1),
+                },
+                Operation::Shuttle {
+                    ion: IonId(1),
+                    from: TrapId(0),
+                    to: TrapId(1),
+                },
+                Operation::Gate {
+                    gate: GateId(2),
+                    trap: TrapId(1),
+                },
+            ],
+        );
+        (c, spec, schedule)
+    }
+
+    #[test]
+    fn trace_report_matches_plain_simulation() {
+        let (c, spec, schedule) = fixture();
+        let params = SimParams::default();
+        let plain = simulate(&schedule, &c, &spec, &params).unwrap();
+        let traced = simulate_traced(&schedule, &c, &spec, &params).unwrap();
+        assert_eq!(traced.report, plain);
+        assert_eq!(traced.records.len(), 4);
+    }
+
+    #[test]
+    fn trace_records_are_time_ordered_per_trap() {
+        let (c, spec, schedule) = fixture();
+        let traced = simulate_traced(&schedule, &c, &spec, &SimParams::default()).unwrap();
+        for r in &traced.records {
+            assert!(r.end_us() >= r.start_us());
+            assert!(r.end_us() <= traced.report.makespan_us + 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilization_counts_ops() {
+        let (c, spec, schedule) = fixture();
+        let traced = simulate_traced(&schedule, &c, &spec, &SimParams::default()).unwrap();
+        assert_eq!(traced.utilization[0].gates, 1);
+        assert_eq!(traced.utilization[1].gates, 2);
+        assert_eq!(traced.utilization[0].departures, 1);
+        assert_eq!(traced.utilization[1].arrivals, 1);
+        let idle = traced.idle_fraction();
+        assert!((0.0..=1.0).contains(&idle));
+    }
+
+    #[test]
+    fn worst_gates_filter() {
+        let (c, spec, schedule) = fixture();
+        let traced = simulate_traced(&schedule, &c, &spec, &SimParams::default()).unwrap();
+        assert!(traced.worst_gates(0.0).is_empty());
+        assert_eq!(traced.worst_gates(1.1).len(), 3, "all gates below 1.1");
+    }
+}

@@ -1,0 +1,57 @@
+//! Beyond lines and grids: compiling onto a custom trap interconnect.
+//!
+//! QCCD hardware roadmaps sketch junction-based layouts (H/X junctions,
+//! combs). This example builds a 6-trap star-with-tail interconnect with
+//! [`TrapTopology::custom`] and compares it against the paper's L6 line for
+//! the same workload.
+//!
+//! ```text
+//! cargo run --release --example custom_interconnect
+//! ```
+
+use muzzle_shuttle::circuit::generators::random_circuit;
+use muzzle_shuttle::compiler::{compile, CompilerConfig, ScheduleAnalysis};
+use muzzle_shuttle::machine::{MachineSpec, TrapTopology};
+use muzzle_shuttle::sim::{simulate, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = random_circuit(60, 1200, 7);
+    let params = SimParams::default();
+    println!("workload: {circuit}");
+    println!();
+
+    // A hub-and-spoke layout: T2 is a junction connected to T0, T1, T3;
+    // T3 continues into a short tail T4 — T5.
+    //
+    //        T0        T1
+    //          \      /
+    //           ── T2 ── T3 ── T4 ── T5
+    let star = TrapTopology::custom(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    let line = TrapTopology::linear(6);
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>12} {:>10}",
+        "interconnect", "base shtl", "opt shtl", "redux", "fidelity", "hub gates"
+    );
+    for (name, topology) in [("L6 (paper)", line), ("star-with-tail", star)] {
+        let spec = MachineSpec::new(topology, 17, 2)?;
+        let base = compile(&circuit, &spec, &CompilerConfig::baseline())?;
+        let opt = compile(&circuit, &spec, &CompilerConfig::optimized())?;
+        let report = simulate(&opt.schedule, &circuit, &spec, &params)?;
+        let analysis = ScheduleAnalysis::analyze(&opt.schedule, spec.num_traps(), 60);
+        println!(
+            "{:<22} {:>10} {:>10} {:>7.1}% {:>12.3e} {:>10}",
+            name,
+            base.stats.shuttles,
+            opt.stats.shuttles,
+            100.0 * (base.stats.shuttles as f64 - opt.stats.shuttles as f64)
+                / base.stats.shuttles.max(1) as f64,
+            report.program_fidelity,
+            analysis.trap_gates[2], // the junction trap
+        );
+    }
+    println!();
+    println!("The junction shortens worst-case routes (diameter 4 vs 5), trading");
+    println!("higher traffic through the hub trap — visible in its gate count.");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compile a small circuit for a 2-trap machine, compare the
+//! baseline and optimized compilers, and estimate program fidelity.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use muzzle_shuttle::circuit::generators::qft;
+use muzzle_shuttle::compiler::{compile, CompilerConfig};
+use muzzle_shuttle::machine::MachineSpec;
+use muzzle_shuttle::sim::{simulate, SimParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-qubit QFT — all-to-all interactions, so ions must shuttle.
+    let circuit = qft(16);
+    println!("circuit: {circuit}");
+
+    // Two traps in a line, 10 ion slots each, 2 reserved for communication.
+    let machine = MachineSpec::linear(2, 10, 2)?;
+    println!("machine: {machine}");
+
+    // Compile with the baseline (Murali et al., ISCA'20) policies...
+    let baseline = compile(&circuit, &machine, &CompilerConfig::baseline())?;
+    // ...and with the paper's three optimization heuristics.
+    let optimized = compile(&circuit, &machine, &CompilerConfig::optimized())?;
+
+    println!("baseline : {}", baseline.stats);
+    println!("optimized: {}", optimized.stats);
+    let saved = baseline.stats.shuttles as i64 - optimized.stats.shuttles as i64;
+    println!(
+        "shuttle reduction: {saved} ({:.1}%)",
+        100.0 * saved as f64 / baseline.stats.shuttles.max(1) as f64
+    );
+
+    // Replay both schedules through the physical model.
+    let params = SimParams::default();
+    let base_report = simulate(&baseline.schedule, &circuit, &machine, &params)?;
+    let opt_report = simulate(&optimized.schedule, &circuit, &machine, &params)?;
+    println!("baseline : {base_report}");
+    println!("optimized: {opt_report}");
+    println!(
+        "fidelity improvement: {:.2}X",
+        opt_report.fidelity_improvement_over(&base_report)
+    );
+    Ok(())
+}

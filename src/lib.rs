@@ -1,0 +1,51 @@
+//! # muzzle-shuttle
+//!
+//! Shuttle-efficient compilation for multi-trap trapped-ion (QCCD) quantum
+//! computers — a reproduction of *Saki, Topaloglu, Ghosh, "Muzzle the
+//! Shuttle: Efficient Compilation for Multi-Trap Trapped-Ion Quantum
+//! Computers", DATE 2022* (arXiv:2111.07961).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`circuit`] — circuit IR, gate-dependency DAG, benchmark generators.
+//! * [`machine`] — QCCD machine model: traps, topologies, shuttles, schedules.
+//! * [`flow`] — graph substrate (shortest paths, min-cost max-flow).
+//! * [`compiler`] — the paper's contribution: the shuttle-aware compiler with
+//!   baseline (Murali et al., ISCA'20) and optimized (this paper) policies.
+//! * [`sim`] — fidelity/timing simulator replaying compiled schedules.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use muzzle_shuttle::circuit::generators::qft;
+//! use muzzle_shuttle::compiler::{compile, CompilerConfig};
+//! use muzzle_shuttle::machine::MachineSpec;
+//! use muzzle_shuttle::sim::{simulate, SimParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = qft(16);
+//! let machine = MachineSpec::linear(2, 17, 2)?; // 2 traps in a line
+//! let baseline = compile(&circuit, &machine, &CompilerConfig::baseline())?;
+//! let optimized = compile(&circuit, &machine, &CompilerConfig::optimized())?;
+//! assert!(optimized.stats.shuttles <= baseline.stats.shuttles);
+//!
+//! let report = simulate(&optimized.schedule, &circuit, &machine, &SimParams::default())?;
+//! assert!(report.program_fidelity > 0.0 && report.program_fidelity <= 1.0);
+//!
+//! # Ok(())
+//! # }
+//! ```
+
+pub use qccd_circuit as circuit;
+pub use qccd_core as compiler;
+pub use qccd_flow as flow;
+pub use qccd_machine as machine;
+pub use qccd_sim as sim;
+
+/// Convenience prelude importing the most common types.
+pub mod prelude {
+    pub use qccd_circuit::{Circuit, DependencyDag, Gate, GateId, Opcode, Qubit};
+    pub use qccd_core::{compile, CompileResult, CompilerConfig};
+    pub use qccd_machine::{IonId, MachineSpec, MachineState, Schedule, TrapId};
+    pub use qccd_sim::{simulate, SimParams, SimReport};
+}

@@ -1,0 +1,105 @@
+//! The paper's worked examples as executable regression tests.
+
+use muzzle_shuttle::circuit::parser::parse_program;
+use muzzle_shuttle::compiler::{compile_with_mapping, CompilerConfig};
+use muzzle_shuttle::machine::{InitialMapping, MachineSpec, TrapId};
+
+/// Fig. 4: the excess-capacity policy ping-pongs ion 2 (4 shuttles); the
+/// future-ops policy moves ion 1 once.
+#[test]
+fn fig4_ping_pong_vs_future_ops() {
+    let circuit = parse_program(
+        "MS q[1], q[2];\nMS q[2], q[3];\nMS q[1], q[2];\nMS q[2], q[4];",
+        5,
+    )
+    .unwrap();
+    let spec = MachineSpec::linear(2, 4, 1).unwrap();
+    let mapping = InitialMapping::from_traps(
+        &spec,
+        vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
+    )
+    .unwrap();
+
+    let baseline =
+        compile_with_mapping(&circuit, &spec, &CompilerConfig::baseline(), mapping.clone())
+            .unwrap();
+    assert_eq!(baseline.stats.shuttles, 4, "paper: 4 shuttles");
+
+    let optimized =
+        compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+    assert_eq!(optimized.stats.shuttles, 1, "paper: only 1 shuttle");
+}
+
+/// Fig. 7: T4 full, ECs 2,1,4,2,0,4. The baseline eviction travels to T0
+/// (4 hops); nearest-neighbour-first uses an adjacent trap (1 hop).
+#[test]
+fn fig7_eviction_distances() {
+    let spec = MachineSpec::linear(6, 6, 0).unwrap();
+    let mut traps = Vec::new();
+    for (t, occ) in [4u32, 5, 2, 4, 6, 2].into_iter().enumerate() {
+        for _ in 0..occ {
+            traps.push(TrapId(t as u32));
+        }
+    }
+    let mapping = InitialMapping::from_traps(&spec, traps).unwrap();
+    // Qubit 14 lives in T3, qubit 21 in T5; the route crosses full T4.
+    let circuit = parse_program("MS q[14], q[21];", 23).unwrap();
+
+    let baseline =
+        compile_with_mapping(&circuit, &spec, &CompilerConfig::baseline(), mapping.clone())
+            .unwrap();
+    assert_eq!(
+        baseline.stats.rebalance_shuttles, 4,
+        "baseline evicts all the way to T0"
+    );
+    assert_eq!(baseline.stats.rebalances, 1);
+
+    let optimized =
+        compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+    assert_eq!(
+        optimized.stats.rebalance_shuttles, 1,
+        "nearest-neighbour eviction needs a single hop"
+    );
+    assert!(optimized.stats.shuttles < baseline.stats.shuttles);
+}
+
+/// §III-A3: the paper's default proximity of 6 must be wired into the
+/// optimized preset, and the sweep end-points must bracket it sanely.
+#[test]
+fn proximity_default_is_six_and_sweep_is_stable() {
+    use muzzle_shuttle::circuit::generators::random_circuit;
+    use muzzle_shuttle::compiler::{compile, DirectionPolicy};
+
+    assert_eq!(CompilerConfig::DEFAULT_PROXIMITY, 6);
+    assert_eq!(
+        CompilerConfig::optimized().direction,
+        DirectionPolicy::FutureOps { proximity: 6 }
+    );
+
+    let spec = MachineSpec::linear(3, 8, 2).unwrap();
+    let circuit = random_circuit(18, 300, 3);
+    let mut last = None;
+    for p in [0u32, 1, 6, 50] {
+        let cfg = CompilerConfig::optimized_with_proximity(p);
+        let r = compile(&circuit, &spec, &cfg).unwrap();
+        // All proximities must produce valid, complete schedules.
+        assert_eq!(r.stats.gate_ops, 300);
+        last = Some(r.stats.shuttles);
+    }
+    assert!(last.unwrap() > 0);
+}
+
+/// The paper's L6 evaluation platform (§IV-A).
+#[test]
+fn paper_platform_shape() {
+    let spec = MachineSpec::paper_l6();
+    assert_eq!(spec.num_traps(), 6);
+    assert_eq!(spec.total_capacity(), 17);
+    assert_eq!(spec.comm_capacity(), 2);
+    assert_eq!(spec.topology().to_string(), "L6");
+    // Fig. 7's "T4 sending ion to T0 needing 4 shuttles".
+    assert_eq!(
+        spec.topology().distance(TrapId(4), TrapId(0)),
+        Some(4)
+    );
+}
