@@ -14,16 +14,16 @@ fn bench_initial_mapping(c: &mut Criterion) {
     let mut group = c.benchmark_group("initial_mapping");
     for qubits in [32u32, 64, 78] {
         let circuit = random_circuit(qubits, 1000, 1);
-        group.bench_with_input(BenchmarkId::new("greedy", qubits), &circuit, |b, circuit| {
-            b.iter(|| {
-                initial_mapping(
-                    black_box(circuit),
-                    &spec,
-                    MappingPolicy::GreedyInteraction,
-                )
-                .expect("fits")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy", qubits),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    initial_mapping(black_box(circuit), &spec, MappingPolicy::GreedyInteraction)
+                        .expect("fits")
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -63,13 +63,8 @@ fn bench_simulation(c: &mut Criterion) {
     let params = SimParams::default();
     c.bench_function("simulate_random_1438", |b| {
         b.iter(|| {
-            simulate(
-                black_box(&compiled.schedule),
-                &circuit,
-                &spec,
-                &params,
-            )
-            .expect("valid schedule")
+            simulate(black_box(&compiled.schedule), &circuit, &spec, &params)
+                .expect("valid schedule")
         })
     });
 }

@@ -55,5 +55,10 @@ fn bench_schedule_validation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_dag_build, bench_flow, bench_schedule_validation);
+criterion_group!(
+    benches,
+    bench_dag_build,
+    bench_flow,
+    bench_schedule_validation
+);
 criterion_main!(benches);

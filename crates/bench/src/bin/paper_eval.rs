@@ -11,7 +11,9 @@ use qccd_bench::{
     RANDOM_SUITE_SEED,
 };
 use qccd_circuit::generators::{paper_suite, random_suite};
-use qccd_core::{compile, CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy};
+use qccd_core::{
+    compile, CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy,
+};
 use qccd_machine::MachineSpec;
 use qccd_sim::SimParams;
 
@@ -40,7 +42,9 @@ fn main() {
     let spec = MachineSpec::paper_l6();
     let params = SimParams::default();
     println!("# muzzle-shuttle paper evaluation");
-    println!("# machine: {spec}   random suite: {per_size} circuits/size, seed {RANDOM_SUITE_SEED:#x}");
+    println!(
+        "# machine: {spec}   random suite: {per_size} circuits/size, seed {RANDOM_SUITE_SEED:#x}"
+    );
     println!();
 
     let needs_suite = matches!(command.as_str(), "table2" | "fig8" | "table3" | "all");
@@ -75,7 +79,9 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|all] [--per-size N]");
+    eprintln!(
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|all] [--per-size N]"
+    );
     std::process::exit(2);
 }
 
@@ -127,7 +133,10 @@ fn table2(nisq: &[ComparisonRow], random: &[ComparisonRow]) {
 /// Fig. 8: improvement in program fidelity.
 fn fig8(nisq: &[ComparisonRow], random: &[ComparisonRow]) {
     println!("## Fig. 8 — Program fidelity improvement (optimized / baseline)");
-    println!("{:<14} {:>12} {:>14} {:>14}", "Benchmark", "Improvement", "F(baseline)", "F(this work)");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14}",
+        "Benchmark", "Improvement", "F(baseline)", "F(this work)"
+    );
     for r in nisq {
         println!(
             "{:<14} {:>11.2}X {:>14.3e} {:>14.3e}",
@@ -157,7 +166,10 @@ fn table3(nisq: &[ComparisonRow], random: &[ComparisonRow]) {
     for r in nisq {
         println!(
             "{:<14} {:>18.4} {:>14.4} {:>10.4}",
-            r.name, r.optimized_compile_s, r.baseline_compile_s, r.compile_overhead_s()
+            r.name,
+            r.optimized_compile_s,
+            r.baseline_compile_s,
+            r.compile_overhead_s()
         );
     }
     if !random.is_empty() {

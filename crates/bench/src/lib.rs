@@ -67,7 +67,8 @@ impl ComparisonRow {
 
     /// Fidelity improvement factor (Fig. 8).
     pub fn fidelity_improvement(&self) -> f64 {
-        self.optimized_sim.fidelity_improvement_over(&self.baseline_sim)
+        self.optimized_sim
+            .fidelity_improvement_over(&self.baseline_sim)
     }
 
     /// Compile-time overhead `Δ↑` in seconds (Table III).
@@ -82,7 +83,11 @@ impl ComparisonRow {
 ///
 /// Panics if compilation fails — the harness only runs benchmarks that fit
 /// the evaluation machine.
-pub fn timed_compile(circuit: &Circuit, spec: &MachineSpec, config: &CompilerConfig) -> (CompileResult, f64) {
+pub fn timed_compile(
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+) -> (CompileResult, f64) {
     let start = Instant::now();
     let result = compile(circuit, spec, config).expect("benchmark circuits fit the paper machine");
     (result, start.elapsed().as_secs_f64())
@@ -170,9 +175,7 @@ pub fn aggregate_random(rows: &[ComparisonRow]) -> RandomAggregate {
     let pct: Vec<f64> = rows.iter().map(|r| r.delta_percent()).collect();
     let log_impr: Vec<f64> = rows
         .iter()
-        .map(|r| {
-            r.optimized_sim.log_program_fidelity - r.baseline_sim.log_program_fidelity
-        })
+        .map(|r| r.optimized_sim.log_program_fidelity - r.baseline_sim.log_program_fidelity)
         .filter(|v| v.is_finite())
         .collect();
     let (log_mean, _) = mean_std(&log_impr);
@@ -233,6 +236,9 @@ mod tests {
             .collect();
         let agg = aggregate_random(&rows);
         assert!((agg.gates.0 - 60.0).abs() < 1e-9);
-        assert!(agg.baseline.0 >= agg.optimized.0, "optimized mean should not exceed baseline");
+        assert!(
+            agg.baseline.0 >= agg.optimized.0,
+            "optimized mean should not exceed baseline"
+        );
     }
 }

@@ -131,7 +131,11 @@ impl Circuit {
         self.push_unchecked(opcode, GateQubits::Two(a, b))
     }
 
-    fn push_unchecked(&mut self, opcode: Opcode, qubits: GateQubits) -> Result<GateId, CircuitError> {
+    fn push_unchecked(
+        &mut self,
+        opcode: Opcode,
+        qubits: GateQubits,
+    ) -> Result<GateId, CircuitError> {
         let raw = u32::try_from(self.gates.len()).map_err(|_| CircuitError::TooManyGates)?;
         if raw == u32::MAX {
             return Err(CircuitError::TooManyGates);
@@ -197,7 +201,9 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let mut c = Circuit::new(2);
-        let err = c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(5)).unwrap_err();
+        let err = c
+            .push_two_qubit(Opcode::Ms, Qubit(0), Qubit(5))
+            .unwrap_err();
         assert_eq!(
             err,
             CircuitError::QubitOutOfRange {
@@ -210,7 +216,9 @@ mod tests {
     #[test]
     fn rejects_duplicate_operand() {
         let mut c = Circuit::new(2);
-        let err = c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(1)).unwrap_err();
+        let err = c
+            .push_two_qubit(Opcode::Ms, Qubit(1), Qubit(1))
+            .unwrap_err();
         assert_eq!(err, CircuitError::DuplicateOperand { qubit: Qubit(1) });
     }
 

@@ -305,7 +305,10 @@ mod tests {
         // Wrong length.
         assert!(!dag.is_valid_execution_order(&[GateId(0)]));
         // Duplicate gate.
-        let order: Vec<GateId> = [0, 0, 1, 3, 2, 4, 5, 6, 7].into_iter().map(GateId).collect();
+        let order: Vec<GateId> = [0, 0, 1, 3, 2, 4, 5, 6, 7]
+            .into_iter()
+            .map(GateId)
+            .collect();
         assert!(!dag.is_valid_execution_order(&order));
     }
 

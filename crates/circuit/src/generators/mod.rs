@@ -18,16 +18,16 @@
 //! `u64` seed where randomness is involved).
 
 mod qaoa;
-mod quadratic_form;
 mod qft;
+mod quadratic_form;
 mod random;
 mod square_root;
-mod supremacy;
 mod suite;
+mod supremacy;
 
 pub use qaoa::qaoa;
-pub use quadratic_form::quadratic_form;
 pub use qft::qft;
+pub use quadratic_form::quadratic_form;
 pub use random::random_circuit;
 pub use square_root::square_root;
 pub use suite::{paper_suite, random_suite, BenchmarkCircuit, PaperBenchmark};

@@ -31,7 +31,10 @@ use rand::SeedableRng;
 /// assert_eq!(c.two_qubit_gate_count(), 13 * 96);
 /// ```
 pub fn qaoa(n: u32, rounds: u32, seed: u64) -> Circuit {
-    assert!(n >= 4 && n.is_multiple_of(2), "3-regular graph requires even n >= 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "3-regular graph requires even n >= 4"
+    );
     let edges = random_3_regular(n, seed);
     let mut c = Circuit::with_capacity(n, (edges.len() * rounds as usize) + (n * rounds) as usize);
     for _ in 0..rounds {

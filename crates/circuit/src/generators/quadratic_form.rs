@@ -126,7 +126,10 @@ mod tests {
             .filter_map(|g| g.two_qubit_operands())
             .filter(|(a, b)| a.0.abs_diff(b.0) == 1)
             .count();
-        assert!(long > 100, "long-range gates should appear early, got {long}");
+        assert!(
+            long > 100,
+            "long-range gates should appear early, got {long}"
+        );
         assert!(short > 100, "short-range gates should mix in, got {short}");
     }
 

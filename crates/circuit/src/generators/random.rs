@@ -70,7 +70,10 @@ mod tests {
                 used[q.index()] = true;
             }
         }
-        assert!(used.iter().all(|&u| u), "all qubits should appear in 400 gates");
+        assert!(
+            used.iter().all(|&u| u),
+            "all qubits should appear in 400 gates"
+        );
     }
 
     #[test]

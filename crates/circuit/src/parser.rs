@@ -42,10 +42,12 @@ pub fn parse_program(text: &str, num_qubits: u32) -> Result<Circuit, ParseProgra
         if stmt.is_empty() {
             continue;
         }
-        let stmt = stmt.strip_suffix(';').ok_or_else(|| ParseProgramError::Malformed {
-            line,
-            text: raw.trim().to_owned(),
-        })?;
+        let stmt = stmt
+            .strip_suffix(';')
+            .ok_or_else(|| ParseProgramError::Malformed {
+                line,
+                text: raw.trim().to_owned(),
+            })?;
         let mut parts = stmt.splitn(2, char::is_whitespace);
         let mnemonic = parts.next().unwrap_or("");
         let operands = parts.next().unwrap_or("").trim();
@@ -109,7 +111,10 @@ mod tests {
         // Leading "1." numerals are not part of the format; strip them first.
         let cleaned: String = text
             .lines()
-            .map(|l| l.trim_start_matches(|c: char| c.is_ascii_digit() || c == '.').trim())
+            .map(|l| {
+                l.trim_start_matches(|c: char| c.is_ascii_digit() || c == '.')
+                    .trim()
+            })
             .collect::<Vec<_>>()
             .join("\n");
         let c = parse_program(&cleaned, 6).unwrap();

@@ -40,7 +40,9 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     let mut out = String::with_capacity(64 + circuit.len() * 24);
     out.push_str("OPENQASM 2.0;\n");
     out.push_str("include \"qelib1.inc\";\n");
-    out.push_str("// exported by muzzle-shuttle; rotation angles are representative placeholders\n");
+    out.push_str(
+        "// exported by muzzle-shuttle; rotation angles are representative placeholders\n",
+    );
     let _ = writeln!(out, "qreg q[{n}];");
     let has_measure = circuit.gates().iter().any(|g| g.opcode == Opcode::Measure);
     if has_measure {
@@ -102,7 +104,8 @@ mod tests {
         let mut c = Circuit::new(3);
         c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
         c.push_two_qubit(Opcode::Zz, Qubit(1), Qubit(2)).unwrap();
-        c.push_two_qubit(Opcode::Cphase, Qubit(0), Qubit(2)).unwrap();
+        c.push_two_qubit(Opcode::Cphase, Qubit(0), Qubit(2))
+            .unwrap();
         for (op, q) in [
             (Opcode::H, 0),
             (Opcode::X, 1),

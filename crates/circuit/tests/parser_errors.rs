@@ -1,0 +1,139 @@
+//! Error-path coverage for `parser::parse_program`.
+//!
+//! The paper-scenario tests exercise only well-formed listings; these tests
+//! pin the parser's behaviour on malformed gate lines, out-of-range qubit
+//! indices, bad arities, and degenerate programs.
+
+use qccd_circuit::parser::parse_program;
+use qccd_circuit::{CircuitError, ParseProgramError};
+
+#[test]
+fn empty_program_is_a_valid_empty_circuit() {
+    let c = parse_program("", 4).unwrap();
+    assert_eq!(c.len(), 0);
+    assert_eq!(c.num_qubits(), 4);
+}
+
+#[test]
+fn comment_only_program_is_empty() {
+    let c = parse_program("# nothing here\n// or here\n   \n", 3).unwrap();
+    assert_eq!(c.len(), 0);
+}
+
+#[test]
+fn zero_qubit_register_rejects_any_gate() {
+    let err = parse_program("H q[0];", 0).unwrap_err();
+    assert!(matches!(err, ParseProgramError::Invalid { line: 1, .. }));
+}
+
+#[test]
+fn malformed_statements_name_the_line_and_text() {
+    for (text, bad_line) in [
+        ("MS q[0], q[1]", 1),              // missing semicolon
+        ("MS q[0], q[1];\nMS q0, q1;", 2), // bare operands
+        ("MS q[0] q[1];", 1),              // missing comma
+        ("MS;", 1),                        // no operands at all
+        ("MS ;", 1),                       // empty operand list
+        ("MS q[];", 1),                    // empty index
+        ("MS q[one];", 1),                 // non-numeric index
+        ("MS q[0], q[1], q[2];", 1),       // three operands
+        ("MS q[0], q[1];;", 1),            // double semicolon
+    ] {
+        let err = parse_program(text, 8).unwrap_err();
+        match err {
+            ParseProgramError::Malformed { line, ref text } => {
+                assert_eq!(line, bad_line, "wrong line for {text:?}");
+                assert!(!text.is_empty(), "offending text must be echoed");
+            }
+            other => panic!("expected Malformed for {text:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_opcode_is_distinct_from_malformed() {
+    let err = parse_program("CNOT q[0], q[1];", 4).unwrap_err();
+    match err {
+        ParseProgramError::UnknownOpcode { line, mnemonic } => {
+            assert_eq!(line, 1);
+            assert_eq!(mnemonic, "CNOT");
+        }
+        other => panic!("expected UnknownOpcode, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_qubit_carries_circuit_error_source() {
+    let err = parse_program("MS q[0], q[7];", 4).unwrap_err();
+    match err {
+        ParseProgramError::Invalid { line, source } => {
+            assert_eq!(line, 1);
+            assert!(matches!(source, CircuitError::QubitOutOfRange { .. }));
+        }
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}
+
+#[test]
+fn boundary_qubit_index_is_exclusive() {
+    // q[n-1] is the last legal index; q[n] must fail.
+    assert!(parse_program("H q[3];", 4).is_ok());
+    assert!(matches!(
+        parse_program("H q[4];", 4),
+        Err(ParseProgramError::Invalid { line: 1, .. })
+    ));
+}
+
+#[test]
+fn duplicate_operand_rejected_through_parser() {
+    let err = parse_program("MS q[2], q[2];", 4).unwrap_err();
+    assert!(matches!(err, ParseProgramError::Invalid { line: 1, .. }));
+}
+
+#[test]
+fn wrong_arity_for_opcode_is_invalid() {
+    // H is single-qubit; MS is two-qubit.
+    assert!(matches!(
+        parse_program("H q[0], q[1];", 4),
+        Err(ParseProgramError::Invalid { line: 1, .. })
+    ));
+    assert!(matches!(
+        parse_program("MS q[0];", 4),
+        Err(ParseProgramError::Invalid { line: 1, .. })
+    ));
+}
+
+#[test]
+fn error_reporting_stops_at_first_bad_line() {
+    // Line 2 is bad; line 3 is worse. The parser reports line 2.
+    let err = parse_program("MS q[0], q[1];\nMS q[9], q[1];\nGARBAGE;", 4).unwrap_err();
+    assert!(matches!(err, ParseProgramError::Invalid { line: 2, .. }));
+}
+
+#[test]
+fn errors_display_line_numbers() {
+    let err = parse_program("MS q[0], q[1];\nFOO q[0];", 2).unwrap_err();
+    let text = err.to_string();
+    assert!(
+        text.contains('2'),
+        "display should mention the line: {text}"
+    );
+    assert!(
+        text.to_lowercase().contains("foo"),
+        "display should name the mnemonic: {text}"
+    );
+}
+
+#[test]
+fn whitespace_and_case_do_not_mask_errors() {
+    // Leading whitespace, lowercase opcode, inline comment — still catches
+    // the out-of-range operand.
+    let err = parse_program("   ms q[0], q[5];  // oops", 4).unwrap_err();
+    assert!(matches!(err, ParseProgramError::Invalid { line: 1, .. }));
+}
+
+#[test]
+fn crlf_line_endings_are_tolerated() {
+    let c = parse_program("MS q[0], q[1];\r\nH q[2];\r\n", 4).unwrap();
+    assert_eq!(c.len(), 2);
+}

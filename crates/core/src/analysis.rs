@@ -79,8 +79,7 @@ impl ScheduleAnalysis {
         if self.ion_travel.is_empty() {
             return 1.0;
         }
-        self.ion_travel.iter().filter(|&&h| h == 0).count() as f64
-            / self.ion_travel.len() as f64
+        self.ion_travel.iter().filter(|&&h| h == 0).count() as f64 / self.ion_travel.len() as f64
     }
 
     /// Net ion flow between a trap pair: hops `a→b` minus hops `b→a`.
@@ -178,7 +177,10 @@ mod tests {
         let a = ScheduleAnalysis::analyze(&r.schedule, 3, 12);
         for x in 0..3u32 {
             for y in 0..3u32 {
-                assert_eq!(a.net_flow(TrapId(x), TrapId(y)), -a.net_flow(TrapId(y), TrapId(x)));
+                assert_eq!(
+                    a.net_flow(TrapId(x), TrapId(y)),
+                    -a.net_flow(TrapId(y), TrapId(x))
+                );
             }
         }
     }

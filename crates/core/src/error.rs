@@ -38,10 +38,16 @@ impl fmt::Display for CompileError {
             ),
             CompileError::Machine(e) => write!(f, "machine error: {e}"),
             CompileError::ShuttleDeadlock { trap } => {
-                write!(f, "re-balancing deadlock: no destination can relieve trap {trap}")
+                write!(
+                    f,
+                    "re-balancing deadlock: no destination can relieve trap {trap}"
+                )
             }
             CompileError::InternalValidation(e) => {
-                write!(f, "internal error: compiled schedule failed validation: {e}")
+                write!(
+                    f,
+                    "internal error: compiled schedule failed validation: {e}"
+                )
             }
         }
     }

@@ -2,8 +2,8 @@
 
 use crate::config::MappingPolicy;
 use crate::error::CompileError;
-use qccd_circuit::{Circuit, Qubit};
 use qccd_circuit::stats::InteractionGraph;
+use qccd_circuit::{Circuit, Qubit};
 use qccd_machine::{InitialMapping, MachineSpec, TrapId};
 
 /// Computes the initial ion→trap placement for `circuit` on `spec` under

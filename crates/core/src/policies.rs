@@ -250,7 +250,10 @@ mod tests {
             );
             assert_eq!(
                 scores,
-                MoveScores { a_to_b: 3, b_to_a: 1 },
+                MoveScores {
+                    a_to_b: 3,
+                    b_to_a: 1
+                },
                 "metric {metric:?}"
             );
         }
@@ -306,11 +309,9 @@ mod tests {
         c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(2)).unwrap();
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
         // 2 ions per trap: equal ECs.
-        let mapping = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)],
-        )
-        .unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)])
+                .unwrap();
         let state = MachineState::with_mapping(&spec, &mapping).unwrap();
         let dag = c.dependency_dag();
         let pending: VecDeque<GateId> = [GateId(0)].into_iter().collect();
@@ -334,6 +335,7 @@ mod tests {
         c.push_two_qubit(Opcode::Ms, a, b).unwrap(); // 1 (active)
         c.push_two_qubit(Opcode::Ms, cc, Qubit(4)).unwrap(); // 2 (filler)
         c.push_two_qubit(Opcode::Ms, a, cc).unwrap(); // 3 relevant
+
         // Filler chain on qubits 8-9: each gate depends on the previous,
         // pushing layers (and positions) 7 deep.
         for _ in 0..7 {
@@ -389,7 +391,10 @@ mod tests {
             );
             assert_eq!(
                 near,
-                MoveScores { a_to_b: 1, b_to_a: 0 },
+                MoveScores {
+                    a_to_b: 1,
+                    b_to_a: 0
+                },
                 "only gate 3 counts under {metric:?}"
             );
             // A generous proximity includes the distant gate too.
@@ -408,7 +413,10 @@ mod tests {
             );
             assert_eq!(
                 far,
-                MoveScores { a_to_b: 2, b_to_a: 0 },
+                MoveScores {
+                    a_to_b: 2,
+                    b_to_a: 0
+                },
                 "distant gate included under {metric:?} with proximity 50"
             );
         }
@@ -431,7 +439,13 @@ mod tests {
         let spec = MachineSpec::linear(2, 60, 2).unwrap();
         // Qubits 1 and 2 live in T1; qubit 0 and all fillers in T0.
         let traps: Vec<TrapId> = (0..46)
-            .map(|q| if q == 1 || q == 2 { TrapId(1) } else { TrapId(0) })
+            .map(|q| {
+                if q == 1 || q == 2 {
+                    TrapId(1)
+                } else {
+                    TrapId(0)
+                }
+            })
             .collect();
         let mapping = InitialMapping::from_traps(&spec, traps).unwrap();
         let state = MachineState::with_mapping(&spec, &mapping).unwrap();
@@ -452,7 +466,13 @@ mod tests {
             6,
             ProximityMetric::Layers,
         );
-        assert_eq!(layers, MoveScores { a_to_b: 1, b_to_a: 0 });
+        assert_eq!(
+            layers,
+            MoveScores {
+                a_to_b: 1,
+                b_to_a: 0
+            }
+        );
 
         let gates = move_scores(
             &c,

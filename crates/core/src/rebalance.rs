@@ -300,11 +300,9 @@ mod tests {
         c.push_two_qubit(Opcode::Ms, Qubit(3), Qubit(1)).unwrap();
         c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(2)).unwrap(); // anchors 0 and 2 to T0
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
-        let mapping = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(0), TrapId(0), TrapId(1)],
-        )
-        .unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(0), TrapId(1)])
+                .unwrap();
         let state = MachineState::with_mapping(&spec, &mapping).unwrap();
         let pending: VecDeque<GateId> = (0..3).map(GateId).collect();
         let ion = choose_ion(
@@ -327,11 +325,9 @@ mod tests {
             c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(2)).unwrap();
         }
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
-        let mapping = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(0), TrapId(0), TrapId(1)],
-        )
-        .unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(0), TrapId(1)])
+                .unwrap();
         let state = MachineState::with_mapping(&spec, &mapping).unwrap();
         let pending: VecDeque<GateId> = (0..3).map(GateId).collect();
         let ion = choose_ion(
@@ -352,8 +348,7 @@ mod tests {
     #[test]
     fn all_kept_returns_none() {
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
-        let mapping =
-            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(1)]).unwrap();
+        let mapping = InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(1)]).unwrap();
         let state = MachineState::with_mapping(&spec, &mapping).unwrap();
         let c = Circuit::new(2);
         let pending = VecDeque::new();
@@ -379,7 +374,10 @@ mod tests {
             route,
             vec![TrapId(4), TrapId(3), TrapId(2), TrapId(1), TrapId(0)]
         );
-        assert_eq!(mcmf_route(&topo, TrapId(2), TrapId(2)).unwrap(), vec![TrapId(2)]);
+        assert_eq!(
+            mcmf_route(&topo, TrapId(2), TrapId(2)).unwrap(),
+            vec![TrapId(2)]
+        );
     }
 
     #[test]

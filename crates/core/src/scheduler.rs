@@ -8,9 +8,7 @@ use crate::policies::{decide_direction, MoveDecision};
 use crate::rebalance::{choose_destination, choose_ion, eviction_route};
 use crate::stats::CompileStats;
 use qccd_circuit::{Circuit, DependencyDag, GateId, GateQubits, ReadySet};
-use qccd_machine::{
-    InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId,
-};
+use qccd_machine::{InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
 use std::collections::VecDeque;
 
 /// A compiled program plus its compile-time statistics.
@@ -125,7 +123,44 @@ impl Scheduler<'_> {
 
     fn run(&mut self) -> Result<(), CompileError> {
         while !self.pending.is_empty() {
+            if self.config.reorder {
+                self.drain_local_ready_gates()?;
+                if self.pending.is_empty() {
+                    break;
+                }
+            }
             self.execute_at(0, self.config.reorder)?;
+        }
+        Ok(())
+    }
+
+    /// Executes every ready gate in the front window of the queue whose
+    /// operands are already co-located. Local gates move no ions, so this
+    /// costs nothing; retiring them keeps already-satisfied gates out of
+    /// the §III-A move-score scans and unlocks their successors earlier.
+    /// Gated on the re-ordering heuristic: the baseline compiler executes
+    /// strictly in plan order.
+    fn drain_local_ready_gates(&mut self) -> Result<(), CompileError> {
+        // One forward pass suffices: local gates move no ions (locality
+        // never changes during the drain), and the queue is topologically
+        // ordered, so any gate a drain execution makes ready sits at a
+        // later position the cursor has yet to reach.
+        let window = Self::REORDER_WINDOW.min(self.pending.len());
+        let mut pos = 0;
+        while pos < window.min(self.pending.len()) {
+            let gid = self.pending[pos];
+            let local = match self.circuit.gate(gid).qubits {
+                GateQubits::One(_) => true,
+                GateQubits::Two(a, b) => {
+                    self.state.trap_of(IonId::from(a)) == self.state.trap_of(IonId::from(b))
+                }
+            };
+            if local && self.ready.is_ready(gid) {
+                self.execute_at(pos, false)?;
+                // Do not advance: the next gate slid into `pos`.
+            } else {
+                pos += 1;
+            }
         }
         Ok(())
     }
@@ -183,8 +218,8 @@ impl Scheduler<'_> {
         );
 
         // §III-B: if the favourable destination is full, try to hoist a
-        // pending same-layer gate whose own favourable move *leaves* that
-        // trap (Algorithm 1).
+        // nearby ready gate whose own favourable move *leaves* that trap
+        // (Algorithm 1, generalised — see `find_reorder_candidate`).
         if self.state.is_full(decision.to) && allow_reorder {
             if let Some(cand_pos) = self.find_reorder_candidate(pos, decision.to) {
                 self.stats.reorders += 1;
@@ -236,11 +271,7 @@ impl Scheduler<'_> {
 
     /// Moves `decision.ion` hop-by-hop to `decision.to`, re-balancing full
     /// traps encountered on the way.
-    fn move_ion(
-        &mut self,
-        decision: MoveDecision,
-        stationary: IonId,
-    ) -> Result<(), CompileError> {
+    fn move_ion(&mut self, decision: MoveDecision, stationary: IonId) -> Result<(), CompileError> {
         let MoveDecision { ion, to: dest, .. } = decision;
         let mut hops = 0u32;
         let hop_limit = 4 * self.state.spec().num_traps() + 8;
@@ -353,7 +384,9 @@ impl Scheduler<'_> {
         let mut idx = 0usize;
         while idx + 1 < route.len() {
             if hops > hop_limit {
-                return Err(CompileError::ShuttleDeadlock { trap: route[idx + 1] });
+                return Err(CompileError::ShuttleDeadlock {
+                    trap: route[idx + 1],
+                });
             }
             let next = route[idx + 1];
             if self.state.is_full(next) {
@@ -387,17 +420,14 @@ impl Scheduler<'_> {
                     // the current trap to a fresh (currently non-full)
                     // destination, preferring a route with free interiors.
                     let cur = route[idx];
-                    let new_dest =
-                        choose_destination(self.config.rebalance, &self.state, cur, &[])
-                            .ok_or(CompileError::ShuttleDeadlock { trap: cur })?;
+                    let new_dest = choose_destination(self.config.rebalance, &self.state, cur, &[])
+                        .ok_or(CompileError::ShuttleDeadlock { trap: cur })?;
                     let topology = self.state.spec().topology();
                     route = topology
                         .shortest_path_filtered(cur, new_dest, |t| {
                             t == new_dest || !self.state.is_full(t)
                         })
-                        .or_else(|| {
-                            eviction_route(self.config.rebalance, topology, cur, new_dest)
-                        })
+                        .or_else(|| eviction_route(self.config.rebalance, topology, cur, new_dest))
                         .ok_or(CompileError::ShuttleDeadlock { trap: cur })?;
                     idx = 0;
                     hops += 1; // re-routing consumes budget to guarantee exit
@@ -411,19 +441,21 @@ impl Scheduler<'_> {
         Ok(())
     }
 
-    /// Algorithm 1: find a pending, ready gate in the active gate's layer
-    /// whose favourable shuttle direction moves an ion *out of*
+    /// Bounded lookahead of the drain pass and the Algorithm-1 candidate
+    /// scan, keeping both linear in compile time.
+    const REORDER_WINDOW: usize = 128;
+
+    /// Algorithm 1 (generalised): find a pending, ready gate near the
+    /// active gate whose favourable shuttle direction moves an ion *out of*
     /// `old_destination`, freeing a slot there. Returns its position in
-    /// `pending` (always after `active_pos`).
+    /// `pending` (always after `active_pos`). Hoisting any *ready* gate is
+    /// dependency-legal, so the scan is not limited to the active gate's
+    /// layer (serial circuits have singleton layers and would never find a
+    /// candidate); the window bounds compile time.
     fn find_reorder_candidate(&self, active_pos: usize, old_destination: TrapId) -> Option<usize> {
-        let active_layer = self.dag.layer_of(self.pending[active_pos]);
-        for pos in (active_pos + 1)..self.pending.len() {
+        let end = (active_pos + 1 + Self::REORDER_WINDOW).min(self.pending.len());
+        for pos in (active_pos + 1)..end {
             let gid = self.pending[pos];
-            // The queue is layer-sorted; once past the active layer no
-            // earlier-or-equal-layer candidate can follow.
-            if self.dag.layer_of(gid) > active_layer {
-                break;
-            }
             if !self.ready.is_ready(gid) {
                 continue;
             }
@@ -480,16 +512,17 @@ mod tests {
     #[test]
     fn fig4_baseline_ping_pongs_4_shuttles() {
         let (c, spec, mapping) = fig4_setup();
-        let r =
-            compile_with_mapping(&c, &spec, &CompilerConfig::baseline(), mapping).unwrap();
-        assert_eq!(r.stats.shuttles, 4, "EC policy shuttles ion 2 back and forth");
+        let r = compile_with_mapping(&c, &spec, &CompilerConfig::baseline(), mapping).unwrap();
+        assert_eq!(
+            r.stats.shuttles, 4,
+            "EC policy shuttles ion 2 back and forth"
+        );
     }
 
     #[test]
     fn fig4_future_ops_needs_1_shuttle() {
         let (c, spec, mapping) = fig4_setup();
-        let r =
-            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        let r = compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
         assert_eq!(
             r.stats.shuttles, 1,
             "moving ion 1 to T1 satisfies all four gates"
@@ -508,7 +541,10 @@ mod tests {
         let spec = MachineSpec::linear(2, 10, 2).unwrap();
         for config in [CompilerConfig::baseline(), CompilerConfig::optimized()] {
             let r = compile(&c, &spec, &config).unwrap();
-            assert_eq!(r.stats.shuttles, 0, "greedy mapping co-locates each cluster");
+            assert_eq!(
+                r.stats.shuttles, 0,
+                "greedy mapping co-locates each cluster"
+            );
             assert_eq!(r.stats.local_gates, 4);
         }
     }
@@ -539,13 +575,10 @@ mod tests {
         let mut c = Circuit::new(4);
         ms(&mut c, 0, 3);
         let spec = MachineSpec::linear(4, 4, 1).unwrap();
-        let mapping = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(1), TrapId(2), TrapId(3)],
-        )
-        .unwrap();
-        let r =
-            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(1), TrapId(2), TrapId(3)])
+                .unwrap();
+        let r = compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
         assert_eq!(r.stats.shuttles, 3, "3 hops across L4");
     }
 
@@ -573,8 +606,7 @@ mod tests {
         // Fill T1 to capacity 4 is impossible via initial mapping (cap 3),
         // so this exercises the non-full path; the full-trap cases are
         // covered by the integration tests on saturated machines.
-        let r =
-            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
+        let r = compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping).unwrap();
         assert!(r.stats.shuttles >= 1);
     }
 
@@ -612,8 +644,7 @@ mod tests {
         )
         .unwrap();
         let with_reorder =
-            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping.clone())
-                .unwrap();
+            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping.clone()).unwrap();
         assert!(
             with_reorder.stats.reorders >= 1,
             "the engineered blockage must trigger Algorithm 1"
@@ -662,8 +693,10 @@ mod tests {
             DirectionPolicy::FutureOps { proximity: 6 },
         ] {
             for reorder in [false, true] {
-                for rebalance in [RebalancePolicy::FromTrapZero, RebalancePolicy::NearestNeighbor]
-                {
+                for rebalance in [
+                    RebalancePolicy::FromTrapZero,
+                    RebalancePolicy::NearestNeighbor,
+                ] {
                     for ion_selection in [
                         IonSelection::ChainEnd,
                         IonSelection::MaxScore { wd: 0.5, ws: 0.5 },
@@ -676,8 +709,8 @@ mod tests {
                             mapping: MappingPolicy::GreedyInteraction,
                         };
                         // compile() validates by replay internally.
-                        let r = compile(&c, &spec, &config)
-                            .unwrap_or_else(|e| panic!("{config}: {e}"));
+                        let r =
+                            compile(&c, &spec, &config).unwrap_or_else(|e| panic!("{config}: {e}"));
                         assert_eq!(r.stats.gate_ops, 60);
                     }
                 }
@@ -734,6 +767,55 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{config}: {e}"));
             assert!(r.stats.rebalances >= 1, "{config}");
         }
+    }
+
+    #[test]
+    fn drains_local_ready_gates_ahead_of_blocked_work() {
+        // g0 is cross-trap; g1 and g2 are local and independent of g0. With
+        // re-ordering (optimized), the drain pass must retire g1/g2 before
+        // g0's shuttle, so the schedule leads with the two local gates.
+        let mut c = Circuit::new(6);
+        ms(&mut c, 0, 3); // g0: spans T0/T1
+        ms(&mut c, 1, 2); // g1: local to T0
+        ms(&mut c, 4, 5); // g2: local to T1
+        let spec = MachineSpec::linear(2, 6, 2).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![
+                TrapId(0),
+                TrapId(0),
+                TrapId(0),
+                TrapId(1),
+                TrapId(1),
+                TrapId(1),
+            ],
+        )
+        .unwrap();
+        let r =
+            compile_with_mapping(&c, &spec, &CompilerConfig::optimized(), mapping.clone()).unwrap();
+        let first_two: Vec<GateId> = r
+            .schedule
+            .operations
+            .iter()
+            .filter_map(|op| match op {
+                Operation::Gate { gate, .. } => Some(*gate),
+                Operation::Shuttle { .. } => None,
+            })
+            .take(2)
+            .collect();
+        assert_eq!(
+            first_two,
+            vec![GateId(1), GateId(2)],
+            "local gates drain first"
+        );
+
+        // The baseline executes strictly in plan order: g0 comes first.
+        let b = compile_with_mapping(&c, &spec, &CompilerConfig::baseline(), mapping).unwrap();
+        let first = b.schedule.operations.iter().find_map(|op| match op {
+            Operation::Gate { gate, .. } => Some(*gate),
+            Operation::Shuttle { .. } => None,
+        });
+        assert_eq!(first, Some(GateId(0)));
     }
 
     #[test]

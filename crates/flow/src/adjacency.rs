@@ -73,7 +73,10 @@ impl Adjacency {
     ///
     /// Panics if `a` or `b` is out of range, or if `a == b` (self-loop).
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.len() && b < self.len(), "edge endpoint out of range");
+        assert!(
+            a < self.len() && b < self.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
         if !self.neighbors[a].contains(&b) {
             self.neighbors[a].push(b);
@@ -285,8 +288,11 @@ mod property_tests {
     }
 
     fn random_graph() -> impl Strategy<Value = Adjacency> {
-        (2usize..=8, proptest::collection::vec((0usize..8, 0usize..8), 0..16)).prop_map(
-            |(n, raw_edges)| {
+        (
+            2usize..=8,
+            proptest::collection::vec((0usize..8, 0usize..8), 0..16),
+        )
+            .prop_map(|(n, raw_edges)| {
                 let mut g = Adjacency::new(n);
                 for (a, b) in raw_edges {
                     let (a, b) = (a % n, b % n);
@@ -295,8 +301,7 @@ mod property_tests {
                     }
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

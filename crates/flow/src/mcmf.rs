@@ -67,7 +67,10 @@ impl FlowNetwork {
     ///
     /// Panics if an endpoint is out of range, `capacity < 0`, or `cost < 0`.
     pub fn add_edge(&mut self, from: usize, to: usize, capacity: i64, cost: i64) {
-        assert!(from < self.len() && to < self.len(), "endpoint out of range");
+        assert!(
+            from < self.len() && to < self.len(),
+            "endpoint out of range"
+        );
         assert!(capacity >= 0, "capacity must be non-negative");
         assert!(cost >= 0, "cost must be non-negative");
         let rev_from = self.graph[to].len();
@@ -269,8 +272,16 @@ mod tests {
         // Conservation: for every interior node, inflow == outflow.
         let flows = net.forward_flows();
         for node in 1..4 {
-            let inflow: i64 = flows.iter().filter(|(_, t, _)| *t == node).map(|(_, _, f)| f).sum();
-            let outflow: i64 = flows.iter().filter(|(s, _, _)| *s == node).map(|(_, _, f)| f).sum();
+            let inflow: i64 = flows
+                .iter()
+                .filter(|(_, t, _)| *t == node)
+                .map(|(_, _, f)| f)
+                .sum();
+            let outflow: i64 = flows
+                .iter()
+                .filter(|(s, _, _)| *s == node)
+                .map(|(_, _, f)| f)
+                .sum();
             assert_eq!(inflow, outflow, "node {node}");
         }
         assert!(r.flow >= 3, "expected near-max flow, got {}", r.flow);

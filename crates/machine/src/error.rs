@@ -124,7 +124,10 @@ mod tests {
             from: TrapId(0),
             to: TrapId(3),
         };
-        assert_eq!(e.to_string(), "traps T0 and T3 are not connected by a shuttle path");
+        assert_eq!(
+            e.to_string(),
+            "traps T0 and T3 are not connected by a shuttle path"
+        );
         let e = MachineError::TrapFull { trap: TrapId(2) };
         assert!(e.to_string().contains("T2"));
     }

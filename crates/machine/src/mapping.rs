@@ -113,11 +113,9 @@ mod tests {
     #[test]
     fn from_traps_validates_capacity() {
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
-        let err = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(0), TrapId(0), TrapId(0)],
-        )
-        .unwrap_err();
+        let err =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(0), TrapId(0)])
+                .unwrap_err();
         assert_eq!(
             err,
             MachineError::MappingOverfill {

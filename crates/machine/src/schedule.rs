@@ -58,7 +58,11 @@ impl Schedule {
     pub fn to_text(&self, circuit: &Circuit) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(64 + self.operations.len() * 32);
-        let _ = writeln!(out, "# initial mapping ({} ions)", self.initial_mapping.num_ions());
+        let _ = writeln!(
+            out,
+            "# initial mapping ({} ions)",
+            self.initial_mapping.num_ions()
+        );
         for (i, t) in self.initial_mapping.as_slice().iter().enumerate() {
             let _ = writeln!(out, "#   ion{i} @ {t}");
         }
@@ -87,7 +91,11 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns the first violated invariant as a [`ValidateScheduleError`].
-    pub fn validate(&self, circuit: &Circuit, spec: &MachineSpec) -> Result<(), ValidateScheduleError> {
+    pub fn validate(
+        &self,
+        circuit: &Circuit,
+        spec: &MachineSpec,
+    ) -> Result<(), ValidateScheduleError> {
         let mut state = MachineState::with_mapping(spec, &self.initial_mapping)
             .map_err(ValidateScheduleError::BadMapping)?;
         let dag = circuit.dependency_dag();
@@ -209,7 +217,10 @@ impl fmt::Display for ValidateScheduleError {
                 write!(f, "step {step}: gate {gate} executed twice")
             }
             ValidateScheduleError::DependencyViolation { step, gate } => {
-                write!(f, "step {step}: gate {gate} executed before its dependencies")
+                write!(
+                    f,
+                    "step {step}: gate {gate} executed before its dependencies"
+                )
             }
             ValidateScheduleError::NotCoLocated { step, gate } => {
                 write!(f, "step {step}: operands of gate {gate} are not co-located")

@@ -62,7 +62,11 @@ impl MachineSpec {
     /// # Errors
     ///
     /// Same as [`MachineSpec::new`].
-    pub fn linear(traps: u32, total_capacity: u32, comm_capacity: u32) -> Result<Self, MachineError> {
+    pub fn linear(
+        traps: u32,
+        total_capacity: u32,
+        comm_capacity: u32,
+    ) -> Result<Self, MachineError> {
         MachineSpec::new(TrapTopology::linear(traps), total_capacity, comm_capacity)
     }
 

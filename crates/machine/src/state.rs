@@ -31,7 +31,10 @@ impl MachineState {
     ///
     /// Returns [`MachineError::MappingOverfill`] if the mapping does not fit
     /// this spec (possible when the mapping was built for a different spec).
-    pub fn with_mapping(spec: &MachineSpec, mapping: &InitialMapping) -> Result<Self, MachineError> {
+    pub fn with_mapping(
+        spec: &MachineSpec,
+        mapping: &InitialMapping,
+    ) -> Result<Self, MachineError> {
         let mut chains: Vec<Vec<IonId>> = vec![Vec::new(); spec.num_traps() as usize];
         let mut trap_of = Vec::with_capacity(mapping.num_ions() as usize);
         for (i, &t) in mapping.as_slice().iter().enumerate() {

@@ -18,6 +18,10 @@ pub struct TrapTopology {
     adj: Adjacency,
 }
 
+// Referenced by the `#[serde(default = "...")]` attribute below; the
+// vendored serde stub ignores field attributes, so without this allow the
+// compiler sees no non-test use.
+#[allow(dead_code)]
 fn empty_adjacency() -> Adjacency {
     Adjacency::new(0)
 }
@@ -121,7 +125,9 @@ impl TrapTopology {
 
     /// Hop distance between two traps, or `None` if disconnected.
     pub fn distance(&self, from: TrapId, to: TrapId) -> Option<u32> {
-        self.adj.distance(from.index(), to.index()).map(|d| d as u32)
+        self.adj
+            .distance(from.index(), to.index())
+            .map(|d| d as u32)
     }
 
     /// Shortest trap path `from → … → to` inclusive, or `None` if

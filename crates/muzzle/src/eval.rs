@@ -1,0 +1,281 @@
+//! The `eval` subcommand: the paper's comparison report over a suite.
+//!
+//! Reproduces the shape of the paper's evaluation (§IV): per-benchmark
+//! baseline-vs-optimized shuttle counts (Table II), program-fidelity
+//! improvement (Fig. 8), and compile times (Table III), prefaced by the
+//! Fig. 4 worked example — the four-gate program on which the baseline's
+//! excess-capacity policy ping-pongs ion 2 for 4 shuttles while the
+//! future-ops policy moves ion 1 once.
+
+use crate::output::{csv_row, Json};
+use crate::{emit, parse_common};
+use qccd_bench::{compare, ComparisonRow, RANDOM_SUITE_SEED};
+use qccd_circuit::generators::{paper_suite, random_suite, BenchmarkCircuit};
+use qccd_circuit::parser::parse_program;
+use qccd_core::{compile_with_mapping, CompilerConfig};
+use qccd_machine::{InitialMapping, MachineSpec, TrapId};
+use qccd_sim::SimParams;
+
+/// Shuttle counts of the Fig. 4 worked example under both policies.
+struct Fig4 {
+    baseline_shuttles: usize,
+    optimized_shuttles: usize,
+}
+
+/// Runs the paper's Fig. 4 worked example: `MS q1,q2; MS q2,q3; MS q1,q2;
+/// MS q2,q4;` on two traps of capacity 4 with ions 0-1 in T0 and 2-4 in T1.
+fn fig4_worked_example() -> Result<Fig4, String> {
+    let circuit = parse_program(
+        "MS q[1], q[2];\nMS q[2], q[3];\nMS q[1], q[2];\nMS q[2], q[4];",
+        5,
+    )
+    .map_err(|e| e.to_string())?;
+    let spec = MachineSpec::linear(2, 4, 1).map_err(|e| e.to_string())?;
+    let mapping = InitialMapping::from_traps(
+        &spec,
+        vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
+    )
+    .map_err(|e| e.to_string())?;
+    let baseline = compile_with_mapping(
+        &circuit,
+        &spec,
+        &CompilerConfig::baseline(),
+        mapping.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let optimized = compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping)
+        .map_err(|e| e.to_string())?;
+    Ok(Fig4 {
+        baseline_shuttles: baseline.stats.shuttles,
+        optimized_shuttles: optimized.stats.shuttles,
+    })
+}
+
+/// Scaled-down versions of the paper's benchmarks (the integration suite),
+/// for quick runs and CI smoke tests.
+fn mini_suite() -> Vec<BenchmarkCircuit> {
+    use qccd_circuit::generators::{
+        qaoa, qft, quadratic_form, random_circuit, square_root, supremacy,
+    };
+    vec![
+        BenchmarkCircuit {
+            name: "supremacy-mini".into(),
+            circuit: supremacy(4, 4, 12),
+        },
+        BenchmarkCircuit {
+            name: "qaoa-mini".into(),
+            circuit: qaoa(16, 4, 3),
+        },
+        BenchmarkCircuit {
+            name: "sqrt-mini".into(),
+            circuit: square_root(16, 3),
+        },
+        BenchmarkCircuit {
+            name: "qft-mini".into(),
+            circuit: qft(16),
+        },
+        BenchmarkCircuit {
+            name: "quadform-mini".into(),
+            circuit: quadratic_form(16, 200),
+        },
+        BenchmarkCircuit {
+            name: "random-mini".into(),
+            circuit: random_circuit(18, 200, 9),
+        },
+    ]
+}
+
+/// Entry point for `muzzle eval`.
+pub fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let opts = parse_common(args, &["--suite", "--per-size"], &[])?;
+    opts.reject_flags(
+        &[
+            "--circuit",
+            "--qubits",
+            "--traps",
+            "--capacity",
+            "--comm",
+            "--topology",
+            "--policy",
+            "--proximity",
+        ],
+        "each eval suite fixes its machine, circuits, and the \
+         baseline-vs-optimized policy pair (use compile/simulate/sweep for \
+         custom setups)",
+    )?;
+    let suite_name = opts
+        .extra_values
+        .iter()
+        .find(|(k, _)| k == "--suite")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "paper".to_owned());
+    let per_size: usize = match opts.extra_values.iter().find(|(k, _)| k == "--per-size") {
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| format!("--per-size: `{v}` is not a valid number"))?,
+        None => 5,
+    };
+
+    let params = SimParams::default();
+    let (machine, suite) = match suite_name.as_str() {
+        "paper" => (MachineSpec::paper_l6(), paper_suite()),
+        "mini" => (
+            MachineSpec::linear(3, 8, 2).map_err(|e| e.to_string())?,
+            mini_suite(),
+        ),
+        "random" => (
+            MachineSpec::paper_l6(),
+            random_suite(per_size, RANDOM_SUITE_SEED),
+        ),
+        other => {
+            return Err(format!(
+                "unknown suite `{other}` (expected paper, mini, or random)"
+            ))
+        }
+    };
+
+    let fig4 = fig4_worked_example()?;
+    eprintln!(
+        "evaluating {} benchmarks on {machine} (policy comparison)...",
+        suite.len()
+    );
+    let rows: Vec<ComparisonRow> = suite
+        .iter()
+        .map(|bench| {
+            eprintln!("  {}", bench.name);
+            compare(bench, &machine, &params)
+        })
+        .collect();
+    let all_leq = rows
+        .iter()
+        .all(|r| r.optimized_shuttles <= r.baseline_shuttles);
+
+    let report = match opts.format.as_str() {
+        "json" => render_json(&suite_name, &machine, &fig4, &rows, all_leq),
+        "csv" => render_csv(&rows),
+        _ => render_text(&suite_name, &machine, &fig4, &rows, all_leq),
+    };
+    emit(&report, &opts.out)
+}
+
+fn render_text(
+    suite: &str,
+    machine: &MachineSpec,
+    fig4: &Fig4,
+    rows: &[ComparisonRow],
+    all_leq: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# muzzle eval — suite `{suite}` on {machine}\n\n"));
+    out.push_str(&format!(
+        "Fig. 4 worked example: baseline {} shuttles, optimized {} shuttles (paper: 4 vs. 1)\n\n",
+        fig4.baseline_shuttles, fig4.optimized_shuttles
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>12}\n",
+        "Benchmark", "Qubits", "2Q gates", "Baseline", "This Work", "D(dn)", "%D", "Fidelity gain"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>11.2}X\n",
+            r.name,
+            r.qubits,
+            r.two_qubit_gates,
+            r.baseline_shuttles,
+            r.optimized_shuttles,
+            r.delta(),
+            r.delta_percent(),
+            r.fidelity_improvement()
+        ));
+    }
+    out.push_str(&format!(
+        "\noptimized <= baseline on every benchmark: {}\n",
+        if all_leq { "yes" } else { "NO — regression!" }
+    ));
+    out
+}
+
+fn render_csv(rows: &[ComparisonRow]) -> String {
+    let mut out = String::from(
+        "benchmark,qubits,two_qubit_gates,baseline_shuttles,optimized_shuttles,delta,\
+         delta_percent,fidelity_improvement,baseline_compile_s,optimized_compile_s\n",
+    );
+    for r in rows {
+        out.push_str(&csv_row(&[
+            r.name.clone(),
+            r.qubits.to_string(),
+            r.two_qubit_gates.to_string(),
+            r.baseline_shuttles.to_string(),
+            r.optimized_shuttles.to_string(),
+            r.delta().to_string(),
+            format!("{:.3}", r.delta_percent()),
+            format!("{:.4}", r.fidelity_improvement()),
+            format!("{:.6}", r.baseline_compile_s),
+            format!("{:.6}", r.optimized_compile_s),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+fn render_json(
+    suite: &str,
+    machine: &MachineSpec,
+    fig4: &Fig4,
+    rows: &[ComparisonRow],
+    all_leq: bool,
+) -> String {
+    let benchmarks = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", Json::str(&r.name)),
+                ("qubits", Json::int(r.qubits as usize)),
+                ("two_qubit_gates", Json::int(r.two_qubit_gates)),
+                ("baseline_shuttles", Json::int(r.baseline_shuttles)),
+                ("optimized_shuttles", Json::int(r.optimized_shuttles)),
+                ("delta", Json::Num(r.delta() as f64)),
+                ("delta_percent", Json::Num(r.delta_percent())),
+                ("fidelity_improvement", Json::Num(r.fidelity_improvement())),
+                (
+                    "baseline",
+                    Json::obj(vec![
+                        (
+                            "program_fidelity",
+                            Json::Num(r.baseline_sim.program_fidelity),
+                        ),
+                        ("makespan_us", Json::Num(r.baseline_sim.makespan_us)),
+                        ("compile_seconds", Json::Num(r.baseline_compile_s)),
+                    ]),
+                ),
+                (
+                    "optimized",
+                    Json::obj(vec![
+                        (
+                            "program_fidelity",
+                            Json::Num(r.optimized_sim.program_fidelity),
+                        ),
+                        ("makespan_us", Json::Num(r.optimized_sim.makespan_us)),
+                        ("compile_seconds", Json::Num(r.optimized_compile_s)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let value = Json::obj(vec![
+        ("suite", Json::str(suite)),
+        ("machine", Json::str(machine.to_string())),
+        (
+            "fig4_worked_example",
+            Json::obj(vec![
+                ("baseline_shuttles", Json::int(fig4.baseline_shuttles)),
+                ("optimized_shuttles", Json::int(fig4.optimized_shuttles)),
+            ]),
+        ),
+        ("benchmarks", Json::Arr(benchmarks)),
+        ("all_optimized_leq_baseline", Json::Bool(all_leq)),
+    ]);
+    let mut text = value.to_string();
+    text.push('\n');
+    text
+}

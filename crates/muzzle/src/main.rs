@@ -1,0 +1,615 @@
+//! `muzzle` — command-line driver for the muzzle-shuttle QCCD compiler.
+//!
+//! Compiles quantum circuits onto multi-trap trapped-ion machines under the
+//! paper's baseline (Murali et al., ISCA'20) and optimized (DATE'22)
+//! shuttle policies, replays them through the fidelity/timing simulator,
+//! and reproduces the paper's comparison reports.
+//!
+//! ```text
+//! muzzle compile  --circuit qft:16 --traps 2            # shuttle stats
+//! muzzle simulate --circuit qaoa:64x13 --compare        # fidelity report
+//! muzzle sweep    --param proximity --values 1,2,4,6,12 # design sweep
+//! muzzle eval     --suite paper                         # Table II / Fig. 8
+//! ```
+//!
+//! Run `muzzle help` for the full option list. Reports emit as `text`
+//! (default), `json`, or `csv` via `--format`, to stdout or `--out FILE`.
+
+mod eval;
+mod output;
+mod spec;
+
+use output::Json;
+use qccd_core::{compile, CompileResult, CompilerConfig, DirectionPolicy, ScheduleAnalysis};
+use qccd_machine::MachineSpec;
+use qccd_sim::{simulate, SimParams, SimReport};
+use spec::{parse_circuit, CircuitSpec, MachineOptions};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+muzzle — shuttle-efficient compilation for multi-trap trapped-ion machines
+
+USAGE:
+    muzzle <COMMAND> [OPTIONS]
+
+COMMANDS:
+    compile     Compile one circuit and report shuttle statistics
+    simulate    Compile, then replay through the fidelity/timing simulator
+    sweep       Sweep proximity or trap count and tabulate shuttle counts
+    eval        Reproduce the paper's comparison report over a suite
+    help        Show this message
+
+CIRCUIT / MACHINE OPTIONS (compile, simulate, sweep):
+    --circuit SPEC      qft:16 | qaoa:64x13[@seed] | supremacy:8x8x20 |
+                        sqrt:78x9 | quadform:64x3400 | random:60x1438[@seed] |
+                        file:PATH (program text; requires --qubits)
+    --qubits N          qubit count for file: circuits
+    --traps N           number of traps            [default: 6]
+    --capacity N        total per-trap capacity    [default: 17]
+    --comm N            communication capacity     [default: 2]
+    --topology T        linear | ring | grid:RxC   [default: linear]
+
+POLICY OPTIONS:
+    --policy P          baseline | optimized       [default: optimized]
+    --proximity N       future-ops proximity override (optimized only)
+
+OUTPUT OPTIONS:
+    --format F          text | json | csv          [default: text]
+    --out PATH          write the report to PATH instead of stdout
+
+COMMAND-SPECIFIC:
+    compile   --show-schedule     print the compiled operation listing
+              --analyze           print trap-flow / ion-travel analysis
+    simulate  --compare           simulate both policies and the improvement
+    sweep     --param P           proximity | traps
+              --values A,B,C      swept values
+    eval      --suite S           paper | mini | random   [default: paper]
+              --per-size N        random-suite circuits per size [default: 5]
+
+EXAMPLES:
+    muzzle compile --circuit qft:16 --traps 2
+    muzzle eval --suite paper --format json --out report.json
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "compile" => cmd_compile(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "eval" => eval::cmd_eval(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}` (try `muzzle help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Common options parsed from the flag list.
+pub struct CommonOptions {
+    pub circuit: Option<String>,
+    pub qubits: Option<u32>,
+    pub machine: MachineOptions,
+    pub policy: String,
+    pub proximity: Option<u32>,
+    pub format: String,
+    pub out: Option<String>,
+    /// Flags the subcommand recognises beyond the common set.
+    pub extra_flags: Vec<String>,
+    /// `--key value` pairs the subcommand recognises beyond the common set.
+    pub extra_values: Vec<(String, String)>,
+    /// Every flag the user explicitly passed, so subcommands can reject
+    /// options they would otherwise silently ignore.
+    pub seen: Vec<String>,
+}
+
+impl CommonOptions {
+    /// Errors if the user explicitly passed any of `flags`; `context`
+    /// explains why the subcommand cannot honour them.
+    pub fn reject_flags(&self, flags: &[&str], context: &str) -> Result<(), String> {
+        for flag in flags {
+            if self.seen.iter().any(|s| s == flag) {
+                return Err(format!("{flag} is not supported here: {context}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses the shared option grammar. `value_flags` lists subcommand flags
+/// that take a value; `bool_flags` lists bare subcommand flags.
+pub fn parse_common(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<CommonOptions, String> {
+    let mut opts = CommonOptions {
+        circuit: None,
+        qubits: None,
+        machine: MachineOptions::default(),
+        policy: "optimized".to_owned(),
+        proximity: None,
+        format: "text".to_owned(),
+        out: None,
+        extra_flags: Vec::new(),
+        extra_values: Vec::new(),
+        seen: Vec::new(),
+    };
+    let mut i = 0;
+    let next = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg.starts_with("--") {
+            opts.seen.push(arg.to_owned());
+        }
+        match arg {
+            "--circuit" => opts.circuit = Some(next(&mut i, arg)?),
+            "--qubits" => {
+                opts.qubits = Some(parse_num(&next(&mut i, arg)?, arg)?);
+            }
+            "--traps" => opts.machine.traps = parse_num(&next(&mut i, arg)?, arg)?,
+            "--capacity" => opts.machine.capacity = parse_num(&next(&mut i, arg)?, arg)?,
+            "--comm" => opts.machine.comm = parse_num(&next(&mut i, arg)?, arg)?,
+            "--topology" => opts.machine.topology = next(&mut i, arg)?,
+            "--policy" => {
+                let p = next(&mut i, arg)?;
+                if p != "baseline" && p != "optimized" {
+                    return Err(format!("--policy must be baseline or optimized, got `{p}`"));
+                }
+                opts.policy = p;
+            }
+            "--proximity" => opts.proximity = Some(parse_num(&next(&mut i, arg)?, arg)?),
+            "--format" => {
+                let f = next(&mut i, arg)?;
+                if !["text", "json", "csv"].contains(&f.as_str()) {
+                    return Err(format!("--format must be text, json, or csv, got `{f}`"));
+                }
+                opts.format = f;
+            }
+            "--out" => opts.out = Some(next(&mut i, arg)?),
+            flag if value_flags.contains(&flag) => {
+                let value = next(&mut i, flag)?;
+                opts.extra_values.push((flag.to_owned(), value));
+            }
+            flag if bool_flags.contains(&flag) => opts.extra_flags.push(flag.to_owned()),
+            other => return Err(format!("unknown option `{other}` (try `muzzle help`)")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: `{text}` is not a valid number"))
+}
+
+/// Resolves the policy options into a compiler configuration.
+///
+/// `--proximity` tunes the future-ops scan and is meaningless for the
+/// baseline's excess-capacity rule, so that combination is rejected.
+pub fn build_config(policy: &str, proximity: Option<u32>) -> Result<CompilerConfig, String> {
+    if policy == "baseline" {
+        if proximity.is_some() {
+            return Err(
+                "--proximity only applies to --policy optimized (the baseline's \
+                 excess-capacity rule has no proximity parameter)"
+                    .to_owned(),
+            );
+        }
+        return Ok(CompilerConfig::baseline());
+    }
+    let mut config = CompilerConfig::optimized();
+    if let Some(p) = proximity {
+        config.direction = DirectionPolicy::FutureOps { proximity: p };
+    }
+    Ok(config)
+}
+
+/// Writes `report` to `--out` or stdout.
+pub fn emit(report: &str, out: &Option<String>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, report).map_err(|e| format!("cannot write `{path}`: {e}"))
+        }
+        None => {
+            print!("{report}");
+            Ok(())
+        }
+    }
+}
+
+fn require_circuit(opts: &CommonOptions) -> Result<CircuitSpec, String> {
+    let spec = opts
+        .circuit
+        .as_deref()
+        .ok_or("missing --circuit (e.g. --circuit qft:16)")?;
+    parse_circuit(spec, opts.qubits)
+}
+
+fn sim_report_json(report: &SimReport) -> Json {
+    Json::obj(vec![
+        ("program_fidelity", Json::Num(report.program_fidelity)),
+        (
+            "log_program_fidelity",
+            Json::Num(report.log_program_fidelity),
+        ),
+        ("makespan_us", Json::Num(report.makespan_us)),
+        ("shuttles", Json::int(report.shuttles)),
+        ("gates", Json::int(report.gates)),
+        (
+            "final_mean_motional_mode",
+            Json::Num(report.final_mean_motional_mode),
+        ),
+        ("min_gate_fidelity", Json::Num(report.min_gate_fidelity)),
+    ])
+}
+
+fn compile_stats_json(result: &CompileResult, compile_s: f64) -> Json {
+    let s = &result.stats;
+    Json::obj(vec![
+        ("shuttles", Json::int(s.shuttles)),
+        ("rebalance_shuttles", Json::int(s.rebalance_shuttles)),
+        ("gate_ops", Json::int(s.gate_ops)),
+        ("local_gates", Json::int(s.local_gates)),
+        ("reorders", Json::int(s.reorders)),
+        ("rebalances", Json::int(s.rebalances)),
+        (
+            "opposite_direction_moves",
+            Json::int(s.opposite_direction_moves),
+        ),
+        ("compile_seconds", Json::Num(compile_s)),
+    ])
+}
+
+fn timed(
+    circuit: &qccd_circuit::Circuit,
+    machine: &MachineSpec,
+    config: &CompilerConfig,
+) -> Result<(CompileResult, f64), String> {
+    let start = Instant::now();
+    let result = compile(circuit, machine, config).map_err(|e| e.to_string())?;
+    Ok((result, start.elapsed().as_secs_f64()))
+}
+
+// ---------------------------------------------------------------- compile
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let opts = parse_common(args, &[], &["--show-schedule", "--analyze"])?;
+    let circuit = require_circuit(&opts)?;
+    let machine = opts.machine.build()?;
+    let config = build_config(&opts.policy, opts.proximity)?;
+    let (result, compile_s) = timed(&circuit.circuit, &machine, &config)?;
+
+    let mut report = String::new();
+    match opts.format.as_str() {
+        "json" => {
+            let value = Json::obj(vec![
+                ("circuit", Json::str(&circuit.name)),
+                ("qubits", Json::int(circuit.circuit.num_qubits() as usize)),
+                (
+                    "two_qubit_gates",
+                    Json::int(circuit.circuit.two_qubit_gate_count()),
+                ),
+                ("machine", Json::str(machine.to_string())),
+                ("policy", Json::str(&opts.policy)),
+                ("config", Json::str(config.to_string())),
+                ("stats", compile_stats_json(&result, compile_s)),
+            ]);
+            report.push_str(&value.to_string());
+            report.push('\n');
+        }
+        "csv" => {
+            report.push_str("circuit,machine,policy,shuttles,rebalance_shuttles,gates,local_gates,reorders,rebalances,compile_seconds\n");
+            report.push_str(&output::csv_row(&[
+                circuit.name.clone(),
+                machine.to_string(),
+                opts.policy.clone(),
+                result.stats.shuttles.to_string(),
+                result.stats.rebalance_shuttles.to_string(),
+                result.stats.gate_ops.to_string(),
+                result.stats.local_gates.to_string(),
+                result.stats.reorders.to_string(),
+                result.stats.rebalances.to_string(),
+                format!("{compile_s:.6}"),
+            ]));
+            report.push('\n');
+        }
+        _ => {
+            report.push_str(&format!(
+                "circuit  {} ({} qubits, {} two-qubit gates)\n",
+                circuit.name,
+                circuit.circuit.num_qubits(),
+                circuit.circuit.two_qubit_gate_count()
+            ));
+            report.push_str(&format!("machine  {machine}\n"));
+            report.push_str(&format!("policy   {} ({config})\n", opts.policy));
+            report.push_str(&format!("result   {}\n", result.stats));
+            report.push_str(&format!("time     {compile_s:.4} s\n"));
+        }
+    }
+
+    if opts.extra_flags.iter().any(|f| f == "--analyze") {
+        let analysis = ScheduleAnalysis::analyze(
+            &result.schedule,
+            machine.num_traps(),
+            circuit.circuit.num_qubits(),
+        );
+        report.push_str(&format!(
+            "analysis shuttle/gate ratio {:.3}, stationary ions {:.1}%, ping-pong volume {}\n",
+            analysis.shuttle_to_gate_ratio(),
+            100.0 * analysis.stationary_ion_fraction(),
+            analysis.total_ping_pong(),
+        ));
+        if let Some((ion, hops)) = analysis.busiest_ion() {
+            report.push_str(&format!("         busiest ion {ion} with {hops} hops\n"));
+        }
+    }
+    if opts.extra_flags.iter().any(|f| f == "--show-schedule") {
+        report.push_str(&result.schedule.to_text(&circuit.circuit));
+    }
+    emit(&report, &opts.out)
+}
+
+// --------------------------------------------------------------- simulate
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let opts = parse_common(args, &[], &["--compare"])?;
+    let circuit = require_circuit(&opts)?;
+    let machine = opts.machine.build()?;
+    let params = SimParams::default();
+    let compare = opts.extra_flags.iter().any(|f| f == "--compare");
+
+    let run = |config: &CompilerConfig| -> Result<(CompileResult, SimReport), String> {
+        let (result, _) = timed(&circuit.circuit, &machine, config)?;
+        let report = simulate(&result.schedule, &circuit.circuit, &machine, &params)
+            .map_err(|e| e.to_string())?;
+        Ok((result, report))
+    };
+
+    let mut report = String::new();
+    if compare {
+        opts.reject_flags(
+            &["--policy"],
+            "--compare always runs both the baseline and optimized policies",
+        )?;
+        let (_, base) = run(&CompilerConfig::baseline())?;
+        let (_, opt) = run(&build_config("optimized", opts.proximity)?)?;
+        match opts.format.as_str() {
+            "json" => {
+                let value = Json::obj(vec![
+                    ("circuit", Json::str(&circuit.name)),
+                    ("machine", Json::str(machine.to_string())),
+                    ("baseline", sim_report_json(&base)),
+                    ("optimized", sim_report_json(&opt)),
+                    (
+                        "fidelity_improvement",
+                        Json::Num(opt.fidelity_improvement_over(&base)),
+                    ),
+                ]);
+                report.push_str(&value.to_string());
+                report.push('\n');
+            }
+            "csv" => {
+                report.push_str(
+                    "circuit,machine,policy,program_fidelity,makespan_us,shuttles,gates\n",
+                );
+                for (policy, r) in [("baseline", &base), ("optimized", &opt)] {
+                    report.push_str(&output::csv_row(&[
+                        circuit.name.clone(),
+                        machine.to_string(),
+                        policy.to_owned(),
+                        format!("{:e}", r.program_fidelity),
+                        format!("{:.3}", r.makespan_us),
+                        r.shuttles.to_string(),
+                        r.gates.to_string(),
+                    ]));
+                    report.push('\n');
+                }
+            }
+            _ => {
+                report.push_str(&format!("circuit   {} on {machine}\n", circuit.name));
+                report.push_str(&format!("baseline  {base}\n"));
+                report.push_str(&format!("optimized {opt}\n"));
+                report.push_str(&format!(
+                    "improvement {:.2}X ({} fewer shuttles)\n",
+                    opt.fidelity_improvement_over(&base),
+                    base.shuttles as i64 - opt.shuttles as i64
+                ));
+            }
+        }
+    } else {
+        let config = build_config(&opts.policy, opts.proximity)?;
+        let (_, sim) = run(&config)?;
+        match opts.format.as_str() {
+            "json" => {
+                let value = Json::obj(vec![
+                    ("circuit", Json::str(&circuit.name)),
+                    ("machine", Json::str(machine.to_string())),
+                    ("policy", Json::str(&opts.policy)),
+                    ("report", sim_report_json(&sim)),
+                ]);
+                report.push_str(&value.to_string());
+                report.push('\n');
+            }
+            "csv" => {
+                report.push_str(
+                    "circuit,machine,policy,program_fidelity,makespan_us,shuttles,gates\n",
+                );
+                report.push_str(&output::csv_row(&[
+                    circuit.name.clone(),
+                    machine.to_string(),
+                    opts.policy.clone(),
+                    format!("{:e}", sim.program_fidelity),
+                    format!("{:.3}", sim.makespan_us),
+                    sim.shuttles.to_string(),
+                    sim.gates.to_string(),
+                ]));
+                report.push('\n');
+            }
+            _ => {
+                report.push_str(&format!(
+                    "circuit {} on {machine} ({})\n{sim}\n",
+                    circuit.name, opts.policy
+                ));
+            }
+        }
+    }
+    emit(&report, &opts.out)
+}
+
+// ------------------------------------------------------------------ sweep
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let opts = parse_common(args, &["--param", "--values"], &[])?;
+    let circuit = require_circuit(&opts)?;
+    let param = opts
+        .extra_values
+        .iter()
+        .find(|(k, _)| k == "--param")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "proximity".to_owned());
+    let values: Vec<u32> = match opts.extra_values.iter().find(|(k, _)| k == "--values") {
+        Some((_, list)) => list
+            .split(',')
+            .map(|v| parse_num(v.trim(), "--values"))
+            .collect::<Result<_, _>>()?,
+        None => match param.as_str() {
+            "proximity" => vec![1, 2, 3, 4, 6, 8, 12, 16, 24],
+            _ => vec![2, 3, 4, 6, 8],
+        },
+    };
+    if values.is_empty() {
+        return Err("--values must name at least one value".to_owned());
+    }
+    opts.reject_flags(
+        &["--policy"],
+        "sweep always tabulates the baseline against the optimized policy",
+    )?;
+    if param == "proximity" {
+        opts.reject_flags(
+            &["--proximity"],
+            "the proximity sweep sets the proximity from --values",
+        )?;
+    }
+    if param == "traps" {
+        opts.reject_flags(
+            &["--traps"],
+            "the traps sweep sets the trap count from --values",
+        )?;
+    }
+
+    struct Row {
+        value: u32,
+        baseline: usize,
+        optimized: usize,
+    }
+    let mut rows = Vec::with_capacity(values.len());
+    for &value in &values {
+        let (machine, base_cfg, opt_cfg) = match param.as_str() {
+            "proximity" => (
+                opts.machine.build()?,
+                CompilerConfig::baseline(),
+                build_config("optimized", Some(value))?,
+            ),
+            "traps" => {
+                let mut m = MachineOptions {
+                    traps: value,
+                    ..MachineOptions::default()
+                };
+                m.capacity = opts.machine.capacity;
+                m.comm = opts.machine.comm;
+                m.topology = opts.machine.topology.clone();
+                (
+                    m.build()?,
+                    CompilerConfig::baseline(),
+                    build_config("optimized", opts.proximity)?,
+                )
+            }
+            other => {
+                return Err(format!(
+                    "unknown sweep parameter `{other}` (expected proximity or traps)"
+                ))
+            }
+        };
+        let (base, _) = timed(&circuit.circuit, &machine, &base_cfg)?;
+        let (opt, _) = timed(&circuit.circuit, &machine, &opt_cfg)?;
+        rows.push(Row {
+            value,
+            baseline: base.stats.shuttles,
+            optimized: opt.stats.shuttles,
+        });
+    }
+
+    let mut report = String::new();
+    match opts.format.as_str() {
+        "json" => {
+            let value = Json::obj(vec![
+                ("circuit", Json::str(&circuit.name)),
+                ("param", Json::str(&param)),
+                (
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    (param.as_str(), Json::int(r.value as usize)),
+                                    ("baseline_shuttles", Json::int(r.baseline)),
+                                    ("optimized_shuttles", Json::int(r.optimized)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            report.push_str(&value.to_string());
+            report.push('\n');
+        }
+        "csv" => {
+            report.push_str(&format!("{param},baseline_shuttles,optimized_shuttles\n"));
+            for r in &rows {
+                report.push_str(&output::csv_row(&[
+                    r.value.to_string(),
+                    r.baseline.to_string(),
+                    r.optimized.to_string(),
+                ]));
+                report.push('\n');
+            }
+        }
+        _ => {
+            report.push_str(&format!(
+                "# sweep of {param} for {} (baseline vs optimized shuttles)\n",
+                circuit.name
+            ));
+            report.push_str(&format!(
+                "{:>10} {:>10} {:>10}\n",
+                param, "baseline", "optimized"
+            ));
+            for r in &rows {
+                report.push_str(&format!(
+                    "{:>10} {:>10} {:>10}\n",
+                    r.value, r.baseline, r.optimized
+                ));
+            }
+        }
+    }
+    emit(&report, &opts.out)
+}

@@ -1,0 +1,244 @@
+//! Parsing of `--circuit` and machine-shape options into workspace types.
+
+use qccd_circuit::generators::{qaoa, qft, quadratic_form, random_circuit, square_root, supremacy};
+use qccd_circuit::parser::parse_program;
+use qccd_circuit::Circuit;
+use qccd_machine::{MachineSpec, TrapTopology};
+
+/// A parsed `--circuit` argument: the circuit plus a display name.
+pub struct CircuitSpec {
+    /// Canonical display name (e.g. `qft:16`).
+    pub name: String,
+    /// The generated or parsed circuit.
+    pub circuit: Circuit,
+}
+
+/// Parses a `--circuit` spec.
+///
+/// Grammar: `family:dims` with dimensions separated by `x` and an optional
+/// `@seed` suffix, or `file:PATH` (a program-text file; pass `--qubits`).
+///
+/// | Spec | Meaning |
+/// |------|---------|
+/// | `qft:16` | 16-qubit quantum Fourier transform |
+/// | `qaoa:64x13[@seed]` | QAOA MaxCut, 64 qubits × 13 rounds |
+/// | `supremacy:8x8x20` | supremacy-style grid, 8×8 qubits × 20 cycles |
+/// | `sqrt:78x9` | Grover-style square root, 78 qubits × 9 blocks |
+/// | `quadform:64x3400` | QuadraticForm with ≈3400 two-qubit gates |
+/// | `random:60x1438[@seed]` | uniform random two-qubit circuit |
+/// | `file:prog.txt` | program text in the paper's listing format |
+pub fn parse_circuit(spec: &str, file_qubits: Option<u32>) -> Result<CircuitSpec, String> {
+    let (family, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("circuit spec `{spec}` needs the form family:dims"))?;
+    if family == "file" {
+        let qubits =
+            file_qubits.ok_or_else(|| "file: circuits need an explicit --qubits N".to_owned())?;
+        let text = std::fs::read_to_string(rest)
+            .map_err(|e| format!("cannot read circuit file `{rest}`: {e}"))?;
+        let circuit =
+            parse_program(&text, qubits).map_err(|e| format!("parse error in `{rest}`: {e}"))?;
+        return Ok(CircuitSpec {
+            name: format!("file:{rest}"),
+            circuit,
+        });
+    }
+
+    let (dims_text, seed) = match rest.split_once('@') {
+        Some((d, s)) => (
+            d,
+            Some(
+                s.parse::<u64>()
+                    .map_err(|_| format!("bad seed `{s}` in circuit spec `{spec}`"))?,
+            ),
+        ),
+        None => (rest, None),
+    };
+    let dims: Vec<u64> = dims_text
+        .split('x')
+        .map(|d| {
+            d.parse::<u32>()
+                .map(u64::from)
+                .map_err(|_| format!("bad dimension `{d}` in circuit spec `{spec}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    // Only seeded families may carry an @seed suffix; accepting it anywhere
+    // else would let seed sweeps silently produce identical circuits.
+    if seed.is_some() && !matches!(family, "qaoa" | "random") {
+        return Err(format!(
+            "circuit family `{family}` is deterministic and takes no @seed (in `{spec}`)"
+        ));
+    }
+
+    let expect = |n: usize| -> Result<(), String> {
+        if dims.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "circuit family `{family}` takes {n} dimension(s), got {} in `{spec}`",
+                dims.len()
+            ))
+        }
+    };
+
+    let circuit = match family {
+        "qft" => {
+            expect(1)?;
+            qft(dims[0] as u32)
+        }
+        "qaoa" => {
+            expect(2)?;
+            qaoa(dims[0] as u32, dims[1] as u32, seed.unwrap_or(0xA0A0))
+        }
+        "supremacy" => {
+            expect(3)?;
+            supremacy(dims[0] as u32, dims[1] as u32, dims[2] as u32)
+        }
+        "sqrt" => {
+            expect(2)?;
+            square_root(dims[0] as u32, dims[1] as u32)
+        }
+        "quadform" => {
+            expect(2)?;
+            quadratic_form(dims[0] as u32, dims[1] as usize)
+        }
+        "random" => {
+            expect(2)?;
+            random_circuit(dims[0] as u32, dims[1] as usize, seed.unwrap_or(7))
+        }
+        other => {
+            return Err(format!(
+                "unknown circuit family `{other}` \
+                 (expected qft, qaoa, supremacy, sqrt, quadform, random, or file)"
+            ))
+        }
+    };
+    Ok(CircuitSpec {
+        name: spec.to_owned(),
+        circuit,
+    })
+}
+
+/// Machine-shape options shared by every subcommand. Defaults to the
+/// paper's L6 evaluation platform (§IV-A): 6 linear traps, capacity 17,
+/// communication capacity 2.
+pub struct MachineOptions {
+    /// Number of traps (`--traps`).
+    pub traps: u32,
+    /// Total per-trap capacity (`--capacity`).
+    pub capacity: u32,
+    /// Communication capacity (`--comm`).
+    pub comm: u32,
+    /// Interconnect shape (`--topology linear|ring|grid:RxC`).
+    pub topology: String,
+}
+
+impl Default for MachineOptions {
+    fn default() -> Self {
+        MachineOptions {
+            traps: 6,
+            capacity: 17,
+            comm: 2,
+            topology: "linear".to_owned(),
+        }
+    }
+}
+
+impl MachineOptions {
+    /// Builds the validated [`MachineSpec`].
+    pub fn build(&self) -> Result<MachineSpec, String> {
+        let topology = match self.topology.as_str() {
+            "linear" => TrapTopology::linear(self.traps),
+            "ring" => {
+                if self.traps < 3 {
+                    return Err(format!(
+                        "ring topology needs at least 3 traps, got {}",
+                        self.traps
+                    ));
+                }
+                TrapTopology::ring(self.traps)
+            }
+            grid if grid.starts_with("grid:") => {
+                let dims = &grid["grid:".len()..];
+                let (r, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("grid topology needs grid:RxC, got `{grid}`"))?;
+                let rows: u32 = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
+                let cols: u32 = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
+                // A grid names its own trap count; `--traps` is ignored.
+                TrapTopology::grid(rows, cols)
+            }
+            other => {
+                return Err(format!(
+                    "unknown topology `{other}` (expected linear, ring, or grid:RxC)"
+                ))
+            }
+        };
+        MachineSpec::new(topology, self.capacity, self.comm).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_family() {
+        for (spec, qubits, gates) in [
+            ("qft:16", 16, 240), // 2 MS per controlled-phase: n(n-1)
+            ("qaoa:16x2", 16, 48),
+            ("supremacy:4x4x12", 16, 0), // gate count checked loosely below
+            ("sqrt:16x3", 16, 0),
+            ("quadform:16x200", 16, 200),
+            ("random:18x200", 18, 200),
+        ] {
+            let c = parse_circuit(spec, None).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(c.circuit.num_qubits(), qubits, "{spec}");
+            if gates > 0 {
+                assert_eq!(c.circuit.two_qubit_gate_count(), gates, "{spec}");
+            }
+            assert_eq!(c.name, spec);
+        }
+    }
+
+    #[test]
+    fn seed_suffix_changes_random_circuits() {
+        let a = parse_circuit("random:12x50@1", None).unwrap();
+        let b = parse_circuit("random:12x50@2", None).unwrap();
+        assert_ne!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_circuit("qft", None).is_err());
+        assert!(parse_circuit("qft:16x2", None).is_err());
+        assert!(parse_circuit("nosuch:4", None).is_err());
+        assert!(parse_circuit("random:axb", None).is_err());
+        assert!(parse_circuit("random:12x50@zz", None).is_err());
+        assert!(
+            parse_circuit("file:nope.txt", None).is_err(),
+            "file needs --qubits"
+        );
+    }
+
+    #[test]
+    fn default_machine_is_paper_l6() {
+        let spec = MachineOptions::default().build().unwrap();
+        assert_eq!(spec, MachineSpec::paper_l6());
+    }
+
+    #[test]
+    fn builds_ring_and_grid() {
+        let mut opts = MachineOptions {
+            traps: 4,
+            capacity: 8,
+            comm: 2,
+            topology: "ring".to_owned(),
+        };
+        assert_eq!(opts.build().unwrap().topology().to_string(), "R4");
+        opts.topology = "grid:2x2".to_owned();
+        assert_eq!(opts.build().unwrap().topology().to_string(), "G2x2");
+        opts.topology = "torus".to_owned();
+        assert!(opts.build().is_err());
+    }
+}

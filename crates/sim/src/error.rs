@@ -17,7 +17,9 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidSchedule(e) => write!(f, "schedule is not executable: {e}"),
-            SimError::InvalidParams => write!(f, "simulation parameters must be finite and non-negative"),
+            SimError::InvalidParams => {
+                write!(f, "simulation parameters must be finite and non-negative")
+            }
         }
     }
 }

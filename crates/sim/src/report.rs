@@ -60,7 +60,10 @@ impl fmt::Display for SimReport {
         write!(
             f,
             "fidelity {:.3e}, makespan {:.1} us, {} shuttles, {} gates, final n̄ {:.2}",
-            self.program_fidelity, self.makespan_us, self.shuttles, self.gates,
+            self.program_fidelity,
+            self.makespan_us,
+            self.shuttles,
+            self.gates,
             self.final_mean_motional_mode
         )
     }

@@ -82,6 +82,7 @@ pub(crate) fn simulate_inner(
     let mut clock = vec![0.0f64; num_traps]; // µs, per trap
     let mut n_bar = vec![0.0f64; num_traps]; // motional mode per chain
     let mut avail = vec![0.0f64; state.num_ions() as usize]; // per qubit, µs
+
     // Energy carried by an ion in transit (Fig. 3: "MOVE ... q[a1] energy ^").
     let mut carried = vec![0.0f64; state.num_ions() as usize];
 
@@ -149,7 +150,9 @@ pub(crate) fn simulate_inner(
             Operation::Shuttle { ion, from, to } => {
                 let (fi, ti) = (from.index(), to.index());
                 let tau = params.shuttle_hop_us();
-                let start = clock[fi].max(clock[ti]).max(avail[IonId::from(ion.qubit()).index()]);
+                let start = clock[fi]
+                    .max(clock[ti])
+                    .max(avail[IonId::from(ion.qubit()).index()]);
                 let end = start + tau;
                 // Background heating up to `end` on both chains.
                 n_bar[fi] += heat_rate_per_us * (end - clock[fi]).max(0.0);
@@ -228,11 +231,9 @@ mod tests {
         c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
         c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
-        let mapping = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)],
-        )
-        .unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)])
+                .unwrap();
         (c, spec, mapping)
     }
 
@@ -275,7 +276,10 @@ mod tests {
         assert_eq!(report.shuttles, 1);
         assert!(report.program_fidelity > 0.0 && report.program_fidelity < 1.0);
         assert!(report.min_gate_fidelity <= 1.0);
-        assert!(report.final_mean_motional_mode > 0.0, "shuttle must heat chains");
+        assert!(
+            report.final_mean_motional_mode > 0.0,
+            "shuttle must heat chains"
+        );
     }
 
     #[test]
@@ -330,9 +334,7 @@ mod tests {
             "extra shuttles must strictly reduce program fidelity"
         );
         assert!(lean_report.makespan_us < wasteful_report.makespan_us);
-        assert!(
-            wasteful_report.fidelity_improvement_over(&lean_report) < 1.0
-        );
+        assert!(wasteful_report.fidelity_improvement_over(&lean_report) < 1.0);
     }
 
     #[test]

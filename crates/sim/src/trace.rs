@@ -105,8 +105,8 @@ impl SimTrace {
         if self.report.makespan_us <= 0.0 || self.utilization.is_empty() {
             return 0.0;
         }
-        let mean_busy = self.utilization.iter().map(|u| u.busy_us).sum::<f64>()
-            / self.utilization.len() as f64;
+        let mean_busy =
+            self.utilization.iter().map(|u| u.busy_us).sum::<f64>() / self.utilization.len() as f64;
         (1.0 - mean_busy / self.report.makespan_us).clamp(0.0, 1.0)
     }
 }
@@ -125,8 +125,12 @@ pub fn simulate_traced(
 ) -> Result<SimTrace, SimError> {
     let mut records = Vec::with_capacity(schedule.operations.len());
     let mut utilization = vec![TrapUtilization::default(); spec.num_traps() as usize];
-    let (report, final_n_bar) = simulate_inner(schedule, circuit, spec, params, &mut |obs: OpObserver| {
-        match obs {
+    let (report, final_n_bar) = simulate_inner(
+        schedule,
+        circuit,
+        spec,
+        params,
+        &mut |obs: OpObserver| match obs {
             OpObserver::Gate {
                 gate,
                 trap,
@@ -170,8 +174,8 @@ pub fn simulate_traced(
                 utilization[to.index()].arrivals += 1;
                 utilization[to.index()].busy_us += end_us - start_us;
             }
-        }
-    })?;
+        },
+    )?;
     for (t, u) in utilization.iter_mut().enumerate() {
         u.final_n_bar = final_n_bar[t];
     }
@@ -195,11 +199,9 @@ mod tests {
         c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
         c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
-        let mapping = InitialMapping::from_traps(
-            &spec,
-            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)],
-        )
-        .unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)])
+                .unwrap();
         let schedule = Schedule::new(
             mapping,
             vec![

@@ -38,11 +38,21 @@ fn fig4_table1() -> Result<(), Box<dyn std::error::Error>> {
         vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
     )?;
 
-    let baseline = compile_with_mapping(&circuit, &spec, &CompilerConfig::baseline(), mapping.clone())?;
-    let optimized =
-        compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping)?;
-    println!("baseline  (excess-capacity): {} shuttles  (paper: 4)", baseline.stats.shuttles);
-    println!("optimized (future-ops)     : {} shuttles  (paper: 1)", optimized.stats.shuttles);
+    let baseline = compile_with_mapping(
+        &circuit,
+        &spec,
+        &CompilerConfig::baseline(),
+        mapping.clone(),
+    )?;
+    let optimized = compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping)?;
+    println!(
+        "baseline  (excess-capacity): {} shuttles  (paper: 4)",
+        baseline.stats.shuttles
+    );
+    println!(
+        "optimized (future-ops)     : {} shuttles  (paper: 1)",
+        optimized.stats.shuttles
+    );
     println!();
     Ok(())
 }
@@ -73,8 +83,12 @@ fn fig6_reordering() -> Result<(), Box<dyn std::error::Error>> {
             TrapId(2),
         ],
     )?;
-    let with_reorder =
-        compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping.clone())?;
+    let with_reorder = compile_with_mapping(
+        &circuit,
+        &spec,
+        &CompilerConfig::optimized(),
+        mapping.clone(),
+    )?;
     let mut cfg = CompilerConfig::optimized();
     cfg.reorder = false;
     let without = compile_with_mapping(&circuit, &spec, &cfg, mapping)?;
@@ -107,8 +121,12 @@ fn fig7_rebalancing() -> Result<(), Box<dyn std::error::Error>> {
     // One gate between a T3 ion and a T5 ion must route through full T4.
     let circuit = parse_program("MS q[14], q[21];", 23)?;
 
-    let baseline =
-        compile_with_mapping(&circuit, &spec, &CompilerConfig::baseline(), mapping.clone())?;
+    let baseline = compile_with_mapping(
+        &circuit,
+        &spec,
+        &CompilerConfig::baseline(),
+        mapping.clone(),
+    )?;
     let optimized = compile_with_mapping(&circuit, &spec, &CompilerConfig::optimized(), mapping)?;
     println!(
         "baseline  (search from T0)    : {} shuttles ({} for the eviction)  [paper: 4-hop eviction]",

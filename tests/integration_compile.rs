@@ -27,8 +27,8 @@ fn every_benchmark_compiles_and_validates_under_both_configs() {
     let spec = MachineSpec::linear(3, 8, 2).unwrap();
     for (name, circuit) in mini_suite() {
         for config in [CompilerConfig::baseline(), CompilerConfig::optimized()] {
-            let result = compile(&circuit, &spec, &config)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let result =
+                compile(&circuit, &spec, &config).unwrap_or_else(|e| panic!("{name}: {e}"));
             // compile() already replay-validates; double-check the counts.
             assert_eq!(result.stats.gate_ops, circuit.len(), "{name}");
             assert_eq!(

@@ -20,9 +20,13 @@ fn fig4_ping_pong_vs_future_ops() {
     )
     .unwrap();
 
-    let baseline =
-        compile_with_mapping(&circuit, &spec, &CompilerConfig::baseline(), mapping.clone())
-            .unwrap();
+    let baseline = compile_with_mapping(
+        &circuit,
+        &spec,
+        &CompilerConfig::baseline(),
+        mapping.clone(),
+    )
+    .unwrap();
     assert_eq!(baseline.stats.shuttles, 4, "paper: 4 shuttles");
 
     let optimized =
@@ -45,9 +49,13 @@ fn fig7_eviction_distances() {
     // Qubit 14 lives in T3, qubit 21 in T5; the route crosses full T4.
     let circuit = parse_program("MS q[14], q[21];", 23).unwrap();
 
-    let baseline =
-        compile_with_mapping(&circuit, &spec, &CompilerConfig::baseline(), mapping.clone())
-            .unwrap();
+    let baseline = compile_with_mapping(
+        &circuit,
+        &spec,
+        &CompilerConfig::baseline(),
+        mapping.clone(),
+    )
+    .unwrap();
     assert_eq!(
         baseline.stats.rebalance_shuttles, 4,
         "baseline evicts all the way to T0"
@@ -89,6 +97,28 @@ fn proximity_default_is_six_and_sweep_is_stable() {
     assert!(last.unwrap() > 0);
 }
 
+/// Table II's headline property at paper scale: on the L6 platform the
+/// optimized compiler needs no more shuttles than the baseline on any of
+/// the five named NISQ benchmarks.
+#[test]
+fn optimized_dominates_baseline_on_paper_suite() {
+    use muzzle_shuttle::circuit::generators::paper_suite;
+    use muzzle_shuttle::compiler::compile;
+
+    let spec = MachineSpec::paper_l6();
+    for bench in paper_suite() {
+        let base = compile(&bench.circuit, &spec, &CompilerConfig::baseline()).unwrap();
+        let opt = compile(&bench.circuit, &spec, &CompilerConfig::optimized()).unwrap();
+        assert!(
+            opt.stats.shuttles <= base.stats.shuttles,
+            "{}: optimized {} > baseline {}",
+            bench.name,
+            opt.stats.shuttles,
+            base.stats.shuttles
+        );
+    }
+}
+
 /// The paper's L6 evaluation platform (§IV-A).
 #[test]
 fn paper_platform_shape() {
@@ -98,8 +128,5 @@ fn paper_platform_shape() {
     assert_eq!(spec.comm_capacity(), 2);
     assert_eq!(spec.topology().to_string(), "L6");
     // Fig. 7's "T4 sending ion to T0 needing 4 shuttles".
-    assert_eq!(
-        spec.topology().distance(TrapId(4), TrapId(0)),
-        Some(4)
-    );
+    assert_eq!(spec.topology().distance(TrapId(4), TrapId(0)), Some(4));
 }

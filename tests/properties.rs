@@ -3,9 +3,11 @@
 use muzzle_shuttle::circuit::generators::random_circuit;
 use muzzle_shuttle::circuit::parser::parse_program;
 use muzzle_shuttle::circuit::{Circuit, Opcode, Qubit};
-use muzzle_shuttle::compiler::{compile, CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy};
-use muzzle_shuttle::machine::{InitialMapping, IonId, MachineSpec, MachineState, TrapId};
 use muzzle_shuttle::compiler::ScheduleAnalysis;
+use muzzle_shuttle::compiler::{
+    compile, CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy,
+};
+use muzzle_shuttle::machine::{InitialMapping, IonId, MachineSpec, MachineState, TrapId};
 use muzzle_shuttle::sim::{simulate, simulate_traced, SimParams};
 use proptest::prelude::*;
 
@@ -39,13 +41,15 @@ fn config_strategy() -> impl Strategy<Value = CompilerConfig> {
             Just(MappingPolicy::GreedyInteraction)
         ],
     )
-        .prop_map(|(direction, reorder, rebalance, ion_selection, mapping)| CompilerConfig {
-            direction,
-            reorder,
-            rebalance,
-            ion_selection,
-            mapping,
-        })
+        .prop_map(
+            |(direction, reorder, rebalance, ion_selection, mapping)| CompilerConfig {
+                direction,
+                reorder,
+                rebalance,
+                ion_selection,
+                mapping,
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,182 @@
+//! Vendored, dependency-free subset of the
+//! [`criterion`](https://crates.io/crates/criterion) bench-harness API, so
+//! the workspace's benches build and run fully offline.
+//!
+//! Provided: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`, `bench_function` / `bench_with_input`, the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and a re-export of
+//! [`std::hint::black_box`]. Measurement is a plain
+//! warmup-then-median-of-samples timer printing one line per benchmark —
+//! none of criterion's statistics, HTML reports, or baseline comparisons.
+//! Swap in the real criterion via the workspace manifest for serious
+//! measurement work.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark (warmup + measurement).
+const TARGET_BUDGET: Duration = Duration::from_millis(400);
+
+/// Top-level bench context, passed to every registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain label.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a benchmark over an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this stub, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median over the configured samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: how many iterations fit a per-sample slice?
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let per_sample = TARGET_BUDGET / (self.sample_size as u32).max(1);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+/// Executes one benchmark and prints its result line.
+fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        median: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench: {id:<50} median {:>12?}", b.median);
+}
+
+/// Registers bench functions under a group name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).0, "f/42");
+        assert_eq!(BenchmarkId::new("g", "x").0, "g/x");
+    }
+}

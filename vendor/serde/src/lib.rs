@@ -1,0 +1,85 @@
+//! Vendored, dependency-free stub of the [`serde`](https://serde.rs) API
+//! surface this workspace uses, so it builds fully offline.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing serializes through serde at runtime (the
+//! `muzzle` CLI hand-renders its JSON/CSV reports). [`Serialize`] and
+//! [`Deserialize`] are therefore marker traits here, and the derive macros
+//! emit empty impls. Swapping this stub for the real `serde` in the
+//! workspace manifest requires no source changes anywhere else.
+
+// Lets the `::serde` paths the derive macros emit resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for &T {}
+impl<T: Serialize> Serialize for [T] {}
+impl Serialize for str {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Tuple(#[allow(dead_code)] u32, #[allow(dead_code)] f64);
+
+    #[derive(Serialize, Deserialize)]
+    enum Mixed {
+        _Unit,
+        _Tuple(u32),
+        _Struct { _a: bool },
+    }
+
+    #[derive(Serialize, Deserialize)]
+    pub(crate) struct Visible {
+        #[serde(skip, default = "zero")]
+        _y: u64,
+    }
+
+    fn zero() -> u64 {
+        0
+    }
+
+    fn assert_impls<T: Serialize + Deserialize>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_impls::<Plain>();
+        assert_impls::<Tuple>();
+        assert_impls::<Mixed>();
+        assert_impls::<Visible>();
+        assert_impls::<Vec<Plain>>();
+        assert_impls::<(u32, bool)>();
+        let _ = zero; // referenced by the serde attribute only
+    }
+}

@@ -1,0 +1,57 @@
+//! Derive macros backing the workspace's vendored `serde` stub.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit the matching empty
+//! marker impl for the annotated type. `#[serde(...)]` attributes are
+//! accepted (and ignored) anywhere the real serde allows them, so sources
+//! written against the real crate compile unchanged.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl ::serde::<trait> for <Type> {}` for the struct/enum/union
+/// named in `input`.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input)
+        .unwrap_or_else(|| panic!("#[derive({trait_name})] stub: could not find the type name"));
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl is valid Rust")
+}
+
+/// Extracts the identifier following the `struct` / `enum` / `union`
+/// keyword. Generic types are rejected: the stub would need to replicate
+/// the generics on the impl, and this workspace derives only on concrete
+/// types.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next()? {
+                    TokenTree::Ident(name) => name.to_string(),
+                    _ => return None,
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde stub derive does not support generic type `{name}`; \
+                             write the marker impl by hand or vendor the real serde"
+                        );
+                    }
+                }
+                return Some(name);
+            }
+        }
+    }
+    None
+}
