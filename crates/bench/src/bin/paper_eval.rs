@@ -4,11 +4,12 @@
 //! cargo run -p qccd-bench --release --bin paper_eval -- all [--per-size N]
 //! ```
 //!
-//! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`, `all`.
+//! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
+//! `mapping`, `routers`, `all`.
 
 use qccd_bench::{
-    aggregate_random, run_nisq_suite, run_random_suite, timed_compile, ComparisonRow,
-    RANDOM_SUITE_SEED,
+    aggregate_random, run_nisq_suite, run_random_suite, run_topology_router_sweep,
+    standard_topologies, timed_compile, ComparisonRow, RANDOM_SUITE_SEED,
 };
 use qccd_circuit::generators::{paper_suite, random_suite};
 use qccd_core::{
@@ -31,7 +32,8 @@ fn main() {
                     .unwrap_or_else(|| usage("--per-size needs a number"));
                 i += 2;
             }
-            "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "all" => {
+            "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
+            | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -65,6 +67,7 @@ fn main() {
         "ablation" => ablation(&spec),
         "proximity" => proximity(&spec),
         "mapping" => mapping_ablation(&spec),
+        "routers" => routers(&params),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -72,6 +75,7 @@ fn main() {
             ablation(&spec);
             proximity(&spec);
             mapping_ablation(&spec);
+            routers(&params);
         }
         _ => unreachable!("validated above"),
     }
@@ -80,9 +84,29 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|all] [--per-size N]"
     );
     std::process::exit(2);
+}
+
+/// Topology × router sweep: the paper benchmarks on the L6-class machine
+/// re-shaped as line, ring and grid, under the serial and congestion
+/// routers.
+fn routers(params: &SimParams) {
+    println!("## Topology x router sweep (optimized policy stack, capacity 17, comm 2)");
+    println!(
+        "{:<16} {:>6} {:>24} {:>8} {:>6} {:>12}",
+        "Benchmark", "Topo", "Router", "Shuttle", "Depth", "Makespan(us)"
+    );
+    eprintln!("topology x router sweep...");
+    let rows = run_topology_router_sweep(&paper_suite(), &standard_topologies(6), 17, 2, params);
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>24} {:>8} {:>6} {:>12.1}",
+            r.name, r.topology, r.router, r.shuttles, r.depth, r.makespan_us
+        );
+    }
+    println!();
 }
 
 /// Table II: reduction in the number of shuttles.

@@ -20,9 +20,9 @@
 
 use qccd_circuit::generators::{paper_suite, random_suite, BenchmarkCircuit};
 use qccd_circuit::Circuit;
-use qccd_core::{compile, CompileResult, CompilerConfig};
-use qccd_machine::MachineSpec;
-use qccd_sim::{simulate, SimParams, SimReport};
+use qccd_core::{compile, CompileResult, CompilerConfig, RouterPolicy};
+use qccd_machine::{MachineSpec, TrapTopology};
+use qccd_sim::{simulate, simulate_transport, SimParams, SimReport};
 use std::time::Instant;
 
 /// Seed used for the random benchmark suite, fixed for reproducibility.
@@ -49,6 +49,16 @@ pub struct ComparisonRow {
     pub baseline_sim: SimReport,
     /// Optimized simulation report.
     pub optimized_sim: SimReport,
+    /// Shuttle count of the optimized compiler under the congestion-aware
+    /// router (must never exceed `optimized_shuttles`, the serial router's
+    /// count).
+    pub congestion_shuttles: usize,
+    /// Concurrent transport depth of the congestion-routed schedule (the
+    /// serial router's depth is its shuttle count).
+    pub transport_depth: usize,
+    /// Simulation of the congestion-routed schedule with rounds timed
+    /// concurrently.
+    pub transport_sim: SimReport,
 }
 
 impl ComparisonRow {
@@ -75,6 +85,12 @@ impl ComparisonRow {
     pub fn compile_overhead_s(&self) -> f64 {
         self.optimized_compile_s - self.baseline_compile_s
     }
+
+    /// Transport-depth reduction of concurrent rounds over serial
+    /// transport: `optimized_shuttles − transport_depth`.
+    pub fn depth_delta(&self) -> i64 {
+        self.optimized_shuttles as i64 - self.transport_depth as i64
+    }
 }
 
 /// Compiles `circuit` under `config`, measuring wall-clock compile time.
@@ -95,13 +111,31 @@ pub fn timed_compile(
 
 /// Runs one benchmark under baseline and optimized configurations and
 /// simulates both schedules.
+///
+/// Also compiles a third time with the congestion router and simulates its
+/// concurrent transport rounds to fill the depth/makespan columns; callers
+/// that only need the serial pair (and care about the ~50% extra compile
+/// cost) should drive [`timed_compile`] directly.
 pub fn compare(bench: &BenchmarkCircuit, spec: &MachineSpec, params: &SimParams) -> ComparisonRow {
     let (base, base_t) = timed_compile(&bench.circuit, spec, &CompilerConfig::baseline());
     let (opt, opt_t) = timed_compile(&bench.circuit, spec, &CompilerConfig::optimized());
+    let (cong, _) = timed_compile(
+        &bench.circuit,
+        spec,
+        &CompilerConfig::optimized().with_router(RouterPolicy::congestion()),
+    );
     let baseline_sim = simulate(&base.schedule, &bench.circuit, spec, params)
         .expect("compiled schedules are valid by construction");
     let optimized_sim = simulate(&opt.schedule, &bench.circuit, spec, params)
         .expect("compiled schedules are valid by construction");
+    let transport_sim = simulate_transport(
+        &cong.schedule,
+        &cong.transport,
+        &bench.circuit,
+        spec,
+        params,
+    )
+    .expect("round-packed schedules are valid by construction");
     ComparisonRow {
         name: bench.name.clone(),
         qubits: bench.circuit.num_qubits(),
@@ -112,6 +146,9 @@ pub fn compare(bench: &BenchmarkCircuit, spec: &MachineSpec, params: &SimParams)
         optimized_compile_s: opt_t,
         baseline_sim,
         optimized_sim,
+        congestion_shuttles: cong.stats.shuttles,
+        transport_depth: cong.stats.transport_depth,
+        transport_sim,
     }
 }
 
@@ -134,6 +171,99 @@ pub fn run_random_suite(
         .iter()
         .map(|b| compare(b, spec, params))
         .collect()
+}
+
+/// One cell of the topology × router sweep: one circuit compiled with the
+/// optimized policy stack on one interconnect under one router.
+#[derive(Debug, Clone)]
+pub struct TopologyRouterRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Topology display form (`L6`, `R6`, `G2x3`, ...).
+    pub topology: String,
+    /// Router display form (`serial`, `congestion(penalty=6)`).
+    pub router: String,
+    /// Shuttle hops emitted.
+    pub shuttles: usize,
+    /// Concurrent transport depth (equals `shuttles` under serial).
+    pub depth: usize,
+    /// Simulated makespan, µs (rounds timed concurrently under the
+    /// congestion router).
+    pub makespan_us: f64,
+    /// Simulated program fidelity (log form, exact under underflow).
+    pub log_program_fidelity: f64,
+}
+
+/// The standard interconnects for `n` traps: linear, ring, and the most
+/// square grid factorisation (omitted when `n` is prime or `< 4`).
+pub fn standard_topologies(n: u32) -> Vec<TrapTopology> {
+    let mut out = vec![TrapTopology::linear(n)];
+    if n >= 3 {
+        out.push(TrapTopology::ring(n));
+    }
+    let mut best: Option<(u32, u32)> = None;
+    for r in 2..=n {
+        if n.is_multiple_of(r) && n / r >= 2 {
+            let c = n / r;
+            if best.is_none_or(|(br, bc)| r.abs_diff(c) < br.abs_diff(bc)) {
+                best = Some((r, c));
+            }
+        }
+    }
+    if let Some((r, c)) = best {
+        out.push(TrapTopology::grid(r, c));
+    }
+    out
+}
+
+/// Runs every benchmark × topology × router combination with the optimized
+/// policy stack: the scenario-diversity sweep the routing subsystem
+/// unlocks. Machines use `capacity`/`comm` per trap on each topology.
+///
+/// # Panics
+///
+/// Panics if a machine spec is invalid or a benchmark does not fit it.
+pub fn run_topology_router_sweep(
+    benches: &[BenchmarkCircuit],
+    topologies: &[TrapTopology],
+    capacity: u32,
+    comm: u32,
+    params: &SimParams,
+) -> Vec<TopologyRouterRow> {
+    let mut rows = Vec::new();
+    for bench in benches {
+        for topology in topologies {
+            let spec = MachineSpec::new(topology.clone(), capacity, comm)
+                .expect("sweep machine parameters are valid");
+            for router in [RouterPolicy::Serial, RouterPolicy::congestion()] {
+                let config = CompilerConfig::optimized().with_router(router);
+                let (result, _) = timed_compile(&bench.circuit, &spec, &config);
+                let sim = match router {
+                    RouterPolicy::Serial => {
+                        simulate(&result.schedule, &bench.circuit, &spec, params)
+                    }
+                    RouterPolicy::Congestion { .. } => simulate_transport(
+                        &result.schedule,
+                        &result.transport,
+                        &bench.circuit,
+                        &spec,
+                        params,
+                    ),
+                }
+                .expect("compiled schedules are valid by construction");
+                rows.push(TopologyRouterRow {
+                    name: bench.name.clone(),
+                    topology: topology.to_string(),
+                    router: router.to_string(),
+                    shuttles: result.stats.shuttles,
+                    depth: result.stats.transport_depth,
+                    makespan_us: sim.makespan_us,
+                    log_program_fidelity: sim.log_program_fidelity,
+                });
+            }
+        }
+    }
+    rows
 }
 
 /// Mean and population standard deviation of a sample.
@@ -217,6 +347,41 @@ mod tests {
         assert_eq!(row.baseline_sim.shuttles, row.baseline_shuttles);
         assert_eq!(row.optimized_sim.shuttles, row.optimized_shuttles);
         assert!(row.baseline_compile_s >= 0.0);
+        assert_eq!(row.transport_sim.shuttles, row.congestion_shuttles);
+        assert_eq!(row.transport_sim.shuttle_depth, row.transport_depth);
+        assert!(row.transport_depth <= row.congestion_shuttles);
+    }
+
+    #[test]
+    fn standard_topologies_cover_linear_ring_grid() {
+        let names: Vec<String> = standard_topologies(6)
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        assert_eq!(names, vec!["L6", "R6", "G2x3"]);
+        // 5 is prime: no grid.
+        let names: Vec<String> = standard_topologies(5)
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        assert_eq!(names, vec!["L5", "R5"]);
+    }
+
+    #[test]
+    fn topology_router_sweep_is_complete_and_consistent() {
+        let benches = vec![BenchmarkCircuit {
+            name: "tiny".into(),
+            circuit: random_circuit(10, 40, 5),
+        }];
+        let topologies = standard_topologies(4);
+        let rows = run_topology_router_sweep(&benches, &topologies, 8, 2, &SimParams::default());
+        assert_eq!(rows.len(), topologies.len() * 2);
+        for pair in rows.chunks(2) {
+            let (serial, congestion) = (&pair[0], &pair[1]);
+            assert_eq!(serial.router, "serial");
+            assert_eq!(serial.depth, serial.shuttles, "serial depth = count");
+            assert!(congestion.depth <= congestion.shuttles);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Compiler configuration: which policy fills each decision point.
 
+use qccd_route::RouterPolicy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -105,6 +106,11 @@ pub struct CompilerConfig {
     pub ion_selection: IonSelection,
     /// Initial mapping policy.
     pub mapping: MappingPolicy,
+    /// Shuttle routing and transport scheduling policy
+    /// ([`RouterPolicy::Serial`] reproduces the paper's one-ion-at-a-time
+    /// executor; [`RouterPolicy::Congestion`] prices routes by congestion
+    /// and trap fullness and packs transport into concurrent rounds).
+    pub router: RouterPolicy,
 }
 
 impl CompilerConfig {
@@ -120,6 +126,7 @@ impl CompilerConfig {
             rebalance: RebalancePolicy::FromTrapZero,
             ion_selection: IonSelection::ChainEnd,
             mapping: MappingPolicy::GreedyInteraction,
+            router: RouterPolicy::Serial,
         }
     }
 
@@ -134,6 +141,7 @@ impl CompilerConfig {
             rebalance: RebalancePolicy::NearestNeighbor,
             ion_selection: IonSelection::MaxScore { wd: 0.5, ws: 0.5 },
             mapping: MappingPolicy::GreedyInteraction,
+            router: RouterPolicy::Serial,
         }
     }
 
@@ -144,6 +152,12 @@ impl CompilerConfig {
             direction: DirectionPolicy::FutureOps { proximity },
             ..Self::optimized()
         }
+    }
+
+    /// The given configuration with the congestion-aware router and
+    /// concurrent transport scheduling enabled.
+    pub fn with_router(self, router: RouterPolicy) -> Self {
+        CompilerConfig { router, ..self }
     }
 }
 
@@ -172,8 +186,8 @@ impl fmt::Display for CompilerConfig {
         };
         write!(
             f,
-            "dir={dir} reorder={} rebalance={reb} ion={ion}",
-            self.reorder
+            "dir={dir} reorder={} rebalance={reb} ion={ion} router={}",
+            self.reorder, self.router
         )
     }
 }
@@ -213,5 +227,15 @@ mod tests {
         let s = CompilerConfig::optimized().to_string();
         assert!(s.contains("future-ops(p=6)"));
         assert!(s.contains("reorder=true"));
+        assert!(s.contains("router=serial"));
+    }
+
+    #[test]
+    fn router_defaults_to_serial_and_is_overridable() {
+        assert_eq!(CompilerConfig::baseline().router, RouterPolicy::Serial);
+        assert_eq!(CompilerConfig::optimized().router, RouterPolicy::Serial);
+        let c = CompilerConfig::optimized().with_router(RouterPolicy::congestion());
+        assert!(c.router.is_congestion());
+        assert!(c.to_string().contains("router=congestion(penalty=6)"));
     }
 }

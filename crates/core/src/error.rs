@@ -1,6 +1,7 @@
 //! Compiler error type.
 
-use qccd_machine::{MachineError, TrapId, ValidateScheduleError};
+use qccd_machine::{IonId, MachineError, TrapId, ValidateScheduleError};
+use qccd_route::TransportError;
 use std::error::Error;
 use std::fmt;
 
@@ -24,9 +25,36 @@ pub enum CompileError {
         /// The trap that could not be freed.
         trap: TrapId,
     },
+    /// No shuttle path connects an ion's trap to its destination — the
+    /// topology is disconnected.
+    Unreachable {
+        /// The ion being routed.
+        ion: IonId,
+        /// Where the move started.
+        from: TrapId,
+        /// The unreachable destination.
+        to: TrapId,
+    },
+    /// Routing an ion to its destination exhausted the planner's hop
+    /// budget (the routed path length plus re-route slack; see
+    /// `qccd_route::route_budget`): every re-plan kept hitting full
+    /// traps. Replaces the old silent `4 × traps + 8` cap.
+    RouteExhausted {
+        /// The ion being routed.
+        ion: IonId,
+        /// Where the move started.
+        from: TrapId,
+        /// The unreached destination.
+        to: TrapId,
+        /// The exhausted hop budget.
+        budget: u32,
+    },
     /// The produced schedule failed replay validation — an internal
     /// compiler bug, reported rather than silently returned.
     InternalValidation(ValidateScheduleError),
+    /// The round-packed transport schedule failed replay validation — an
+    /// internal compiler bug, reported rather than silently returned.
+    InternalTransport(TransportError),
 }
 
 impl fmt::Display for CompileError {
@@ -43,10 +71,29 @@ impl fmt::Display for CompileError {
                     "re-balancing deadlock: no destination can relieve trap {trap}"
                 )
             }
+            CompileError::Unreachable { ion, from, to } => write!(
+                f,
+                "no shuttle path connects {from} to {to} for {ion}: the topology is disconnected"
+            ),
+            CompileError::RouteExhausted {
+                ion,
+                from,
+                to,
+                budget,
+            } => write!(
+                f,
+                "routing {ion} from {from} to {to} exhausted its hop budget of {budget}"
+            ),
             CompileError::InternalValidation(e) => {
                 write!(
                     f,
                     "internal error: compiled schedule failed validation: {e}"
+                )
+            }
+            CompileError::InternalTransport(e) => {
+                write!(
+                    f,
+                    "internal error: transport schedule failed validation: {e}"
                 )
             }
         }
@@ -58,6 +105,7 @@ impl Error for CompileError {
         match self {
             CompileError::Machine(e) => Some(e),
             CompileError::InternalValidation(e) => Some(e),
+            CompileError::InternalTransport(e) => Some(e),
             _ => None,
         }
     }
@@ -88,5 +136,19 @@ mod tests {
     fn machine_error_converts_and_chains() {
         let e: CompileError = MachineError::NoTraps.into();
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn route_exhausted_names_the_move() {
+        let e = CompileError::RouteExhausted {
+            ion: IonId(3),
+            from: TrapId(0),
+            to: TrapId(5),
+            budget: 21,
+        };
+        let text = e.to_string();
+        assert!(text.contains("ion3"));
+        assert!(text.contains("T5"));
+        assert!(text.contains("21"));
     }
 }

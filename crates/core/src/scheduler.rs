@@ -9,6 +9,7 @@ use crate::rebalance::{choose_destination, choose_ion, eviction_route};
 use crate::stats::CompileStats;
 use qccd_circuit::{Circuit, DependencyDag, GateId, GateQubits, ReadySet};
 use qccd_machine::{InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
+use qccd_route::{plan_route, route_budget, EdgeLoad, RouterPolicy, TransportSchedule};
 use std::collections::VecDeque;
 
 /// A compiled program plus its compile-time statistics.
@@ -16,6 +17,10 @@ use std::collections::VecDeque;
 pub struct CompileResult {
     /// The validated, executable schedule.
     pub schedule: Schedule,
+    /// The schedule's shuttle traffic packed into concurrent transport
+    /// rounds (one hop per round under the serial router), replay-validated
+    /// against the machine's per-edge and junction rules.
+    pub transport: TransportSchedule,
     /// Counters collected during compilation.
     pub stats: CompileStats,
 }
@@ -82,6 +87,7 @@ pub fn compile_with_mapping(
         config,
         dag,
         ready,
+        edge_load: EdgeLoad::new(spec.num_traps()),
         state,
         pending,
         ops: Vec::with_capacity(circuit.len() * 2),
@@ -93,9 +99,20 @@ pub fn compile_with_mapping(
     schedule
         .validate(circuit, spec)
         .map_err(CompileError::InternalValidation)?;
+    let transport = match config.router {
+        RouterPolicy::Serial => TransportSchedule::pack_serial(&schedule),
+        RouterPolicy::Congestion { .. } => TransportSchedule::pack_concurrent(&schedule, spec)
+            .map_err(CompileError::InternalTransport)?,
+    };
+    transport
+        .validate(&schedule, spec)
+        .map_err(CompileError::InternalTransport)?;
+    let mut stats = scheduler.stats;
+    stats.transport_depth = transport.depth();
     Ok(CompileResult {
         schedule,
-        stats: scheduler.stats,
+        transport,
+        stats,
     })
 }
 
@@ -104,6 +121,9 @@ struct Scheduler<'a> {
     config: &'a CompilerConfig,
     dag: DependencyDag,
     ready: ReadySet,
+    /// Decaying per-segment traffic counters feeding the congestion
+    /// router's edge pricing (ignored by the serial router).
+    edge_load: EdgeLoad,
     state: MachineState,
     /// Planned execution order of not-yet-executed gates; front = active.
     /// Always a subsequence of the initial (layer, id)-sorted topological
@@ -193,6 +213,9 @@ impl Scheduler<'_> {
             trap: exec_trap,
         });
         self.stats.gate_ops += 1;
+        // Each retired gate ages the congestion picture: only traffic from
+        // the recent past should price routes.
+        self.edge_load.decay();
         self.ready.mark_done(&self.dag, gate_id);
         self.pending.remove(pos);
         Ok(())
@@ -269,26 +292,50 @@ impl Scheduler<'_> {
         self.move_ion(decision, stationary)
     }
 
-    /// Moves `decision.ion` hop-by-hop to `decision.to`, re-balancing full
-    /// traps encountered on the way.
+    /// Moves `decision.ion` hop-by-hop to `decision.to` along planner
+    /// routes, re-balancing full traps encountered on the way.
+    ///
+    /// The route is re-planned from the ion's current trap each hop (the
+    /// state changes under it as evictions run), and total hops are
+    /// bounded by the planner's routed-path-length budget
+    /// ([`route_budget`]): exhausting it is a typed
+    /// [`CompileError::RouteExhausted`], never a silent cap.
     fn move_ion(&mut self, decision: MoveDecision, stationary: IonId) -> Result<(), CompileError> {
         let MoveDecision { ion, to: dest, .. } = decision;
+        let start = self.state.trap_of(ion);
+        let budget = route_budget(self.state.spec().topology(), start, dest).ok_or(
+            CompileError::Unreachable {
+                ion,
+                from: start,
+                to: dest,
+            },
+        )?;
         let mut hops = 0u32;
-        let hop_limit = 4 * self.state.spec().num_traps() + 8;
         while self.state.trap_of(ion) != dest {
-            if hops > hop_limit {
-                return Err(CompileError::ShuttleDeadlock { trap: dest });
+            if hops >= budget {
+                return Err(CompileError::RouteExhausted {
+                    ion,
+                    from: start,
+                    to: dest,
+                    budget,
+                });
             }
             hops += 1;
             let cur = self.state.trap_of(ion);
-            let topology = self.state.spec().topology();
-            // Prefer a route whose interior traps have room; fall back to
-            // the unconditional shortest path and re-balance blockers.
-            let path = topology
-                .shortest_path_filtered(cur, dest, |t| t == dest || !self.state.is_full(t))
-                .or_else(|| topology.shortest_path(cur, dest))
-                .ok_or(CompileError::ShuttleDeadlock { trap: dest })?;
-            let next = path[1];
+            // Serial router: prefer a route whose interior traps have room,
+            // falling back to the unconditional shortest path. Congestion
+            // router: min-cost route under eviction-penalty and edge-load
+            // pricing — it crosses a full trap (re-balancing it below) when
+            // every detour costs more than the eviction.
+            // Routes only come back `None` on a disconnected topology
+            // (fullness never severs reachability, only prices it).
+            let plan = plan_route(self.config.router, &self.state, cur, dest, &self.edge_load)
+                .ok_or(CompileError::Unreachable {
+                    ion,
+                    from: start,
+                    to: dest,
+                })?;
+            let next = plan.path[1];
             let mut attempts = 0u32;
             while self.state.is_full(next) {
                 // Traffic block (§III-C): next trap on the route is full.
@@ -313,6 +360,7 @@ impl Scheduler<'_> {
     fn hop(&mut self, ion: IonId, to: TrapId) -> Result<(), CompileError> {
         let from = self.state.trap_of(ion);
         self.state.shuttle(ion, to)?;
+        self.edge_load.record(from, to);
         self.ops.push(Operation::Shuttle { ion, from, to });
         self.stats.shuttles += 1;
         if self.in_rebalance {
@@ -674,6 +722,24 @@ mod tests {
     }
 
     #[test]
+    fn disconnected_topology_reports_unreachable() {
+        use qccd_machine::TrapTopology;
+        // T2 is an island: a gate spanning T0 and T2 cannot be routed.
+        let topology = TrapTopology::try_custom(3, &[(0, 1)]).unwrap();
+        let spec = MachineSpec::new(topology, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(2)]).unwrap();
+        let mut c = Circuit::new(2);
+        ms(&mut c, 0, 1);
+        for router in [RouterPolicy::Serial, RouterPolicy::congestion()] {
+            let config = CompilerConfig::optimized().with_router(router);
+            assert!(matches!(
+                compile_with_mapping(&c, &spec, &config, mapping.clone()),
+                Err(CompileError::Unreachable { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn rejects_oversized_circuit() {
         let c = Circuit::new(20);
         let spec = MachineSpec::linear(2, 4, 1).unwrap();
@@ -701,17 +767,24 @@ mod tests {
                         IonSelection::ChainEnd,
                         IonSelection::MaxScore { wd: 0.5, ws: 0.5 },
                     ] {
-                        let config = CompilerConfig {
-                            direction,
-                            reorder,
-                            rebalance,
-                            ion_selection,
-                            mapping: MappingPolicy::GreedyInteraction,
-                        };
-                        // compile() validates by replay internally.
-                        let r =
-                            compile(&c, &spec, &config).unwrap_or_else(|e| panic!("{config}: {e}"));
-                        assert_eq!(r.stats.gate_ops, 60);
+                        for router in [RouterPolicy::Serial, RouterPolicy::congestion()] {
+                            let config = CompilerConfig {
+                                direction,
+                                reorder,
+                                rebalance,
+                                ion_selection,
+                                mapping: MappingPolicy::GreedyInteraction,
+                                router,
+                            };
+                            // compile() validates by replay internally —
+                            // both the flat schedule and the transport
+                            // rounds.
+                            let r = compile(&c, &spec, &config)
+                                .unwrap_or_else(|e| panic!("{config}: {e}"));
+                            assert_eq!(r.stats.gate_ops, 60);
+                            assert_eq!(r.transport.num_moves(), r.stats.shuttles);
+                            assert!(r.stats.transport_depth <= r.stats.shuttles);
+                        }
                     }
                 }
             }

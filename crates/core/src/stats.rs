@@ -24,15 +24,21 @@ pub struct CompileStats {
     /// Times the favourable direction was blocked and the opposite
     /// direction was taken instead.
     pub opposite_direction_moves: usize,
+    /// Concurrent transport depth: the number of rounds of edge-disjoint
+    /// simultaneous shuttles the schedule packs into. Equals `shuttles`
+    /// under the serial router (one hop per round); lower under the
+    /// congestion router whenever independent hops share a round.
+    pub transport_depth: usize,
 }
 
 impl fmt::Display for CompileStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} shuttles ({} from rebalancing), {} gates ({} local), {} reorders, {} rebalances",
+            "{} shuttles ({} from rebalancing, depth {}), {} gates ({} local), {} reorders, {} rebalances",
             self.shuttles,
             self.rebalance_shuttles,
+            self.transport_depth,
             self.gate_ops,
             self.local_gates,
             self.reorders,
@@ -55,9 +61,11 @@ mod tests {
             reorders: 1,
             rebalances: 2,
             opposite_direction_moves: 0,
+            transport_depth: 8,
         };
         let text = s.to_string();
         assert!(text.contains("10 shuttles"));
+        assert!(text.contains("depth 8"));
         assert!(text.contains("1 reorders"));
     }
 }

@@ -67,6 +67,60 @@ pub enum MachineError {
         /// Its initial hosting capacity (`total − comm`).
         initial_capacity: u32,
     },
+    /// A shuttle move claims an ion is in a trap it is not in.
+    WrongSourceTrap {
+        /// The ion in question.
+        ion: IonId,
+        /// The trap the move claims it is in.
+        claimed: TrapId,
+        /// The trap it is actually in.
+        actual: TrapId,
+    },
+    /// A custom topology edge connects a trap to itself.
+    SelfLoopEdge {
+        /// The trap with the self-loop.
+        trap: TrapId,
+    },
+    /// A custom topology lists the same shuttle-path segment twice.
+    DuplicateEdge {
+        /// First endpoint.
+        a: TrapId,
+        /// Second endpoint.
+        b: TrapId,
+    },
+    /// Two moves in one concurrent transport round use the same
+    /// shuttle-path segment.
+    EdgeInUse {
+        /// First endpoint of the contested segment.
+        a: TrapId,
+        /// Second endpoint of the contested segment.
+        b: TrapId,
+    },
+    /// One ion appears in two moves of the same transport round.
+    IonMovedTwice {
+        /// The double-booked ion.
+        ion: IonId,
+    },
+    /// A trap's junction hardware is over-subscribed in one round: each
+    /// trap supports at most one SPLIT (departure) and one MERGE (arrival)
+    /// per round.
+    JunctionBusy {
+        /// The over-subscribed trap.
+        trap: TrapId,
+    },
+    /// Applying a round would overfill a trap even after its departures.
+    RoundOverfill {
+        /// The overfilled trap.
+        trap: TrapId,
+        /// Occupancy before the round.
+        occupancy: u32,
+        /// Arrivals scheduled into the trap this round.
+        arrivals: u32,
+        /// Departures scheduled out of the trap this round.
+        departures: u32,
+        /// Total trap capacity.
+        capacity: u32,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -107,6 +161,37 @@ impl fmt::Display for MachineError {
             } => write!(
                 f,
                 "initial mapping assigns {assigned} ions to trap {trap} whose initial capacity is {initial_capacity}"
+            ),
+            MachineError::WrongSourceTrap {
+                ion,
+                claimed,
+                actual,
+            } => write!(f, "{ion} is in {actual}, not in the claimed {claimed}"),
+            MachineError::SelfLoopEdge { trap } => {
+                write!(f, "custom topology edge connects {trap} to itself")
+            }
+            MachineError::DuplicateEdge { a, b } => {
+                write!(f, "custom topology lists the edge {a} — {b} twice")
+            }
+            MachineError::EdgeInUse { a, b } => {
+                write!(f, "segment {a} — {b} carries two shuttles in one round")
+            }
+            MachineError::IonMovedTwice { ion } => {
+                write!(f, "{ion} appears in two moves of the same round")
+            }
+            MachineError::JunctionBusy { trap } => write!(
+                f,
+                "junction at {trap} cannot run two splits or two merges in one round"
+            ),
+            MachineError::RoundOverfill {
+                trap,
+                occupancy,
+                arrivals,
+                departures,
+                capacity,
+            } => write!(
+                f,
+                "round overfills {trap}: {occupancy} ions + {arrivals} arrivals - {departures} departures exceeds capacity {capacity}"
             ),
         }
     }

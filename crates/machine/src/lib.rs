@@ -43,7 +43,7 @@ mod topology;
 pub use error::MachineError;
 pub use ids::{IonId, TrapId};
 pub use mapping::InitialMapping;
-pub use ops::Operation;
+pub use ops::{Operation, ShuttleMove};
 pub use schedule::{Schedule, ScheduleStats, ValidateScheduleError};
 pub use spec::MachineSpec;
 pub use state::MachineState;

@@ -45,6 +45,41 @@ impl Operation {
     }
 }
 
+/// One single-hop shuttle move, as a member of a concurrent transport
+/// round (see [`MachineState::apply_round`](crate::MachineState::apply_round)).
+///
+/// Identical payload to [`Operation::Shuttle`], but as a standalone struct
+/// so transport schedulers can manipulate rounds of moves without carrying
+/// the gate variant along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShuttleMove {
+    /// The ion being moved.
+    pub ion: IonId,
+    /// Source trap.
+    pub from: TrapId,
+    /// Destination trap (must be adjacent to `from`).
+    pub to: TrapId,
+}
+
+impl ShuttleMove {
+    /// The move's shuttle-path segment with endpoints in canonical
+    /// (low, high) order — two moves conflict in a round iff their
+    /// segments are equal.
+    pub fn segment(&self) -> (TrapId, TrapId) {
+        if self.from.0 <= self.to.0 {
+            (self.from, self.to)
+        } else {
+            (self.to, self.from)
+        }
+    }
+}
+
+impl fmt::Display for ShuttleMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.ion, self.from, self.to)
+    }
+}
+
 impl fmt::Display for Operation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

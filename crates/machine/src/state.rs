@@ -3,6 +3,7 @@
 use crate::error::MachineError;
 use crate::ids::{IonId, TrapId};
 use crate::mapping::InitialMapping;
+use crate::ops::ShuttleMove;
 use crate::spec::MachineSpec;
 
 /// Live placement of ions in a QCCD machine.
@@ -150,6 +151,109 @@ impl MachineState {
         Ok(())
     }
 
+    /// Applies one concurrent transport round: a set of single-hop shuttle
+    /// moves executed simultaneously on pairwise-disjoint shuttle-path
+    /// segments.
+    ///
+    /// Round semantics are *departures-first*: every SPLIT fires before any
+    /// MERGE lands, so an ion may enter a trap another ion vacates in the
+    /// same round (pipelined corridors, swaps). The per-round legality
+    /// rules — the machine's per-edge occupancy and junction bookkeeping —
+    /// are:
+    ///
+    /// 1. every move is a legal hop in isolation (known ion at `from`,
+    ///    adjacent in-range destination);
+    /// 2. no shuttle-path segment carries two moves (per-edge occupancy);
+    /// 3. no ion moves twice;
+    /// 4. each trap runs at most one SPLIT and one MERGE (junction
+    ///    hardware);
+    /// 5. no trap exceeds total capacity after its departures leave.
+    ///
+    /// On error the state is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as a [`MachineError`] (`EdgeInUse`,
+    /// `IonMovedTwice`, `JunctionBusy`, `RoundOverfill`, or the
+    /// single-hop errors of [`shuttle`](MachineState::shuttle)).
+    pub fn apply_round(&mut self, moves: &[ShuttleMove]) -> Result<(), MachineError> {
+        let num_traps = self.spec.num_traps() as usize;
+        let mut arrivals = vec![0u32; num_traps];
+        let mut departures = vec![0u32; num_traps];
+        let mut segments: Vec<(TrapId, TrapId)> = Vec::with_capacity(moves.len());
+        let mut moved: Vec<IonId> = Vec::with_capacity(moves.len());
+        for m in moves {
+            if m.ion.index() >= self.trap_of.len() {
+                return Err(MachineError::IonOutOfRange {
+                    ion: m.ion,
+                    num_ions: self.num_ions(),
+                });
+            }
+            self.spec.check_trap(m.to)?;
+            if self.trap_of[m.ion.index()] != m.from {
+                return Err(MachineError::WrongSourceTrap {
+                    ion: m.ion,
+                    claimed: m.from,
+                    actual: self.trap_of[m.ion.index()],
+                });
+            }
+            if m.from == m.to {
+                return Err(MachineError::SelfShuttle { trap: m.from });
+            }
+            if !self.spec.topology().are_adjacent(m.from, m.to) {
+                return Err(MachineError::NotAdjacent {
+                    from: m.from,
+                    to: m.to,
+                });
+            }
+            if moved.contains(&m.ion) {
+                return Err(MachineError::IonMovedTwice { ion: m.ion });
+            }
+            let seg = m.segment();
+            if segments.contains(&seg) {
+                return Err(MachineError::EdgeInUse { a: seg.0, b: seg.1 });
+            }
+            if departures[m.from.index()] > 0 || arrivals[m.to.index()] > 0 {
+                let trap = if departures[m.from.index()] > 0 {
+                    m.from
+                } else {
+                    m.to
+                };
+                return Err(MachineError::JunctionBusy { trap });
+            }
+            moved.push(m.ion);
+            segments.push(seg);
+            departures[m.from.index()] += 1;
+            arrivals[m.to.index()] += 1;
+        }
+        for t in 0..num_traps {
+            let occ = self.chains[t].len() as u32;
+            if occ + arrivals[t] > self.spec.total_capacity() + departures[t] {
+                return Err(MachineError::RoundOverfill {
+                    trap: TrapId(t as u32),
+                    occupancy: occ,
+                    arrivals: arrivals[t],
+                    departures: departures[t],
+                    capacity: self.spec.total_capacity(),
+                });
+            }
+        }
+        // All checks passed: split every mover out, then merge them in.
+        for m in moves {
+            let chain = &mut self.chains[m.from.index()];
+            let pos = chain
+                .iter()
+                .position(|&i| i == m.ion)
+                .expect("trap_of and chains are kept consistent");
+            chain.remove(pos);
+        }
+        for m in moves {
+            self.chains[m.to.index()].push(m.ion);
+            self.trap_of[m.ion.index()] = m.to;
+        }
+        Ok(())
+    }
+
     /// Verifies the internal invariants (ion conservation, capacity,
     /// chain/trap_of consistency). Cheap enough for tests and debug asserts.
     pub fn check_invariants(&self) -> bool {
@@ -258,6 +362,109 @@ mod tests {
         // Merge appends: ion 2 is now at the END of T0's chain.
         assert_eq!(s.chain(TrapId(0)), &[IonId(0), IonId(1), IonId(2)]);
         assert!(s.check_invariants());
+    }
+
+    fn mv(ion: u32, from: u32, to: u32) -> ShuttleMove {
+        ShuttleMove {
+            ion: IonId(ion),
+            from: TrapId(from),
+            to: TrapId(to),
+        }
+    }
+
+    #[test]
+    fn round_applies_pipelined_moves() {
+        // L3: ions 0-2 in T0, 3-5 in T1. Pipeline: ion 3 leaves T1 for T2
+        // while ion 2 enters T1 from T0 — disjoint segments, one split and
+        // one merge at the junction trap T1.
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 6).unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        s.apply_round(&[mv(3, 1, 2), mv(2, 0, 1)]).unwrap();
+        assert_eq!(s.trap_of(IonId(3)), TrapId(2));
+        assert_eq!(s.trap_of(IonId(2)), TrapId(1));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn round_allows_departure_before_arrival() {
+        // T1 is full; its departure makes room for the arrival within the
+        // same round (departures-first semantics), where a serial shuttle
+        // into T1 would be rejected.
+        let spec = MachineSpec::linear(3, 2, 0).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(1), TrapId(1), TrapId(2)])
+                .unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        assert!(s.is_full(TrapId(1)));
+        assert_eq!(
+            s.shuttle(IonId(0), TrapId(1)).unwrap_err(),
+            MachineError::TrapFull { trap: TrapId(1) }
+        );
+        s.apply_round(&[mv(0, 0, 1), mv(2, 1, 2)]).unwrap();
+        assert_eq!(s.trap_of(IonId(0)), TrapId(1));
+        assert_eq!(s.trap_of(IonId(2)), TrapId(2));
+        assert!(s.is_full(TrapId(1)));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn round_rejects_edge_reuse_and_double_move() {
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 6).unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        assert_eq!(
+            s.apply_round(&[mv(1, 0, 1), mv(3, 1, 0)]).unwrap_err(),
+            MachineError::EdgeInUse {
+                a: TrapId(0),
+                b: TrapId(1)
+            }
+        );
+        assert_eq!(
+            s.apply_round(&[mv(1, 0, 1), mv(1, 0, 1)]).unwrap_err(),
+            MachineError::IonMovedTwice { ion: IonId(1) }
+        );
+        // Failed rounds leave the state untouched.
+        assert_eq!(s.trap_of(IonId(1)), TrapId(0));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn round_rejects_junction_oversubscription() {
+        // Two merges into T1 from different edges: junction busy.
+        let spec = MachineSpec::linear(3, 6, 1).unwrap();
+        let mapping = InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(2)]).unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        assert_eq!(
+            s.apply_round(&[mv(0, 0, 1), mv(1, 2, 1)]).unwrap_err(),
+            MachineError::JunctionBusy { trap: TrapId(1) }
+        );
+    }
+
+    #[test]
+    fn round_rejects_overfill_and_wrong_source() {
+        let spec = MachineSpec::linear(2, 3, 0).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
+        )
+        .unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        assert!(matches!(
+            s.apply_round(&[mv(0, 0, 1)]).unwrap_err(),
+            MachineError::RoundOverfill {
+                trap: TrapId(1),
+                ..
+            }
+        ));
+        assert_eq!(
+            s.apply_round(&[mv(0, 1, 0)]).unwrap_err(),
+            MachineError::WrongSourceTrap {
+                ion: IonId(0),
+                claimed: TrapId(1),
+                actual: TrapId(0)
+            }
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Trap interconnect topologies.
 
+use crate::error::MachineError;
 use crate::ids::TrapId;
 use qccd_flow::Adjacency;
 use serde::{Deserialize, Serialize};
@@ -69,19 +70,49 @@ impl TrapTopology {
     ///
     /// # Panics
     ///
-    /// Panics if an edge endpoint is out of range or is a self-loop.
+    /// Panics if the edge list is invalid; see [`TrapTopology::try_custom`]
+    /// for the fallible constructor and the exact rejection rules.
     pub fn custom(n: u32, edges: &[(u32, u32)]) -> Self {
+        Self::try_custom(n, edges).expect("invalid custom topology")
+    }
+
+    /// Fallible form of [`TrapTopology::custom`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::TrapOutOfRange`] — an edge endpoint `>= n`.
+    /// * [`MachineError::SelfLoopEdge`] — an edge connects a trap to itself.
+    /// * [`MachineError::DuplicateEdge`] — the same segment (in either
+    ///   orientation) is listed twice.
+    pub fn try_custom(n: u32, edges: &[(u32, u32)]) -> Result<Self, MachineError> {
         let mut adj = Adjacency::new(n as usize);
         for &(a, b) in edges {
+            for endpoint in [a, b] {
+                if endpoint >= n {
+                    return Err(MachineError::TrapOutOfRange {
+                        trap: TrapId(endpoint),
+                        num_traps: n,
+                    });
+                }
+            }
+            if a == b {
+                return Err(MachineError::SelfLoopEdge { trap: TrapId(a) });
+            }
+            if adj.has_edge(a as usize, b as usize) {
+                return Err(MachineError::DuplicateEdge {
+                    a: TrapId(a),
+                    b: TrapId(b),
+                });
+            }
             adj.add_edge(a as usize, b as usize);
         }
-        TrapTopology {
+        Ok(TrapTopology {
             kind: TopologyKind::Custom {
                 n,
                 edges: edges.to_vec(),
             },
             adj,
-        }
+        })
     }
 
     /// Rebuilds the adjacency structure after deserialisation.
@@ -230,6 +261,50 @@ mod tests {
         let mut n = t.neighbors(TrapId(2));
         n.sort_unstable();
         assert_eq!(n, vec![TrapId(0), TrapId(1), TrapId(3)]);
+    }
+
+    #[test]
+    fn try_custom_rejects_out_of_range_endpoint() {
+        assert_eq!(
+            TrapTopology::try_custom(3, &[(0, 1), (1, 3)]).unwrap_err(),
+            MachineError::TrapOutOfRange {
+                trap: TrapId(3),
+                num_traps: 3
+            }
+        );
+    }
+
+    #[test]
+    fn try_custom_rejects_self_loop() {
+        assert_eq!(
+            TrapTopology::try_custom(3, &[(0, 1), (2, 2)]).unwrap_err(),
+            MachineError::SelfLoopEdge { trap: TrapId(2) }
+        );
+    }
+
+    #[test]
+    fn try_custom_rejects_duplicate_edge() {
+        // Duplicates are rejected in either orientation.
+        assert_eq!(
+            TrapTopology::try_custom(3, &[(0, 1), (1, 0)]).unwrap_err(),
+            MachineError::DuplicateEdge {
+                a: TrapId(1),
+                b: TrapId(0)
+            }
+        );
+        assert_eq!(
+            TrapTopology::try_custom(3, &[(1, 2), (1, 2)]).unwrap_err(),
+            MachineError::DuplicateEdge {
+                a: TrapId(1),
+                b: TrapId(2)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid custom topology")]
+    fn custom_panics_on_invalid_edges() {
+        let _ = TrapTopology::custom(2, &[(0, 0)]);
     }
 
     #[test]

@@ -98,10 +98,11 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
             "--topology",
             "--policy",
             "--proximity",
+            "--router",
         ],
-        "each eval suite fixes its machine, circuits, and the \
-         baseline-vs-optimized policy pair (use compile/simulate/sweep for \
-         custom setups)",
+        "each eval suite fixes its machine and circuits, and always runs \
+         the baseline-vs-optimized policy pair under both routers (use \
+         compile/simulate/sweep for custom setups)",
     )?;
     let suite_name = opts
         .extra_values
@@ -149,13 +150,36 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
     let all_leq = rows
         .iter()
         .all(|r| r.optimized_shuttles <= r.baseline_shuttles);
+    let congestion_leq = rows
+        .iter()
+        .all(|r| r.congestion_shuttles <= r.optimized_shuttles);
+    let depth_wins = rows
+        .iter()
+        .filter(|r| r.transport_depth < r.optimized_shuttles)
+        .count();
+    let checks = EvalChecks {
+        all_leq,
+        congestion_leq,
+        depth_wins,
+    };
 
     let report = match opts.format.as_str() {
-        "json" => render_json(&suite_name, &machine, &fig4, &rows, all_leq),
+        "json" => render_json(&suite_name, &machine, &fig4, &rows, &checks),
         "csv" => render_csv(&rows),
-        _ => render_text(&suite_name, &machine, &fig4, &rows, all_leq),
+        _ => render_text(&suite_name, &machine, &fig4, &rows, &checks),
     };
     emit(&report, &opts.out)
+}
+
+/// Suite-level acceptance flags reported alongside the per-benchmark rows.
+struct EvalChecks {
+    /// Optimized shuttle count ≤ baseline on every benchmark (Table II).
+    all_leq: bool,
+    /// Congestion-routed shuttle count ≤ serial on every benchmark.
+    congestion_leq: bool,
+    /// Benchmarks whose concurrent transport depth is strictly below the
+    /// serial shuttle count.
+    depth_wins: usize,
 }
 
 fn render_text(
@@ -163,7 +187,7 @@ fn render_text(
     machine: &MachineSpec,
     fig4: &Fig4,
     rows: &[ComparisonRow],
-    all_leq: bool,
+    checks: &EvalChecks,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("# muzzle eval — suite `{suite}` on {machine}\n\n"));
@@ -172,12 +196,21 @@ fn render_text(
         fig4.baseline_shuttles, fig4.optimized_shuttles
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>12}\n",
-        "Benchmark", "Qubits", "2Q gates", "Baseline", "This Work", "D(dn)", "%D", "Fidelity gain"
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>12} {:>12}\n",
+        "Benchmark",
+        "Qubits",
+        "2Q gates",
+        "Baseline",
+        "This Work",
+        "D(dn)",
+        "%D",
+        "Depth",
+        "Mkspn(us)",
+        "Fidelity gain"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>11.2}X\n",
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>12.1} {:>11.2}X\n",
             r.name,
             r.qubits,
             r.two_qubit_gates,
@@ -185,12 +218,31 @@ fn render_text(
             r.optimized_shuttles,
             r.delta(),
             r.delta_percent(),
+            r.transport_depth,
+            r.transport_sim.makespan_us,
             r.fidelity_improvement()
         ));
     }
     out.push_str(&format!(
         "\noptimized <= baseline on every benchmark: {}\n",
-        if all_leq { "yes" } else { "NO — regression!" }
+        if checks.all_leq {
+            "yes"
+        } else {
+            "NO — regression!"
+        }
+    ));
+    out.push_str(&format!(
+        "congestion router <= serial router on every benchmark: {}\n",
+        if checks.congestion_leq {
+            "yes"
+        } else {
+            "NO — regression!"
+        }
+    ));
+    out.push_str(&format!(
+        "benchmarks with transport depth strictly below shuttle count: {} of {}\n",
+        checks.depth_wins,
+        rows.len()
     ));
     out
 }
@@ -198,7 +250,8 @@ fn render_text(
 fn render_csv(rows: &[ComparisonRow]) -> String {
     let mut out = String::from(
         "benchmark,qubits,two_qubit_gates,baseline_shuttles,optimized_shuttles,delta,\
-         delta_percent,fidelity_improvement,baseline_compile_s,optimized_compile_s\n",
+         delta_percent,congestion_shuttles,transport_depth,serial_makespan_us,\
+         transport_makespan_us,fidelity_improvement,baseline_compile_s,optimized_compile_s\n",
     );
     for r in rows {
         out.push_str(&csv_row(&[
@@ -209,6 +262,10 @@ fn render_csv(rows: &[ComparisonRow]) -> String {
             r.optimized_shuttles.to_string(),
             r.delta().to_string(),
             format!("{:.3}", r.delta_percent()),
+            r.congestion_shuttles.to_string(),
+            r.transport_depth.to_string(),
+            format!("{:.3}", r.optimized_sim.makespan_us),
+            format!("{:.3}", r.transport_sim.makespan_us),
             format!("{:.4}", r.fidelity_improvement()),
             format!("{:.6}", r.baseline_compile_s),
             format!("{:.6}", r.optimized_compile_s),
@@ -223,7 +280,7 @@ fn render_json(
     machine: &MachineSpec,
     fig4: &Fig4,
     rows: &[ComparisonRow],
-    all_leq: bool,
+    checks: &EvalChecks,
 ) -> String {
     let benchmarks = rows
         .iter()
@@ -259,6 +316,19 @@ fn render_json(
                         ("compile_seconds", Json::Num(r.optimized_compile_s)),
                     ]),
                 ),
+                (
+                    "congestion_router",
+                    Json::obj(vec![
+                        ("shuttles", Json::int(r.congestion_shuttles)),
+                        ("transport_depth", Json::int(r.transport_depth)),
+                        ("depth_delta", Json::Num(r.depth_delta() as f64)),
+                        ("makespan_us", Json::Num(r.transport_sim.makespan_us)),
+                        (
+                            "program_fidelity",
+                            Json::Num(r.transport_sim.program_fidelity),
+                        ),
+                    ]),
+                ),
             ])
         })
         .collect();
@@ -273,7 +343,12 @@ fn render_json(
             ]),
         ),
         ("benchmarks", Json::Arr(benchmarks)),
-        ("all_optimized_leq_baseline", Json::Bool(all_leq)),
+        ("all_optimized_leq_baseline", Json::Bool(checks.all_leq)),
+        (
+            "all_congestion_leq_serial",
+            Json::Bool(checks.congestion_leq),
+        ),
+        ("depth_strictly_lower_count", Json::int(checks.depth_wins)),
     ]);
     let mut text = value.to_string();
     text.push('\n');

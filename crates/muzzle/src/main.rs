@@ -20,9 +20,11 @@ mod output;
 mod spec;
 
 use output::Json;
-use qccd_core::{compile, CompileResult, CompilerConfig, DirectionPolicy, ScheduleAnalysis};
+use qccd_core::{
+    compile, CompileResult, CompilerConfig, DirectionPolicy, RouterPolicy, ScheduleAnalysis,
+};
 use qccd_machine::MachineSpec;
-use qccd_sim::{simulate, SimParams, SimReport};
+use qccd_sim::{simulate, simulate_transport, SimParams, SimReport};
 use spec::{parse_circuit, CircuitSpec, MachineOptions};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -48,11 +50,15 @@ CIRCUIT / MACHINE OPTIONS (compile, simulate, sweep):
     --traps N           number of traps            [default: 6]
     --capacity N        total per-trap capacity    [default: 17]
     --comm N            communication capacity     [default: 2]
-    --topology T        linear | ring | grid:RxC   [default: linear]
+    --topology T        linear[:N] | ring[:N] | grid:RxC   [default: linear]
+                        (sized forms override --traps)
 
 POLICY OPTIONS:
     --policy P          baseline | optimized       [default: optimized]
     --proximity N       future-ops proximity override (optimized only)
+    --router R          serial | congestion        [default: serial]
+                        (congestion prices routes by trap fullness and edge
+                        load, and schedules transport as concurrent rounds)
 
 OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
@@ -105,6 +111,7 @@ pub struct CommonOptions {
     pub machine: MachineOptions,
     pub policy: String,
     pub proximity: Option<u32>,
+    pub router: String,
     pub format: String,
     pub out: Option<String>,
     /// Flags the subcommand recognises beyond the common set.
@@ -142,6 +149,7 @@ pub fn parse_common(
         machine: MachineOptions::default(),
         policy: "optimized".to_owned(),
         proximity: None,
+        router: "serial".to_owned(),
         format: "text".to_owned(),
         out: None,
         extra_flags: Vec::new(),
@@ -177,6 +185,13 @@ pub fn parse_common(
                 opts.policy = p;
             }
             "--proximity" => opts.proximity = Some(parse_num(&next(&mut i, arg)?, arg)?),
+            "--router" => {
+                let r = next(&mut i, arg)?;
+                if r != "serial" && r != "congestion" {
+                    return Err(format!("--router must be serial or congestion, got `{r}`"));
+                }
+                opts.router = r;
+            }
             "--format" => {
                 let f = next(&mut i, arg)?;
                 if !["text", "json", "csv"].contains(&f.as_str()) {
@@ -206,7 +221,16 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> 
 ///
 /// `--proximity` tunes the future-ops scan and is meaningless for the
 /// baseline's excess-capacity rule, so that combination is rejected.
-pub fn build_config(policy: &str, proximity: Option<u32>) -> Result<CompilerConfig, String> {
+/// `--router` composes with either policy.
+pub fn build_config(
+    policy: &str,
+    proximity: Option<u32>,
+    router: &str,
+) -> Result<CompilerConfig, String> {
+    let router = match router {
+        "congestion" => RouterPolicy::congestion(),
+        _ => RouterPolicy::Serial,
+    };
     if policy == "baseline" {
         if proximity.is_some() {
             return Err(
@@ -215,9 +239,9 @@ pub fn build_config(policy: &str, proximity: Option<u32>) -> Result<CompilerConf
                     .to_owned(),
             );
         }
-        return Ok(CompilerConfig::baseline());
+        return Ok(CompilerConfig::baseline().with_router(router));
     }
-    let mut config = CompilerConfig::optimized();
+    let mut config = CompilerConfig::optimized().with_router(router);
     if let Some(p) = proximity {
         config.direction = DirectionPolicy::FutureOps { proximity: p };
     }
@@ -254,6 +278,7 @@ fn sim_report_json(report: &SimReport) -> Json {
         ),
         ("makespan_us", Json::Num(report.makespan_us)),
         ("shuttles", Json::int(report.shuttles)),
+        ("shuttle_depth", Json::int(report.shuttle_depth)),
         ("gates", Json::int(report.gates)),
         (
             "final_mean_motional_mode",
@@ -268,6 +293,7 @@ fn compile_stats_json(result: &CompileResult, compile_s: f64) -> Json {
     Json::obj(vec![
         ("shuttles", Json::int(s.shuttles)),
         ("rebalance_shuttles", Json::int(s.rebalance_shuttles)),
+        ("transport_depth", Json::int(s.transport_depth)),
         ("gate_ops", Json::int(s.gate_ops)),
         ("local_gates", Json::int(s.local_gates)),
         ("reorders", Json::int(s.reorders)),
@@ -296,7 +322,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let opts = parse_common(args, &[], &["--show-schedule", "--analyze"])?;
     let circuit = require_circuit(&opts)?;
     let machine = opts.machine.build()?;
-    let config = build_config(&opts.policy, opts.proximity)?;
+    let config = build_config(&opts.policy, opts.proximity, &opts.router)?;
     let (result, compile_s) = timed(&circuit.circuit, &machine, &config)?;
 
     let mut report = String::new();
@@ -318,13 +344,15 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             report.push('\n');
         }
         "csv" => {
-            report.push_str("circuit,machine,policy,shuttles,rebalance_shuttles,gates,local_gates,reorders,rebalances,compile_seconds\n");
+            report.push_str("circuit,machine,policy,router,shuttles,rebalance_shuttles,transport_depth,gates,local_gates,reorders,rebalances,compile_seconds\n");
             report.push_str(&output::csv_row(&[
                 circuit.name.clone(),
                 machine.to_string(),
                 opts.policy.clone(),
+                opts.router.clone(),
                 result.stats.shuttles.to_string(),
                 result.stats.rebalance_shuttles.to_string(),
+                result.stats.transport_depth.to_string(),
                 result.stats.gate_ops.to_string(),
                 result.stats.local_gates.to_string(),
                 result.stats.reorders.to_string(),
@@ -378,10 +406,22 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let params = SimParams::default();
     let compare = opts.extra_flags.iter().any(|f| f == "--compare");
 
+    // Congestion-routed schedules are timed by concurrent transport
+    // rounds; serial ones hop-by-hop (the historical replay).
     let run = |config: &CompilerConfig| -> Result<(CompileResult, SimReport), String> {
         let (result, _) = timed(&circuit.circuit, &machine, config)?;
-        let report = simulate(&result.schedule, &circuit.circuit, &machine, &params)
-            .map_err(|e| e.to_string())?;
+        let report = if config.router.is_congestion() {
+            simulate_transport(
+                &result.schedule,
+                &result.transport,
+                &circuit.circuit,
+                &machine,
+                &params,
+            )
+        } else {
+            simulate(&result.schedule, &circuit.circuit, &machine, &params)
+        }
+        .map_err(|e| e.to_string())?;
         Ok((result, report))
     };
 
@@ -391,8 +431,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &["--policy"],
             "--compare always runs both the baseline and optimized policies",
         )?;
-        let (_, base) = run(&CompilerConfig::baseline())?;
-        let (_, opt) = run(&build_config("optimized", opts.proximity)?)?;
+        let (_, base) = run(&build_config("baseline", None, &opts.router)?)?;
+        let (_, opt) = run(&build_config("optimized", opts.proximity, &opts.router)?)?;
         match opts.format.as_str() {
             "json" => {
                 let value = Json::obj(vec![
@@ -437,7 +477,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
         }
     } else {
-        let config = build_config(&opts.policy, opts.proximity)?;
+        let config = build_config(&opts.policy, opts.proximity, &opts.router)?;
         let (_, sim) = run(&config)?;
         match opts.format.as_str() {
             "json" => {
@@ -527,8 +567,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let (machine, base_cfg, opt_cfg) = match param.as_str() {
             "proximity" => (
                 opts.machine.build()?,
-                CompilerConfig::baseline(),
-                build_config("optimized", Some(value))?,
+                build_config("baseline", None, &opts.router)?,
+                build_config("optimized", Some(value), &opts.router)?,
             ),
             "traps" => {
                 let mut m = MachineOptions {
@@ -540,8 +580,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 m.topology = opts.machine.topology.clone();
                 (
                     m.build()?,
-                    CompilerConfig::baseline(),
-                    build_config("optimized", opts.proximity)?,
+                    build_config("baseline", None, &opts.router)?,
+                    build_config("optimized", opts.proximity, &opts.router)?,
                 )
             }
             other => {

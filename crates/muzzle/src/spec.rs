@@ -129,7 +129,8 @@ pub struct MachineOptions {
     pub capacity: u32,
     /// Communication capacity (`--comm`).
     pub comm: u32,
-    /// Interconnect shape (`--topology linear|ring|grid:RxC`).
+    /// Interconnect shape (`--topology linear[:N]|ring[:N]|grid:RxC`;
+    /// sized forms override `--traps`).
     pub topology: String,
 }
 
@@ -146,35 +147,69 @@ impl Default for MachineOptions {
 
 impl MachineOptions {
     /// Builds the validated [`MachineSpec`].
+    ///
+    /// Topology grammar: `linear` / `ring` take their size from `--traps`;
+    /// the explicitly-sized forms `linear:N`, `ring:N` and `grid:RxC` name
+    /// their own trap count (and override `--traps`). Malformed or
+    /// degenerate specs (`grid:0x3`, `ring:1`, `linear:x`) are rejected
+    /// with a parse error.
     pub fn build(&self) -> Result<MachineSpec, String> {
-        let topology = match self.topology.as_str() {
-            "linear" => TrapTopology::linear(self.traps),
-            "ring" => {
-                if self.traps < 3 {
-                    return Err(format!(
-                        "ring topology needs at least 3 traps, got {}",
-                        self.traps
-                    ));
-                }
-                TrapTopology::ring(self.traps)
-            }
-            grid if grid.starts_with("grid:") => {
-                let dims = &grid["grid:".len()..];
-                let (r, c) = dims
-                    .split_once('x')
-                    .ok_or_else(|| format!("grid topology needs grid:RxC, got `{grid}`"))?;
-                let rows: u32 = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
-                let cols: u32 = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
-                // A grid names its own trap count; `--traps` is ignored.
-                TrapTopology::grid(rows, cols)
-            }
-            other => {
-                return Err(format!(
-                    "unknown topology `{other}` (expected linear, ring, or grid:RxC)"
-                ))
-            }
-        };
+        let topology = parse_topology(&self.topology, self.traps)?;
         MachineSpec::new(topology, self.capacity, self.comm).map_err(|e| e.to_string())
+    }
+}
+
+/// Parses a `--topology` spec; `default_traps` sizes the bare
+/// `linear`/`ring` forms.
+fn parse_topology(spec: &str, default_traps: u32) -> Result<TrapTopology, String> {
+    let (family, size) = match spec.split_once(':') {
+        Some((f, s)) => (f, Some(s)),
+        None => (spec, None),
+    };
+    let sized = |text: Option<&str>| -> Result<u32, String> {
+        match text {
+            None => Ok(default_traps),
+            Some(t) => t
+                .parse::<u32>()
+                .map_err(|_| format!("bad trap count `{t}` in topology `{spec}`")),
+        }
+    };
+    match family {
+        "linear" => {
+            let n = sized(size)?;
+            if n == 0 {
+                return Err(format!(
+                    "linear topology needs at least 1 trap (in `{spec}`)"
+                ));
+            }
+            Ok(TrapTopology::linear(n))
+        }
+        "ring" => {
+            let n = sized(size)?;
+            if n < 3 {
+                return Err(format!(
+                    "ring topology needs at least 3 traps, got {n} (in `{spec}`)"
+                ));
+            }
+            Ok(TrapTopology::ring(n))
+        }
+        "grid" => {
+            let dims = size.ok_or_else(|| format!("grid topology needs grid:RxC, got `{spec}`"))?;
+            let (r, c) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid topology needs grid:RxC, got `{spec}`"))?;
+            let rows: u32 = r.parse().map_err(|_| format!("bad grid rows `{r}`"))?;
+            let cols: u32 = c.parse().map_err(|_| format!("bad grid cols `{c}`"))?;
+            if rows == 0 || cols == 0 {
+                return Err(format!(
+                    "grid dimensions must be at least 1x1, got {rows}x{cols} (in `{spec}`)"
+                ));
+            }
+            Ok(TrapTopology::grid(rows, cols))
+        }
+        other => Err(format!(
+            "unknown topology `{other}` (expected linear[:N], ring[:N], or grid:RxC)"
+        )),
     }
 }
 
@@ -240,5 +275,42 @@ mod tests {
         assert_eq!(opts.build().unwrap().topology().to_string(), "G2x2");
         opts.topology = "torus".to_owned();
         assert!(opts.build().is_err());
+    }
+
+    #[test]
+    fn sized_topology_specs_override_traps() {
+        let mut opts = MachineOptions {
+            traps: 4,
+            capacity: 8,
+            comm: 2,
+            topology: "linear:7".to_owned(),
+        };
+        assert_eq!(opts.build().unwrap().topology().to_string(), "L7");
+        opts.topology = "ring:5".to_owned();
+        assert_eq!(opts.build().unwrap().topology().to_string(), "R5");
+        opts.topology = "grid:2x3".to_owned();
+        assert_eq!(opts.build().unwrap().topology().to_string(), "G2x3");
+    }
+
+    #[test]
+    fn malformed_topology_specs_are_rejected() {
+        let base = MachineOptions::default;
+        for (spec, needle) in [
+            ("grid:0x3", "at least 1x1"),
+            ("grid:3x0", "at least 1x1"),
+            ("ring:1", "at least 3 traps"),
+            ("ring:2", "at least 3 traps"),
+            ("linear:0", "at least 1 trap"),
+            ("linear:x", "bad trap count"),
+            ("grid:axb", "bad grid rows"),
+            ("grid:3", "grid:RxC"),
+            ("grid", "grid:RxC"),
+            ("moebius:4", "unknown topology"),
+        ] {
+            let mut opts = base();
+            opts.topology = spec.to_owned();
+            let err = opts.build().unwrap_err();
+            assert!(err.contains(needle), "`{spec}` → `{err}`");
+        }
     }
 }

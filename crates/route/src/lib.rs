@@ -1,0 +1,58 @@
+//! Shuttle transport for QCCD machines: route planning and concurrent
+//! transport scheduling.
+//!
+//! The compiler in `qccd-core` decides *which* ion must reach *which* trap;
+//! this crate owns *how* it gets there and *when* each hop runs:
+//!
+//! * [`RouterPolicy`] — the route-selection policy. [`RouterPolicy::Serial`]
+//!   reproduces the paper's executor (one ion at a time, hop-by-hop along
+//!   the shortest path, detouring around full traps whenever any detour
+//!   exists). [`RouterPolicy::Congestion`] prices routes with
+//!   `qccd-flow`'s min-cost max-flow: a full interior trap costs a
+//!   configurable eviction penalty and recently-used shuttle segments cost
+//!   a congestion surcharge, so the planner detours around full traps only
+//!   while the detour is cheaper than a re-balancing eviction and spreads
+//!   equal-length routes across cold edges.
+//! * [`plan_route`] / [`PlannedRoute`] — one multi-segment route for one
+//!   ion over the live [`MachineState`](qccd_machine::MachineState).
+//! * [`EdgeLoad`] — the decaying per-segment usage counters that feed the
+//!   congestion surcharge.
+//! * [`TransportSchedule`] — a compiled flat
+//!   [`Schedule`](qccd_machine::Schedule) re-expressed as *rounds* of
+//!   edge-disjoint concurrent shuttles, with full replay validation
+//!   against the machine's per-edge occupancy and junction rules. The
+//!   round count is the schedule's *transport depth* — the
+//!   timing-relevant shuttle metric once transport runs concurrently.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_machine::{InitialMapping, MachineSpec, MachineState, TrapId};
+//! use qccd_route::{plan_route, EdgeLoad, RouterPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = MachineSpec::new(qccd_machine::TrapTopology::ring(6), 4, 1)?;
+//! let mapping = InitialMapping::round_robin(&spec, 6)?;
+//! let state = MachineState::with_mapping(&spec, &mapping)?;
+//! let load = EdgeLoad::new(spec.num_traps());
+//! let route = plan_route(
+//!     RouterPolicy::default(),
+//!     &state,
+//!     TrapId(0),
+//!     TrapId(3),
+//!     &load,
+//! )
+//! .expect("ring is connected");
+//! assert_eq!(route.path.first(), Some(&TrapId(0)));
+//! assert_eq!(route.path.last(), Some(&TrapId(3)));
+//! # Ok(())
+//! # }
+//! ```
+
+mod planner;
+mod policy;
+mod transport;
+
+pub use planner::{plan_route, route_budget, EdgeLoad, PlannedRoute};
+pub use policy::RouterPolicy;
+pub use transport::{TransportError, TransportRound, TransportSchedule};

@@ -1,0 +1,381 @@
+//! The route planner: multi-segment routes over the live machine state,
+//! priced with min-cost max-flow.
+
+use crate::policy::RouterPolicy;
+use qccd_flow::{min_cost_max_flow, FlowNetwork};
+use qccd_machine::{MachineState, TrapId, TrapTopology};
+
+/// Per-segment congestion surcharge cap. Loads are clamped here so the
+/// surcharge can only break ties between routes of equal hop count, never
+/// lengthen a route (hop costs are scaled to dominate any load sum).
+const LOAD_CAP: u32 = 15;
+
+/// Decaying usage counters per directed shuttle segment, maintained by the
+/// compiler across a compile and fed to [`plan_route`] as the congestion
+/// price of each edge.
+///
+/// Counters saturate at an internal cap and halve on every [`decay`]
+/// (called once per executed gate), so only *recent* traffic is priced.
+/// Everything is deterministic.
+///
+/// [`decay`]: EdgeLoad::decay
+#[derive(Debug, Clone)]
+pub struct EdgeLoad {
+    n: usize,
+    counts: Vec<u32>,
+}
+
+impl EdgeLoad {
+    /// A zero-load table for a machine with `num_traps` traps.
+    pub fn new(num_traps: u32) -> Self {
+        let n = num_traps as usize;
+        EdgeLoad {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Records one shuttle traversing `from → to`.
+    pub fn record(&mut self, from: TrapId, to: TrapId) {
+        if from.index() < self.n && to.index() < self.n {
+            let c = &mut self.counts[from.index() * self.n + to.index()];
+            *c = (*c + 1).min(LOAD_CAP);
+        }
+    }
+
+    /// Current surcharge for `from → to`, in `[0, LOAD_CAP]`.
+    pub fn load(&self, from: TrapId, to: TrapId) -> u32 {
+        if from.index() < self.n && to.index() < self.n {
+            self.counts[from.index() * self.n + to.index()]
+        } else {
+            0
+        }
+    }
+
+    /// Halves every counter — call once per executed gate so only recent
+    /// traffic is priced.
+    pub fn decay(&mut self) {
+        for c in &mut self.counts {
+            *c /= 2;
+        }
+    }
+}
+
+/// One planned multi-segment route for one ion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedRoute {
+    /// Trap path `from ..= dest`, inclusive.
+    pub path: Vec<TrapId>,
+    /// Number of *full* interior traps on the path at plan time — each one
+    /// will force a re-balancing eviction when the ion reaches it.
+    pub full_interior_traps: usize,
+}
+
+impl PlannedRoute {
+    /// Hop count of the route.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    fn from_path(state: &MachineState, path: Vec<TrapId>) -> Self {
+        let full = if path.len() > 2 {
+            path[1..path.len() - 1]
+                .iter()
+                .filter(|&&t| state.is_full(t))
+                .count()
+        } else {
+            0
+        };
+        PlannedRoute {
+            path,
+            full_interior_traps: full,
+        }
+    }
+}
+
+/// The hop budget for moving one ion from `from` to `dest` — the planner's
+/// routed-path-length bound that replaces the old ad-hoc
+/// `4 × traps + 8` bail-out. The budget is the planned distance plus
+/// `2 × traps + 4` slack for re-routes (in the worst case every trap fills
+/// up once mid-route and forces one re-plan). Exceeding it means routing
+/// cannot make progress and the compiler reports
+/// `RouteExhausted` instead of silently capping.
+///
+/// Returns `None` when `dest` is unreachable from `from`.
+pub fn route_budget(topology: &TrapTopology, from: TrapId, dest: TrapId) -> Option<u32> {
+    topology
+        .distance(from, dest)
+        .map(|d| d + 2 * topology.num_traps() + 4)
+}
+
+/// Plans a route for one ion currently in `from` toward `dest` over the
+/// live `state`.
+///
+/// * [`RouterPolicy::Serial`] — the paper executor's choice: the shortest
+///   path whose interior traps all have room, falling back to the
+///   unconditional shortest path (whose full traps the caller re-balances).
+/// * [`RouterPolicy::Congestion`] — min-cost max-flow pricing over a
+///   node-split network: every segment costs one hop plus the `load`
+///   surcharge, and a full interior trap costs `full_trap_penalty` extra
+///   hops. The cheapest route wins; hop count strictly dominates the
+///   surcharge, so congestion only arbitrates between otherwise-equal
+///   routes, and a full-free detour is taken only while it beats evicting
+///   through the full trap.
+///
+/// Returns `None` when `dest` is unreachable.
+pub fn plan_route(
+    policy: RouterPolicy,
+    state: &MachineState,
+    from: TrapId,
+    dest: TrapId,
+    load: &EdgeLoad,
+) -> Option<PlannedRoute> {
+    let topology = state.spec().topology();
+    if from == dest {
+        return Some(PlannedRoute {
+            path: vec![from],
+            full_interior_traps: 0,
+        });
+    }
+    let filtered = topology.shortest_path_filtered(from, dest, |t| t == dest || !state.is_full(t));
+    match policy {
+        RouterPolicy::Serial => filtered
+            .or_else(|| topology.shortest_path(from, dest))
+            .map(|p| PlannedRoute::from_path(state, p)),
+        RouterPolicy::Congestion { full_trap_penalty } => {
+            let Some(filtered) = filtered else {
+                // Every route needs evictions: walk the serial router's
+                // eviction path so the two routers share eviction behavior.
+                return topology
+                    .shortest_path(from, dest)
+                    .map(|p| PlannedRoute::from_path(state, p));
+            };
+            match priced_route(state, from, dest, full_trap_penalty, load) {
+                Some(priced) => Some(priced),
+                // MCMF found no route (cannot happen while BFS did; be
+                // safe): fall back to the full-free detour.
+                None => Some(PlannedRoute::from_path(state, filtered)),
+            }
+        }
+    }
+}
+
+/// Minimum-cost route from `from` to `dest` on a node-split flow network.
+///
+/// Nodes `2t` / `2t+1` are trap `t`'s in/out halves; the internal edge
+/// carries the full-trap penalty, each physical segment carries
+/// `HOP_SCALE + load`. `HOP_SCALE` exceeds any possible load sum, so cost
+/// order is: fewer `hops + penalty×full-traps` first, colder edges second.
+/// Internal edges have capacity 1, so routes are simple paths.
+fn priced_route(
+    state: &MachineState,
+    from: TrapId,
+    dest: TrapId,
+    full_trap_penalty: u32,
+    load: &EdgeLoad,
+) -> Option<PlannedRoute> {
+    let topology = state.spec().topology();
+    let n = topology.num_traps() as usize;
+    // Any load sum is < n * (LOAD_CAP + 1); scale hop costs above it.
+    let hop_scale = (n as i64 + 1) * i64::from(LOAD_CAP + 1);
+    let source = 2 * n;
+    let mut net = FlowNetwork::new(2 * n + 1);
+    for t in topology.traps() {
+        let interior_full = t != from && t != dest && state.is_full(t);
+        let cost = if interior_full {
+            i64::from(full_trap_penalty) * hop_scale
+        } else {
+            0
+        };
+        net.add_edge(2 * t.index(), 2 * t.index() + 1, 1, cost);
+        for nb in topology.neighbors(t) {
+            let cost = hop_scale + i64::from(load.load(t, nb));
+            net.add_edge(2 * t.index() + 1, 2 * nb.index(), 1, cost);
+        }
+    }
+    net.add_edge(source, 2 * from.index(), 1, 0);
+    let result = min_cost_max_flow(&mut net, source, 2 * dest.index() + 1);
+    if result.flow != 1 {
+        return None;
+    }
+    // Follow the unit of flow through the out-halves.
+    let flows = net.forward_flows();
+    let mut path = vec![from];
+    let mut cur = from;
+    while cur != dest {
+        let next = flows
+            .iter()
+            .find_map(|&(s, t, f)| {
+                // Out-half of `cur` to the in-half of a neighbour.
+                (f > 0 && s == 2 * cur.index() + 1 && t % 2 == 0).then_some(TrapId((t / 2) as u32))
+            })
+            .expect("flow conservation guarantees an outgoing unit");
+        path.push(next);
+        cur = next;
+        if path.len() > n {
+            return None; // defensive: malformed flow
+        }
+    }
+    Some(PlannedRoute::from_path(state, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_machine::{InitialMapping, MachineSpec, TrapTopology};
+
+    /// Ring of `n` traps, capacity 3/comm 1, with the given occupancies.
+    fn ring_state(n: u32, occupancy: &[u32]) -> MachineState {
+        let spec = MachineSpec::new(TrapTopology::ring(n), 3, 1).unwrap();
+        let mut traps = Vec::new();
+        for (t, &occ) in occupancy.iter().enumerate() {
+            for _ in 0..occ.min(2) {
+                traps.push(TrapId(t as u32));
+            }
+        }
+        let mapping = InitialMapping::from_traps(&spec, traps).unwrap();
+        let mut state = MachineState::with_mapping(&spec, &mapping).unwrap();
+        // Top up traps that need to be genuinely full (occupancy 3 >
+        // initial capacity 2) by shuttling an ion in from the next trap
+        // over; the donor's exact occupancy does not matter to the tests.
+        for (t, &occ) in occupancy.iter().enumerate() {
+            if occ >= 3 {
+                let nb = TrapId(((t + 1) % n as usize) as u32);
+                let spare = state.chain(nb)[0];
+                state.shuttle(spare, TrapId(t as u32)).unwrap();
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn serial_prefers_full_free_detour() {
+        // Ring of 6; trap 1 full; 0 → 2 must go the long way for serial.
+        let state = ring_state(6, &[1, 3, 1, 1, 1, 1]);
+        assert!(state.is_full(TrapId(1)));
+        let load = EdgeLoad::new(6);
+        let r = plan_route(RouterPolicy::Serial, &state, TrapId(0), TrapId(2), &load).unwrap();
+        assert_eq!(r.hops(), 4, "0-5-4-3-2 around the full trap");
+        assert_eq!(r.full_interior_traps, 0);
+    }
+
+    #[test]
+    fn congestion_matches_serial_on_cheap_detours() {
+        // Detour excess (2 hops) is far below the penalty (6): both
+        // routers detour, and the planner reports no eviction needed.
+        let state = ring_state(6, &[1, 3, 1, 1, 1, 1]);
+        let load = EdgeLoad::new(6);
+        let r = plan_route(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(2),
+            &load,
+        )
+        .unwrap();
+        assert_eq!(r.hops(), 4);
+        assert_eq!(r.full_interior_traps, 0);
+    }
+
+    #[test]
+    fn congestion_evicts_through_full_trap_when_detour_is_too_long() {
+        // Ring of 16; trap 1 full; 0 → 2. The detour costs 14 hops, the
+        // pass-through 2 hops + penalty 6 = 8: the congestion router
+        // crosses the full trap (one eviction) where serial would walk the
+        // 14-hop detour.
+        let mut occ = vec![1u32; 16];
+        occ[1] = 3;
+        let state = ring_state(16, &occ);
+        assert!(state.is_full(TrapId(1)));
+        let load = EdgeLoad::new(16);
+        let serial = plan_route(RouterPolicy::Serial, &state, TrapId(0), TrapId(2), &load).unwrap();
+        assert_eq!(serial.hops(), 14);
+        let congestion = plan_route(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(2),
+            &load,
+        )
+        .unwrap();
+        assert_eq!(congestion.hops(), 2, "pass through the full trap");
+        assert_eq!(congestion.full_interior_traps, 1);
+    }
+
+    #[test]
+    fn load_breaks_ties_toward_cold_edges() {
+        // Ring of 6, nobody full: 0 → 3 has two 3-hop routes. Heat the
+        // clockwise first segment; the planner must take the other one.
+        let state = ring_state(6, &[1, 1, 1, 1, 1, 1]);
+        let mut load = EdgeLoad::new(6);
+        load.record(TrapId(0), TrapId(1));
+        let r = plan_route(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(3),
+            &load,
+        )
+        .unwrap();
+        assert_eq!(r.hops(), 3);
+        assert_eq!(r.path[1], TrapId(5), "cold counter-clockwise route");
+    }
+
+    #[test]
+    fn load_never_lengthens_a_route() {
+        // Saturate every edge of the short route: the planner still takes
+        // it because hop count dominates the surcharge.
+        let state = ring_state(6, &[1, 1, 1, 1, 1, 1]);
+        let mut load = EdgeLoad::new(6);
+        for _ in 0..100 {
+            load.record(TrapId(0), TrapId(1));
+            load.record(TrapId(1), TrapId(2));
+        }
+        let r = plan_route(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(2),
+            &load,
+        )
+        .unwrap();
+        assert_eq!(r.hops(), 2, "hot 2-hop route still beats a 4-hop one");
+    }
+
+    #[test]
+    fn edge_load_decays_and_saturates() {
+        let mut load = EdgeLoad::new(3);
+        for _ in 0..100 {
+            load.record(TrapId(0), TrapId(1));
+        }
+        assert_eq!(load.load(TrapId(0), TrapId(1)), LOAD_CAP);
+        load.decay();
+        assert_eq!(load.load(TrapId(0), TrapId(1)), LOAD_CAP / 2);
+        assert_eq!(load.load(TrapId(1), TrapId(0)), 0);
+    }
+
+    #[test]
+    fn budget_exceeds_distance() {
+        let topo = TrapTopology::linear(6);
+        assert_eq!(route_budget(&topo, TrapId(0), TrapId(5)), Some(5 + 12 + 4));
+        let disconnected = TrapTopology::try_custom(3, &[(0, 1)]).unwrap();
+        assert_eq!(route_budget(&disconnected, TrapId(0), TrapId(2)), None);
+    }
+
+    #[test]
+    fn unreachable_destination_returns_none() {
+        let spec = MachineSpec::new(TrapTopology::try_custom(3, &[(0, 1)]).unwrap(), 3, 1).unwrap();
+        let mapping = InitialMapping::from_traps(&spec, vec![TrapId(0)]).unwrap();
+        let state = MachineState::with_mapping(&spec, &mapping).unwrap();
+        let load = EdgeLoad::new(3);
+        for policy in [RouterPolicy::Serial, RouterPolicy::congestion()] {
+            assert_eq!(
+                plan_route(policy, &state, TrapId(0), TrapId(2), &load),
+                None
+            );
+        }
+        // Trivial route: already there.
+        let r = plan_route(RouterPolicy::Serial, &state, TrapId(0), TrapId(0), &load).unwrap();
+        assert_eq!(r.hops(), 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Concurrent transport scheduling: packing a flat schedule's shuttle hops
+//! into rounds of edge-disjoint simultaneous moves.
+
+use qccd_machine::{
+    MachineError, MachineSpec, MachineState, Operation, Schedule, ShuttleMove, TrapId,
+};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// One round of concurrent shuttles: every move runs simultaneously, on
+/// pairwise-disjoint shuttle-path segments, under the machine's junction
+/// rules (see `MachineState::apply_round`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportRound {
+    /// The member moves, in the order they appear in the flat schedule.
+    pub moves: Vec<ShuttleMove>,
+}
+
+/// A compiled schedule's shuttle traffic re-expressed as concurrent
+/// transport rounds.
+///
+/// The rounds partition the flat schedule's shuttle operations *in order*:
+/// each round covers a consecutive run of shuttle ops (never spanning a
+/// gate), so replaying rounds between the schedule's gates reproduces the
+/// serial schedule's final ion placement exactly. The round count
+/// ([`depth`](TransportSchedule::depth)) is the schedule's transport depth —
+/// the timing-relevant shuttle metric once transport runs concurrently.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportSchedule {
+    /// The rounds, in execution order.
+    pub rounds: Vec<TransportRound>,
+}
+
+impl TransportSchedule {
+    /// Number of rounds — the schedule's concurrent transport depth.
+    pub fn depth(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total moves across all rounds (equals the flat shuttle count).
+    pub fn num_moves(&self) -> usize {
+        self.rounds.iter().map(|r| r.moves.len()).sum()
+    }
+
+    /// Widest round — the peak transport parallelism achieved.
+    pub fn max_round_width(&self) -> usize {
+        self.rounds.iter().map(|r| r.moves.len()).max().unwrap_or(0)
+    }
+
+    /// The serial transport schedule: one hop per round (the paper's
+    /// one-ion-at-a-time executor). Depth equals shuttle count.
+    pub fn pack_serial(schedule: &Schedule) -> Self {
+        let rounds = schedule
+            .operations
+            .iter()
+            .filter_map(|op| match *op {
+                Operation::Shuttle { ion, from, to } => Some(TransportRound {
+                    moves: vec![ShuttleMove { ion, from, to }],
+                }),
+                Operation::Gate { .. } => None,
+            })
+            .collect();
+        TransportSchedule { rounds }
+    }
+
+    /// Greedily packs consecutive shuttle hops into concurrent rounds.
+    ///
+    /// Walks the flat operation stream replaying the machine state; each
+    /// shuttle joins the current round when it is compatible (fresh
+    /// segment, fresh ion, free junction, capacity after departures) and
+    /// opens a new round otherwise. Gates close the current round — a
+    /// round never spans a gate, so gate-time ion placement is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if `schedule` does not replay legally on
+    /// `spec` (compile-validated schedules always do).
+    pub fn pack_concurrent(
+        schedule: &Schedule,
+        spec: &MachineSpec,
+    ) -> Result<Self, TransportError> {
+        let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
+            .map_err(TransportError::Machine)?;
+        let num_traps = spec.num_traps() as usize;
+        let mut rounds: Vec<TransportRound> = Vec::new();
+        let mut cur: Vec<ShuttleMove> = Vec::new();
+        let mut segments: Vec<(TrapId, TrapId)> = Vec::new();
+        let mut arrivals = vec![0u32; num_traps];
+        let mut departures = vec![0u32; num_traps];
+
+        let close = |state: &mut MachineState,
+                     rounds: &mut Vec<TransportRound>,
+                     cur: &mut Vec<ShuttleMove>,
+                     segments: &mut Vec<(TrapId, TrapId)>,
+                     arrivals: &mut Vec<u32>,
+                     departures: &mut Vec<u32>|
+         -> Result<(), TransportError> {
+            if cur.is_empty() {
+                return Ok(());
+            }
+            state.apply_round(cur).map_err(TransportError::Machine)?;
+            rounds.push(TransportRound {
+                moves: std::mem::take(cur),
+            });
+            segments.clear();
+            arrivals.iter_mut().for_each(|a| *a = 0);
+            departures.iter_mut().for_each(|d| *d = 0);
+            Ok(())
+        };
+
+        for op in &schedule.operations {
+            match *op {
+                Operation::Gate { .. } => close(
+                    &mut state,
+                    &mut rounds,
+                    &mut cur,
+                    &mut segments,
+                    &mut arrivals,
+                    &mut departures,
+                )?,
+                Operation::Shuttle { ion, from, to } => {
+                    let m = ShuttleMove { ion, from, to };
+                    let seg = m.segment();
+                    // Junction rule: at most one merge per trap per round,
+                    // so `to` has no other arrivals and the capacity check
+                    // only needs this round's departures out of it.
+                    let fits = !segments.contains(&seg)
+                        && !cur.iter().any(|c| c.ion == ion)
+                        && departures[from.index()] == 0
+                        && arrivals[to.index()] == 0
+                        && state.occupancy(to) < spec.total_capacity() + departures[to.index()];
+                    if !fits {
+                        close(
+                            &mut state,
+                            &mut rounds,
+                            &mut cur,
+                            &mut segments,
+                            &mut arrivals,
+                            &mut departures,
+                        )?;
+                    }
+                    segments.push(seg);
+                    arrivals[to.index()] += 1;
+                    departures[from.index()] += 1;
+                    cur.push(m);
+                }
+            }
+        }
+        close(
+            &mut state,
+            &mut rounds,
+            &mut cur,
+            &mut segments,
+            &mut arrivals,
+            &mut departures,
+        )?;
+        Ok(TransportSchedule { rounds })
+    }
+
+    /// Replay-validates the rounds against the flat `schedule` on `spec`:
+    ///
+    /// 1. the rounds partition the schedule's shuttle ops in order, never
+    ///    spanning a gate;
+    /// 2. every round is legal under the machine's concurrent-round rules
+    ///    (edge-disjoint segments, junction limits, capacity after
+    ///    departures), replayed via `MachineState::apply_round`;
+    /// 3. the final ion→trap mapping equals the serial replay's.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as a [`TransportError`].
+    pub fn validate(&self, schedule: &Schedule, spec: &MachineSpec) -> Result<(), TransportError> {
+        let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
+            .map_err(TransportError::Machine)?;
+        let mut serial = state.clone();
+        let mut round_idx = 0usize;
+        let mut pos = 0usize;
+        for (op_index, op) in schedule.operations.iter().enumerate() {
+            match *op {
+                Operation::Gate { .. } => {
+                    if pos != 0 {
+                        return Err(TransportError::RoundSpansGate { round: round_idx });
+                    }
+                }
+                Operation::Shuttle { ion, from, to } => {
+                    let expected = ShuttleMove { ion, from, to };
+                    let round =
+                        self.rounds
+                            .get(round_idx)
+                            .ok_or(TransportError::MoveCountMismatch {
+                                rounds: self.num_moves(),
+                                schedule: schedule.stats().shuttles,
+                            })?;
+                    if round.moves.get(pos) != Some(&expected) {
+                        return Err(TransportError::MoveMismatch { op_index });
+                    }
+                    serial.shuttle(ion, to).map_err(TransportError::Machine)?;
+                    pos += 1;
+                    if pos == round.moves.len() {
+                        state
+                            .apply_round(&round.moves)
+                            .map_err(TransportError::Machine)?;
+                        round_idx += 1;
+                        pos = 0;
+                    }
+                }
+            }
+        }
+        if pos != 0 || round_idx != self.rounds.len() {
+            return Err(TransportError::MoveCountMismatch {
+                rounds: self.num_moves(),
+                schedule: schedule.stats().shuttles,
+            });
+        }
+        for ion in 0..state.num_ions() {
+            let ion = qccd_machine::IonId(ion);
+            if state.trap_of(ion) != serial.trap_of(ion) {
+                return Err(TransportError::FinalMappingDiverged { ion });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violated transport-schedule invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A machine-level rule was violated while replaying.
+    Machine(MachineError),
+    /// A round's move disagrees with the flat schedule's shuttle op.
+    MoveMismatch {
+        /// Index of the offending operation in the flat schedule.
+        op_index: usize,
+    },
+    /// The rounds do not cover exactly the schedule's shuttle ops.
+    MoveCountMismatch {
+        /// Moves in the transport schedule.
+        rounds: usize,
+        /// Shuttle ops in the flat schedule.
+        schedule: usize,
+    },
+    /// A gate executes in the middle of a round.
+    RoundSpansGate {
+        /// The interrupted round.
+        round: usize,
+    },
+    /// Concurrent replay ended with an ion in a different trap than the
+    /// serial replay.
+    FinalMappingDiverged {
+        /// The diverged ion.
+        ion: qccd_machine::IonId,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Machine(e) => write!(f, "illegal round: {e}"),
+            TransportError::MoveMismatch { op_index } => {
+                write!(f, "round move disagrees with schedule op {op_index}")
+            }
+            TransportError::MoveCountMismatch { rounds, schedule } => write!(
+                f,
+                "transport schedule has {rounds} moves but the schedule has {schedule} shuttles"
+            ),
+            TransportError::RoundSpansGate { round } => {
+                write!(f, "round {round} spans a gate execution")
+            }
+            TransportError::FinalMappingDiverged { ion } => {
+                write!(f, "concurrent replay leaves {ion} in a different trap")
+            }
+        }
+    }
+}
+
+impl Error for TransportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TransportError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_machine::{InitialMapping, IonId};
+
+    fn sh(ion: u32, from: u32, to: u32) -> Operation {
+        Operation::Shuttle {
+            ion: IonId(ion),
+            from: TrapId(from),
+            to: TrapId(to),
+        }
+    }
+
+    /// L4, capacity 4/comm 1, ions 0-2 in T0, 3-5 in T1, 6-8 in T2.
+    fn fixture() -> (MachineSpec, InitialMapping) {
+        let spec = MachineSpec::linear(4, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 9).unwrap();
+        (spec, mapping)
+    }
+
+    #[test]
+    fn serial_packing_is_one_hop_per_round() {
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), sh(5, 1, 2)]);
+        let t = TransportSchedule::pack_serial(&schedule);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.max_round_width(), 1);
+        t.validate(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn concurrent_packing_merges_disjoint_hops() {
+        // Segments (0,1), (2,3) and (1,2) are pairwise disjoint with
+        // distinct ions and compatible junctions: all three hops share one
+        // round. The fourth reuses segment (0,1) and opens a second.
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(
+            mapping,
+            vec![sh(2, 0, 1), sh(8, 2, 3), sh(5, 1, 2), sh(1, 0, 1)],
+        );
+        let t = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
+        assert_eq!(t.num_moves(), 4);
+        assert_eq!(t.depth(), 2, "three concurrent hops, then one");
+        assert_eq!(t.max_round_width(), 3);
+        t.validate(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn conflicting_hops_stay_serial() {
+        // Same segment back-to-back: must split into two rounds.
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), sh(2, 1, 0)]);
+        let t = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
+        assert_eq!(t.depth(), 2);
+        t.validate(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn gates_close_rounds() {
+        use qccd_machine::Operation::Gate;
+        use qccd_machine::TrapId;
+        let (spec, mapping) = fixture();
+        // A gate between two otherwise-compatible hops forces two rounds.
+        let ops = vec![
+            sh(2, 0, 1),
+            Gate {
+                gate: qccd_circuit::GateId(0),
+                trap: TrapId(1),
+            },
+            sh(8, 2, 3),
+        ];
+        let schedule = Schedule::new(mapping, ops);
+        let t = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
+        assert_eq!(t.depth(), 2);
+        t.validate(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_reordered_moves() {
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), sh(8, 2, 3)]);
+        let t = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![
+                    ShuttleMove {
+                        ion: IonId(8),
+                        from: TrapId(2),
+                        to: TrapId(3),
+                    },
+                    ShuttleMove {
+                        ion: IonId(2),
+                        from: TrapId(0),
+                        to: TrapId(1),
+                    },
+                ],
+            }],
+        };
+        assert_eq!(
+            t.validate(&schedule, &spec).unwrap_err(),
+            TransportError::MoveMismatch { op_index: 0 }
+        );
+    }
+
+    #[test]
+    fn validate_rejects_missing_rounds() {
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1)]);
+        let t = TransportSchedule { rounds: vec![] };
+        assert!(matches!(
+            t.validate(&schedule, &spec).unwrap_err(),
+            TransportError::MoveCountMismatch { .. }
+        ));
+    }
+}

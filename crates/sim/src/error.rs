@@ -11,6 +11,13 @@ pub enum SimError {
     InvalidSchedule(ValidateScheduleError),
     /// The simulation parameters contain negative or non-finite values.
     InvalidParams,
+    /// The transport rounds handed to
+    /// [`simulate_transport`](crate::simulate_transport) do not match the
+    /// schedule's shuttle operations.
+    TransportMismatch {
+        /// Index of the first schedule operation the rounds disagree with.
+        op_index: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -20,6 +27,10 @@ impl fmt::Display for SimError {
             SimError::InvalidParams => {
                 write!(f, "simulation parameters must be finite and non-negative")
             }
+            SimError::TransportMismatch { op_index } => write!(
+                f,
+                "transport rounds disagree with the schedule at operation {op_index}"
+            ),
         }
     }
 }
@@ -28,7 +39,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::InvalidSchedule(e) => Some(e),
-            SimError::InvalidParams => None,
+            _ => None,
         }
     }
 }

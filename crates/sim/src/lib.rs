@@ -50,5 +50,5 @@ pub use error::SimError;
 pub use fidelity::{chain_scaling_factor, one_qubit_gate_fidelity, two_qubit_gate_fidelity};
 pub use params::SimParams;
 pub use report::SimReport;
-pub use simulator::simulate;
+pub use simulator::{simulate, simulate_transport};
 pub use trace::{simulate_traced, SimTrace, TraceRecord, TrapUtilization};

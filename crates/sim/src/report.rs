@@ -19,6 +19,11 @@ pub struct SimReport {
     pub makespan_us: f64,
     /// Shuttle hops replayed.
     pub shuttles: usize,
+    /// Transport rounds replayed: equals `shuttles` under serial transport
+    /// (one hop at a time); lower under
+    /// [`simulate_transport`](crate::simulate_transport) whenever
+    /// edge-disjoint hops shared a concurrent round.
+    pub shuttle_depth: usize,
     /// Gates replayed.
     pub gates: usize,
     /// Mean motional mode `n̄` across chains when the program ends — a
@@ -83,6 +88,7 @@ mod tests {
             },
             makespan_us: 100.0,
             shuttles: 1,
+            shuttle_depth: 1,
             gates: 2,
             final_mean_motional_mode: 0.5,
             min_gate_fidelity: fidelity,

@@ -6,6 +6,7 @@ use crate::params::SimParams;
 use crate::report::SimReport;
 use qccd_circuit::{Circuit, GateId, GateQubits};
 use qccd_machine::{IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
+use qccd_route::TransportSchedule;
 
 /// Event passed to the trace observer for every replayed operation.
 /// See [`simulate_traced`](crate::simulate_traced) for the public surface.
@@ -56,7 +57,40 @@ pub fn simulate(
     spec: &MachineSpec,
     params: &SimParams,
 ) -> Result<SimReport, SimError> {
-    simulate_inner(schedule, circuit, spec, params, &mut |_| {}).map(|(report, _)| report)
+    simulate_inner(schedule, circuit, spec, params, None, &mut |_| {}).map(|(report, _)| report)
+}
+
+/// Replays `schedule` with its shuttle traffic executed as the concurrent
+/// rounds of `transport` instead of one hop at a time.
+///
+/// Every round occupies all its member traps for a single hop duration —
+/// its moves split, fly and merge simultaneously on disjoint shuttle-path
+/// segments — so transport time scales with the schedule's *depth*
+/// (`transport.depth()`, reported as
+/// [`shuttle_depth`](SimReport::shuttle_depth)) rather than its raw shuttle
+/// count. Heating physics is unchanged: each member move still deposits
+/// its split/move/merge quanta.
+///
+/// # Errors
+///
+/// As [`simulate`], plus [`SimError::TransportMismatch`] if the rounds do
+/// not cover the schedule's shuttle operations in order.
+pub fn simulate_transport(
+    schedule: &Schedule,
+    transport: &TransportSchedule,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    params: &SimParams,
+) -> Result<SimReport, SimError> {
+    simulate_inner(
+        schedule,
+        circuit,
+        spec,
+        params,
+        Some(transport),
+        &mut |_| {},
+    )
+    .map(|(report, _)| report)
 }
 
 /// Core replay loop shared by [`simulate`] and
@@ -67,6 +101,7 @@ pub(crate) fn simulate_inner(
     circuit: &Circuit,
     spec: &MachineSpec,
     params: &SimParams,
+    transport: Option<&TransportSchedule>,
     observer: &mut dyn FnMut(OpObserver),
 ) -> Result<(SimReport, Vec<f64>), SimError> {
     if !params.is_valid() {
@@ -92,10 +127,18 @@ pub(crate) fn simulate_inner(
     let mut gates = 0usize;
     let mut shuttles = 0usize;
 
+    let mut shuttle_depth = 0usize;
     let heat_rate_per_us = params.background_heating_quanta_per_s * 1e-6;
 
-    for op in &schedule.operations {
-        match *op {
+    // With a transport schedule, consecutive shuttle ops execute as
+    // concurrent rounds: each round's members share one start/end time and
+    // one hop duration. Without one, every hop is its own round (serial
+    // transport) and the timing matches the historical per-hop replay.
+    let mut round_idx = 0usize;
+    let ops = &schedule.operations;
+    let mut i = 0usize;
+    while i < ops.len() {
+        match ops[i] {
             Operation::Gate { gate, trap } => {
                 let g = circuit.gate(gate);
                 let t = trap.index();
@@ -146,50 +189,109 @@ pub(crate) fn simulate_inner(
                 } else {
                     fidelity_log_sum += fidelity.ln();
                 }
+                i += 1;
             }
-            Operation::Shuttle { ion, from, to } => {
-                let (fi, ti) = (from.index(), to.index());
+            Operation::Shuttle { .. } => {
+                // Determine this round's member ops: `width` consecutive
+                // shuttle ops starting at `i`.
+                let width = match transport {
+                    None => 1,
+                    Some(t) => {
+                        let round = t
+                            .rounds
+                            .get(round_idx)
+                            .ok_or(SimError::TransportMismatch { op_index: i })?;
+                        if round.moves.is_empty() {
+                            // An empty round matches no op and would stall
+                            // the cursor while inflating the depth count.
+                            return Err(SimError::TransportMismatch { op_index: i });
+                        }
+                        for (k, m) in round.moves.iter().enumerate() {
+                            match ops.get(i + k) {
+                                Some(&Operation::Shuttle { ion, from, to })
+                                    if ion == m.ion && from == m.from && to == m.to => {}
+                                _ => return Err(SimError::TransportMismatch { op_index: i + k }),
+                            }
+                        }
+                        round.moves.len()
+                    }
+                };
+                round_idx += 1;
+                shuttle_depth += 1;
+                let members: Vec<(IonId, TrapId, TrapId)> = ops[i..i + width]
+                    .iter()
+                    .map(|op| match *op {
+                        Operation::Shuttle { ion, from, to } => (ion, from, to),
+                        Operation::Gate { .. } => unreachable!("round members are shuttles"),
+                    })
+                    .collect();
+                // The round starts when every member trap is free and every
+                // member ion's data dependencies have resolved; all members
+                // fly together for one hop duration.
                 let tau = params.shuttle_hop_us();
-                let start = clock[fi]
-                    .max(clock[ti])
-                    .max(avail[IonId::from(ion.qubit()).index()]);
+                let mut involved: Vec<usize> = Vec::with_capacity(2 * width);
+                for &(_, from, to) in &members {
+                    for t in [from.index(), to.index()] {
+                        if !involved.contains(&t) {
+                            involved.push(t);
+                        }
+                    }
+                }
+                let start = members
+                    .iter()
+                    .map(|&(ion, _, _)| avail[ion.index()])
+                    .chain(involved.iter().map(|&t| clock[t]))
+                    .fold(0.0f64, f64::max);
                 let end = start + tau;
-                // Background heating up to `end` on both chains.
-                n_bar[fi] += heat_rate_per_us * (end - clock[fi]).max(0.0);
-                n_bar[ti] += heat_rate_per_us * (end - clock[ti]).max(0.0);
-                // Fig. 3 energy transport:
-                //   SPLIT — the departing ion carries its per-ion share of
-                //   the chain's motional energy ("Split reduces chain-0's
-                //   energy"), while the split pulse itself deposits quanta
-                //   into the remaining chain.
-                let m_src = f64::from(state.occupancy(from)).max(1.0);
-                let share = n_bar[fi] / m_src;
-                n_bar[fi] = n_bar[fi] - share + params.split_heating_quanta;
-                //   MOVE — transit adds energy to the shuttled ion.
-                carried[ion.index()] += share + params.move_heating_quanta;
-                //   MERGE — the arriving ion's energy joins the destination
-                //   chain plus the merge pulse ("Merging q[a1] increases
-                //   chain-1's energy").
-                n_bar[ti] += carried[ion.index()] + params.merge_heating_quanta;
-                carried[ion.index()] = 0.0;
-                clock[fi] = end;
-                clock[ti] = end;
-                avail[ion.index()] = end;
-                state
-                    .shuttle(ion, to)
-                    .expect("validate() already replayed every hop");
-                // The transport pulses themselves are lossy operations.
-                fidelity_log_sum += (1.0 - params.shuttle_infidelity).ln();
-                observer(OpObserver::Shuttle {
-                    ion,
-                    from,
-                    to,
-                    start_us: start,
-                    end_us: end,
-                    dest_n_bar_after: n_bar[ti],
-                });
-                shuttles += 1;
+                // Background heating up to `end` on every involved chain.
+                for &t in &involved {
+                    n_bar[t] += heat_rate_per_us * (end - clock[t]).max(0.0);
+                }
+                for &(ion, from, to) in &members {
+                    let (fi, ti) = (from.index(), to.index());
+                    // Fig. 3 energy transport:
+                    //   SPLIT — the departing ion carries its per-ion share
+                    //   of the chain's motional energy ("Split reduces
+                    //   chain-0's energy"), while the split pulse itself
+                    //   deposits quanta into the remaining chain.
+                    let m_src = f64::from(state.occupancy(from)).max(1.0);
+                    let share = n_bar[fi] / m_src;
+                    n_bar[fi] = n_bar[fi] - share + params.split_heating_quanta;
+                    //   MOVE — transit adds energy to the shuttled ion.
+                    carried[ion.index()] += share + params.move_heating_quanta;
+                    //   MERGE — the arriving ion's energy joins the
+                    //   destination chain plus the merge pulse ("Merging
+                    //   q[a1] increases chain-1's energy").
+                    n_bar[ti] += carried[ion.index()] + params.merge_heating_quanta;
+                    carried[ion.index()] = 0.0;
+                    avail[ion.index()] = end;
+                    state
+                        .shuttle(ion, to)
+                        .expect("validate() already replayed every hop");
+                    // The transport pulses themselves are lossy operations.
+                    fidelity_log_sum += (1.0 - params.shuttle_infidelity).ln();
+                    observer(OpObserver::Shuttle {
+                        ion,
+                        from,
+                        to,
+                        start_us: start,
+                        end_us: end,
+                        dest_n_bar_after: n_bar[ti],
+                    });
+                    shuttles += 1;
+                }
+                for &t in &involved {
+                    clock[t] = end;
+                }
+                i += width;
             }
+        }
+    }
+    if let Some(t) = transport {
+        if round_idx != t.rounds.len() {
+            return Err(SimError::TransportMismatch {
+                op_index: ops.len(),
+            });
         }
     }
 
@@ -211,6 +313,7 @@ pub(crate) fn simulate_inner(
             log_program_fidelity,
             makespan_us,
             shuttles,
+            shuttle_depth,
             gates,
             final_mean_motional_mode,
             min_gate_fidelity,
@@ -375,6 +478,83 @@ mod tests {
         assert_eq!(report.program_fidelity, 1.0);
         assert_eq!(report.makespan_us, 0.0);
         assert_eq!(report.final_mean_motional_mode, 0.0);
+    }
+
+    #[test]
+    fn transport_rounds_compress_makespan_and_depth() {
+        use qccd_route::{TransportRound, TransportSchedule};
+        // L3, no gates: a pipelined pair — ion 2 leaves T1 for T2 while
+        // ion 1 enters T1 from T0. Serial replay serialises them on T1's
+        // clock (2 hop durations); one concurrent round takes 1.
+        let c = Circuit::new(4);
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)])
+                .unwrap();
+        let hops = [
+            (IonId(2), TrapId(1), TrapId(2)),
+            (IonId(1), TrapId(0), TrapId(1)),
+        ];
+        let ops = hops
+            .iter()
+            .map(|&(ion, from, to)| Operation::Shuttle { ion, from, to })
+            .collect();
+        let schedule = Schedule::new(mapping, ops);
+        let params = SimParams::default();
+        let serial = simulate(&schedule, &c, &spec, &params).unwrap();
+        assert_eq!(serial.shuttle_depth, 2, "serial: one round per hop");
+        assert!((serial.makespan_us - 2.0 * params.shuttle_hop_us()).abs() < 1e-9);
+
+        let transport = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: hops
+                    .iter()
+                    .map(|&(ion, from, to)| qccd_machine::ShuttleMove { ion, from, to })
+                    .collect(),
+            }],
+        };
+        let concurrent = simulate_transport(&schedule, &transport, &c, &spec, &params).unwrap();
+        assert_eq!(concurrent.shuttle_depth, 1, "one concurrent round");
+        assert_eq!(concurrent.shuttles, 2);
+        assert!((concurrent.makespan_us - params.shuttle_hop_us()).abs() < 1e-9);
+        // Per-move split/move/merge quanta are identical, but background
+        // heating accrues with elapsed time — halving the transport time
+        // strictly reduces accumulated heat (and so improves fidelity).
+        assert!(concurrent.final_mean_motional_mode < serial.final_mean_motional_mode);
+        assert!(concurrent.program_fidelity >= serial.program_fidelity);
+    }
+
+    #[test]
+    fn transport_mismatch_is_rejected() {
+        use qccd_route::{TransportRound, TransportSchedule};
+        let (c, spec, mapping) = two_trap_fixture();
+        let schedule = schedule_with_shuttle(mapping);
+        let wrong = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![qccd_machine::ShuttleMove {
+                    ion: IonId(3),
+                    from: TrapId(1),
+                    to: TrapId(0),
+                }],
+            }],
+        };
+        assert!(matches!(
+            simulate_transport(&schedule, &wrong, &c, &spec, &SimParams::default()),
+            Err(SimError::TransportMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transport_rejects_empty_rounds() {
+        use qccd_route::{TransportRound, TransportSchedule};
+        let (c, spec, mapping) = two_trap_fixture();
+        let schedule = schedule_with_shuttle(mapping);
+        let mut padded = TransportSchedule::pack_serial(&schedule);
+        padded.rounds.insert(0, TransportRound { moves: vec![] });
+        assert!(matches!(
+            simulate_transport(&schedule, &padded, &c, &spec, &SimParams::default()),
+            Err(SimError::TransportMismatch { .. })
+        ));
     }
 
     #[test]

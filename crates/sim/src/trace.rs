@@ -130,6 +130,7 @@ pub fn simulate_traced(
         circuit,
         spec,
         params,
+        None,
         &mut |obs: OpObserver| match obs {
             OpObserver::Gate {
                 gate,

@@ -10,6 +10,8 @@
 //! * [`circuit`] — circuit IR, gate-dependency DAG, benchmark generators.
 //! * [`machine`] — QCCD machine model: traps, topologies, shuttles, schedules.
 //! * [`flow`] — graph substrate (shortest paths, min-cost max-flow).
+//! * [`route`] — shuttle transport: congestion-aware route planning and
+//!   concurrent transport scheduling (rounds of edge-disjoint shuttles).
 //! * [`compiler`] — the paper's contribution: the shuttle-aware compiler with
 //!   baseline (Murali et al., ISCA'20) and optimized (this paper) policies.
 //! * [`sim`] — fidelity/timing simulator replaying compiled schedules.
@@ -40,6 +42,7 @@ pub use qccd_circuit as circuit;
 pub use qccd_core as compiler;
 pub use qccd_flow as flow;
 pub use qccd_machine as machine;
+pub use qccd_route as route;
 pub use qccd_sim as sim;
 
 /// Convenience prelude importing the most common types.
@@ -47,5 +50,6 @@ pub mod prelude {
     pub use qccd_circuit::{Circuit, DependencyDag, Gate, GateId, Opcode, Qubit};
     pub use qccd_core::{compile, CompileResult, CompilerConfig};
     pub use qccd_machine::{IonId, MachineSpec, MachineState, Schedule, TrapId};
-    pub use qccd_sim::{simulate, SimParams, SimReport};
+    pub use qccd_route::{RouterPolicy, TransportSchedule};
+    pub use qccd_sim::{simulate, simulate_transport, SimParams, SimReport};
 }

@@ -6,6 +6,7 @@ use muzzle_shuttle::circuit::{Circuit, Opcode, Qubit};
 use muzzle_shuttle::compiler::ScheduleAnalysis;
 use muzzle_shuttle::compiler::{
     compile, CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy,
+    RouterPolicy,
 };
 use muzzle_shuttle::machine::{InitialMapping, IonId, MachineSpec, MachineState, TrapId};
 use muzzle_shuttle::sim::{simulate, simulate_traced, SimParams};
@@ -40,14 +41,16 @@ fn config_strategy() -> impl Strategy<Value = CompilerConfig> {
             Just(MappingPolicy::RoundRobin),
             Just(MappingPolicy::GreedyInteraction)
         ],
+        prop_oneof![Just(RouterPolicy::Serial), Just(RouterPolicy::congestion())],
     )
         .prop_map(
-            |(direction, reorder, rebalance, ion_selection, mapping)| CompilerConfig {
+            |(direction, reorder, rebalance, ion_selection, mapping, router)| CompilerConfig {
                 direction,
                 reorder,
                 rebalance,
                 ion_selection,
                 mapping,
+                router,
             },
         )
 }

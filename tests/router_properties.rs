@@ -1,0 +1,133 @@
+//! Property tests for the routing subsystem: random circuits × {linear,
+//! ring, grid, custom} topologies × both routers.
+//!
+//! Invariants checked on every sampled instance:
+//!
+//! 1. both routers' schedules pass full replay validation;
+//! 2. the congestion router's round-packed transport schedule passes
+//!    concurrent replay validation (edge-disjointness, junction limits,
+//!    capacity after departures) and lands every ion where the serial
+//!    replay does;
+//! 3. both routers deliver **identical final ion→trap mappings** — the
+//!    congestion router only deviates from the serial route when crossing
+//!    a full trap is strictly cheaper than any detour, and on the sampled
+//!    topologies (≤ 9 traps, detour excess < the default full-trap
+//!    penalty of 6) that trade never wins, so emission must coincide;
+//! 4. compilation is deterministic: compiling twice yields identical
+//!    schedules and transport rounds.
+
+use muzzle_shuttle::circuit::generators::random_circuit;
+use muzzle_shuttle::compiler::{compile, CompilerConfig, RouterPolicy};
+use muzzle_shuttle::machine::{
+    MachineSpec, MachineState, Operation, Schedule, TrapId, TrapTopology,
+};
+use proptest::prelude::*;
+
+/// Replays `schedule`'s shuttles and returns the final ion→trap mapping.
+fn final_mapping(schedule: &Schedule, spec: &MachineSpec) -> Vec<TrapId> {
+    let mut state =
+        MachineState::with_mapping(spec, &schedule.initial_mapping).expect("mapping fits");
+    for op in &schedule.operations {
+        if let Operation::Shuttle { ion, to, .. } = *op {
+            state.shuttle(ion, to).expect("validated schedule replays");
+        }
+    }
+    (0..state.num_ions())
+        .map(|i| state.trap_of(muzzle_shuttle::machine::IonId(i)))
+        .collect()
+}
+
+/// Connected custom topology: a random spanning tree over `n` traps plus
+/// arbitrary extra chords (deduplicated; never self-loops).
+fn custom_topology(n: usize, tree_seed: &[usize], chords: &[(usize, usize)]) -> TrapTopology {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in 1..n {
+        // Attach each node to a pseudo-random earlier node: connectivity
+        // by construction.
+        let parent = tree_seed[v % tree_seed.len()] % v;
+        edges.push((parent as u32, v as u32));
+    }
+    for &(a, b) in chords {
+        let (a, b) = (a % n, b % n);
+        if a != b
+            && !edges.contains(&(a as u32, b as u32))
+            && !edges.contains(&(b as u32, a as u32))
+        {
+            edges.push((a as u32, b as u32));
+        }
+    }
+    TrapTopology::try_custom(n as u32, &edges).expect("constructed edges are valid")
+}
+
+fn topology_strategy() -> impl Strategy<Value = TrapTopology> {
+    prop_oneof![
+        (2u32..=6).prop_map(TrapTopology::linear),
+        (3u32..=9).prop_map(TrapTopology::ring),
+        prop_oneof![
+            Just(TrapTopology::grid(2, 2)),
+            Just(TrapTopology::grid(2, 3)),
+            Just(TrapTopology::grid(3, 3)),
+        ],
+        (
+            4usize..=8,
+            proptest::collection::vec(0usize..8, 4..8),
+            proptest::collection::vec((0usize..8, 0usize..8), 0..6),
+        )
+            .prop_map(|(n, tree_seed, chords)| custom_topology(n, &tree_seed, &chords)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn routers_validate_and_agree_on_final_mappings(
+        topology in topology_strategy(),
+        qubits in 4u32..=12,
+        gates in 1usize..=80,
+        seed in any::<u64>(),
+        baseline_policies in any::<bool>(),
+    ) {
+        // Size the machine so the circuit fits with slack on every
+        // sampled topology (traps ≥ 2, comm 2).
+        let traps = topology.num_traps();
+        let comm = 2u32;
+        let per_trap = qubits.div_ceil(traps) + 1;
+        let spec = MachineSpec::new(topology, per_trap + comm, comm)
+            .expect("constructed spec is valid");
+        let circuit = random_circuit(qubits, gates, seed);
+        let base = if baseline_policies {
+            CompilerConfig::baseline()
+        } else {
+            CompilerConfig::optimized()
+        };
+
+        let serial = compile(&circuit, &spec, &base.with_router(RouterPolicy::Serial))
+            .expect("serial router compiles");
+        let congestion_config = base.with_router(RouterPolicy::congestion());
+        let congestion = compile(&circuit, &spec, &congestion_config)
+            .expect("congestion router compiles");
+
+        // 1. Replay validation (compile() also validates internally).
+        prop_assert!(serial.schedule.validate(&circuit, &spec).is_ok());
+        prop_assert!(congestion.schedule.validate(&circuit, &spec).is_ok());
+
+        // 2. Concurrent-round replay validation, and depth accounting.
+        prop_assert!(congestion.transport.validate(&congestion.schedule, &spec).is_ok());
+        prop_assert_eq!(congestion.transport.num_moves(), congestion.stats.shuttles);
+        prop_assert!(congestion.stats.transport_depth <= congestion.stats.shuttles);
+        prop_assert_eq!(serial.stats.transport_depth, serial.stats.shuttles);
+
+        // 3. Identical final ion→trap mappings.
+        prop_assert_eq!(
+            final_mapping(&serial.schedule, &spec),
+            final_mapping(&congestion.schedule, &spec)
+        );
+
+        // 4. Determinism across runs.
+        let again = compile(&circuit, &spec, &congestion_config)
+            .expect("congestion router compiles deterministically");
+        prop_assert_eq!(again.schedule, congestion.schedule);
+        prop_assert_eq!(again.transport, congestion.transport);
+    }
+}
