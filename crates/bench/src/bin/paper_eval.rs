@@ -5,11 +5,12 @@
 //! ```
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
-//! `mapping`, `routers`, `all`.
+//! `mapping`, `routers`, `timing`, `lookahead`, `all`.
 
 use qccd_bench::{
-    aggregate_random, run_nisq_suite, run_random_suite, run_topology_router_sweep,
-    standard_topologies, timed_compile, ComparisonRow, RANDOM_SUITE_SEED,
+    aggregate_random, lookahead_packing_gains, run_nisq_suite, run_random_suite, run_timing_sweep,
+    run_topology_router_sweep, standard_topologies, timed_compile, ComparisonRow,
+    RANDOM_SUITE_SEED,
 };
 use qccd_circuit::generators::{paper_suite, random_suite};
 use qccd_core::{
@@ -33,7 +34,7 @@ fn main() {
                 i += 2;
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
-            | "all" => {
+            | "timing" | "lookahead" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -68,6 +69,8 @@ fn main() {
         "proximity" => proximity(&spec),
         "mapping" => mapping_ablation(&spec),
         "routers" => routers(&params),
+        "timing" => timing(&spec, &params),
+        "lookahead" => lookahead(&spec),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -76,6 +79,8 @@ fn main() {
             proximity(&spec);
             mapping_ablation(&spec);
             routers(&params);
+            timing(&spec, &params);
+            lookahead(&spec);
         }
         _ => unreachable!("validated above"),
     }
@@ -84,7 +89,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|all] [--per-size N]"
     );
     std::process::exit(2);
 }
@@ -106,6 +111,52 @@ fn routers(params: &SimParams) {
             r.name, r.topology, r.router, r.shuttles, r.depth, r.makespan_us
         );
     }
+    println!();
+}
+
+/// Timing-model sweep: how much of the uniform-hop makespan survives the
+/// QCCDSim-style constants (finite segment speed, junction corner/swap
+/// time, timed zone moves).
+fn timing(spec: &MachineSpec, params: &SimParams) {
+    println!("## Timing-model sweep (optimized policy stack)");
+    println!(
+        "{:<16} {:>24} {:>10} {:>6} {:>14} {:>6}",
+        "Benchmark", "Router", "Timing", "Depth", "TMakespan(us)", "Junc"
+    );
+    eprintln!("timing-model sweep...");
+    let rows = run_timing_sweep(&paper_suite(), spec, params);
+    for r in &rows {
+        println!(
+            "{:<16} {:>24} {:>10} {:>6} {:>14.1} {:>6}",
+            r.name, r.router, r.timing, r.depth, r.timed_makespan_us, r.junction_crossings
+        );
+    }
+    println!();
+}
+
+/// Lookahead round packing: before/after transport depths.
+fn lookahead(spec: &MachineSpec) {
+    println!("## Lookahead round packing (congestion router) — transport depth");
+    println!(
+        "{:<16} {:>8} {:>10} {:>6}",
+        "Benchmark", "Greedy", "Lookahead", "Gain"
+    );
+    eprintln!("lookahead packing...");
+    let rows = lookahead_packing_gains(&paper_suite(), spec);
+    let mut regressions = 0usize;
+    for r in &rows {
+        println!(
+            "{:<16} {:>8} {:>10} {:>6}",
+            r.name,
+            r.greedy_depth,
+            r.lookahead_depth,
+            r.greedy_depth as i64 - r.lookahead_depth as i64
+        );
+        if r.lookahead_depth > r.greedy_depth {
+            regressions += 1;
+        }
+    }
+    assert_eq!(regressions, 0, "lookahead packing must never deepen");
     println!();
 }
 

@@ -1,6 +1,7 @@
 //! Compiler configuration: which policy fills each decision point.
 
 use qccd_route::RouterPolicy;
+use qccd_timing::TimingModel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -111,6 +112,18 @@ pub struct CompilerConfig {
     /// executor; [`RouterPolicy::Congestion`] prices routes by congestion
     /// and trap fullness and packs transport into concurrent rounds).
     pub router: RouterPolicy,
+    /// Lookahead round packing: first-fit backfill of shuttle hops into
+    /// earlier compatible rounds of the same gate-free run
+    /// (`TransportSchedule::pack_lookahead`). Only meaningful with the
+    /// congestion router; the serial router's one-hop rounds are the
+    /// paper's executor and stay untouched. Off by default.
+    pub lookahead: bool,
+    /// Device timing model used to lower the compiled schedule into the
+    /// timed event timeline attached to every
+    /// [`CompileResult`](crate::CompileResult). Defaults to
+    /// [`TimingModel::ideal`] — the uniform-hop model matching the paper's
+    /// shuttle counting.
+    pub timing: TimingModel,
 }
 
 impl CompilerConfig {
@@ -127,6 +140,8 @@ impl CompilerConfig {
             ion_selection: IonSelection::ChainEnd,
             mapping: MappingPolicy::GreedyInteraction,
             router: RouterPolicy::Serial,
+            lookahead: false,
+            timing: TimingModel::ideal(),
         }
     }
 
@@ -142,6 +157,8 @@ impl CompilerConfig {
             ion_selection: IonSelection::MaxScore { wd: 0.5, ws: 0.5 },
             mapping: MappingPolicy::GreedyInteraction,
             router: RouterPolicy::Serial,
+            lookahead: false,
+            timing: TimingModel::ideal(),
         }
     }
 
@@ -158,6 +175,16 @@ impl CompilerConfig {
     /// concurrent transport scheduling enabled.
     pub fn with_router(self, router: RouterPolicy) -> Self {
         CompilerConfig { router, ..self }
+    }
+
+    /// The given configuration with lookahead round packing toggled.
+    pub fn with_lookahead(self, lookahead: bool) -> Self {
+        CompilerConfig { lookahead, ..self }
+    }
+
+    /// The given configuration with a different device timing model.
+    pub fn with_timing(self, timing: TimingModel) -> Self {
+        CompilerConfig { timing, ..self }
     }
 }
 
@@ -188,7 +215,14 @@ impl fmt::Display for CompilerConfig {
             f,
             "dir={dir} reorder={} rebalance={reb} ion={ion} router={}",
             self.reorder, self.router
-        )
+        )?;
+        if self.lookahead {
+            write!(f, "+lookahead")?;
+        }
+        if self.timing != TimingModel::ideal() {
+            write!(f, " timing={}", self.timing)?;
+        }
+        Ok(())
     }
 }
 
@@ -228,6 +262,21 @@ mod tests {
         assert!(s.contains("future-ops(p=6)"));
         assert!(s.contains("reorder=true"));
         assert!(s.contains("router=serial"));
+    }
+
+    #[test]
+    fn timing_defaults_to_ideal_and_lookahead_off() {
+        let c = CompilerConfig::optimized();
+        assert_eq!(c.timing, TimingModel::ideal());
+        assert!(!c.lookahead);
+        // Defaults keep the display form unchanged from paper parity.
+        assert!(!c.to_string().contains("timing="));
+        let c = c
+            .with_router(RouterPolicy::congestion())
+            .with_lookahead(true)
+            .with_timing(TimingModel::realistic());
+        assert!(c.to_string().contains("+lookahead"));
+        assert!(c.to_string().contains("timing=realistic"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use qccd_machine::{IonId, MachineError, TrapId, ValidateScheduleError};
 use qccd_route::TransportError;
+use qccd_timing::LowerError;
 use std::error::Error;
 use std::fmt;
 
@@ -55,6 +56,10 @@ pub enum CompileError {
     /// The round-packed transport schedule failed replay validation — an
     /// internal compiler bug, reported rather than silently returned.
     InternalTransport(TransportError),
+    /// Lowering the compiled schedule onto the device clock failed — an
+    /// internal compiler bug (or an invalid configured timing model),
+    /// reported rather than silently returned.
+    InternalTimeline(LowerError),
 }
 
 impl fmt::Display for CompileError {
@@ -96,6 +101,9 @@ impl fmt::Display for CompileError {
                     "internal error: transport schedule failed validation: {e}"
                 )
             }
+            CompileError::InternalTimeline(e) => {
+                write!(f, "internal error: timeline lowering failed: {e}")
+            }
         }
     }
 }
@@ -106,6 +114,7 @@ impl Error for CompileError {
             CompileError::Machine(e) => Some(e),
             CompileError::InternalValidation(e) => Some(e),
             CompileError::InternalTransport(e) => Some(e),
+            CompileError::InternalTimeline(e) => Some(e),
             _ => None,
         }
     }

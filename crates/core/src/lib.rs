@@ -52,6 +52,8 @@ pub use policies::{decide_direction, MoveDecision, MoveScores};
 pub use scheduler::{compile, compile_with_mapping, CompileResult};
 pub use stats::CompileStats;
 
-// Routing types surface in the compiler's public API (`CompilerConfig`,
-// `CompileResult`); re-export them so most users need only `qccd-core`.
+// Routing and timing types surface in the compiler's public API
+// (`CompilerConfig`, `CompileResult`); re-export them so most users need
+// only `qccd-core`.
 pub use qccd_route::{RouterPolicy, TransportError, TransportRound, TransportSchedule};
+pub use qccd_timing::{Timeline, TimelineEvent, TimingModel};

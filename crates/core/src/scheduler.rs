@@ -10,6 +10,7 @@ use crate::stats::CompileStats;
 use qccd_circuit::{Circuit, DependencyDag, GateId, GateQubits, ReadySet};
 use qccd_machine::{InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
 use qccd_route::{plan_route, route_budget, EdgeLoad, RouterPolicy, TransportSchedule};
+use qccd_timing::Timeline;
 use std::collections::VecDeque;
 
 /// A compiled program plus its compile-time statistics.
@@ -21,6 +22,12 @@ pub struct CompileResult {
     /// rounds (one hop per round under the serial router), replay-validated
     /// against the machine's per-edge and junction rules.
     pub transport: TransportSchedule,
+    /// The schedule lowered onto the device clock under the configured
+    /// [`TimingModel`](qccd_timing::TimingModel)
+    /// ([`CompilerConfig::timing`]): every gate, transport round and zone
+    /// move with explicit start/end times. `timeline.makespan_us` is the
+    /// compiler's timed-makespan estimate without running the simulator.
+    pub timeline: Timeline,
     /// Counters collected during compilation.
     pub stats: CompileStats,
 }
@@ -101,17 +108,33 @@ pub fn compile_with_mapping(
         .map_err(CompileError::InternalValidation)?;
     let transport = match config.router {
         RouterPolicy::Serial => TransportSchedule::pack_serial(&schedule),
+        RouterPolicy::Congestion { .. } if config.lookahead => {
+            TransportSchedule::pack_lookahead(&schedule, spec)
+                .map_err(CompileError::InternalTransport)?
+        }
         RouterPolicy::Congestion { .. } => TransportSchedule::pack_concurrent(&schedule, spec)
             .map_err(CompileError::InternalTransport)?,
     };
-    transport
-        .validate(&schedule, spec)
-        .map_err(CompileError::InternalTransport)?;
+    // Lookahead rounds reorder hops within gate-free runs, so they answer
+    // to the relaxed (multiset + replay + final-mapping) validator; the
+    // other packers preserve flat order and must pass the strict one.
+    if config.lookahead && config.router.is_congestion() {
+        transport
+            .validate_relaxed(&schedule, spec)
+            .map_err(CompileError::InternalTransport)?;
+    } else {
+        transport
+            .validate(&schedule, spec)
+            .map_err(CompileError::InternalTransport)?;
+    }
+    let timeline = qccd_timing::lower(&schedule, Some(&transport), circuit, spec, &config.timing)
+        .map_err(CompileError::InternalTimeline)?;
     let mut stats = scheduler.stats;
     stats.transport_depth = transport.depth();
     Ok(CompileResult {
         schedule,
         transport,
+        timeline,
         stats,
     })
 }
@@ -775,6 +798,7 @@ mod tests {
                                 ion_selection,
                                 mapping: MappingPolicy::GreedyInteraction,
                                 router,
+                                ..CompilerConfig::baseline()
                             };
                             // compile() validates by replay internally —
                             // both the flat schedule and the transport

@@ -108,6 +108,30 @@ pub enum MachineError {
         /// The over-subscribed trap.
         trap: TrapId,
     },
+    /// A zone layout has no gate zone at all.
+    EmptyGateZone,
+    /// A zone layout's gate zone cannot host both operands of a two-qubit
+    /// gate at once.
+    GateZoneTooSmall {
+        /// The offending gate-zone capacity.
+        gate: u32,
+    },
+    /// A zone layout's zones do not sum to the trap's total capacity.
+    ZoneCapacityMismatch {
+        /// Sum of the layout's zone capacities.
+        zones: u32,
+        /// The spec's total per-trap capacity.
+        total: u32,
+    },
+    /// The spec reserves more communication slots than the loading zone
+    /// holds — shuttled ions arrive in the loading zone, so the reserved
+    /// slots must fit there.
+    CommExceedsLoadingZone {
+        /// The spec's communication capacity.
+        comm: u32,
+        /// The layout's loading-zone capacity.
+        loading: u32,
+    },
     /// Applying a round would overfill a trap even after its departures.
     RoundOverfill {
         /// The overfilled trap.
@@ -182,6 +206,21 @@ impl fmt::Display for MachineError {
             MachineError::JunctionBusy { trap } => write!(
                 f,
                 "junction at {trap} cannot run two splits or two merges in one round"
+            ),
+            MachineError::EmptyGateZone => {
+                write!(f, "zone layout has no gate zone")
+            }
+            MachineError::GateZoneTooSmall { gate } => write!(
+                f,
+                "gate zone of {gate} slot(s) cannot co-locate a two-qubit gate's ions"
+            ),
+            MachineError::ZoneCapacityMismatch { zones, total } => write!(
+                f,
+                "zone capacities sum to {zones} but the trap's total capacity is {total}"
+            ),
+            MachineError::CommExceedsLoadingZone { comm, loading } => write!(
+                f,
+                "communication capacity {comm} exceeds the loading zone's {loading} slot(s)"
             ),
             MachineError::RoundOverfill {
                 trap,

@@ -39,6 +39,7 @@ mod schedule;
 mod spec;
 mod state;
 mod topology;
+mod zones;
 
 pub use error::MachineError;
 pub use ids::{IonId, TrapId};
@@ -48,3 +49,4 @@ pub use schedule::{Schedule, ScheduleStats, ValidateScheduleError};
 pub use spec::MachineSpec;
 pub use state::MachineState;
 pub use topology::TrapTopology;
+pub use zones::{ZoneLayout, ZoneOccupancy};

@@ -5,6 +5,7 @@ use crate::ids::{IonId, TrapId};
 use crate::mapping::InitialMapping;
 use crate::ops::ShuttleMove;
 use crate::spec::MachineSpec;
+use crate::zones::ZoneOccupancy;
 
 /// Live placement of ions in a QCCD machine.
 ///
@@ -109,6 +110,57 @@ impl MachineState {
     /// Returns `true` if `trap` cannot accept another ion.
     pub fn is_full(&self, trap: TrapId) -> bool {
         self.excess_capacity(trap) == 0
+    }
+
+    /// The occupancy of `trap` broken down by the spec's zone layout: chain
+    /// positions fill the gate, storage and loading zones front-to-back
+    /// (merges append to the chain end, so arrivals land in the loading
+    /// zone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trap` is out of range.
+    pub fn zone_occupancy(&self, trap: TrapId) -> ZoneOccupancy {
+        ZoneOccupancy::from_occupancy(self.occupancy(trap), self.spec.zone_layout())
+    }
+
+    /// Returns `true` if `ion`'s chain position lies inside its trap's gate
+    /// zone — i.e. a gate on it needs no intra-trap zone move first. Always
+    /// `true` under the default single-zone layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ion` is not part of this machine.
+    pub fn in_gate_zone(&self, ion: IonId) -> bool {
+        let trap = self.trap_of[ion.index()];
+        let pos = self.chains[trap.index()]
+            .iter()
+            .position(|&i| i == ion)
+            .expect("trap_of and chains are kept consistent");
+        (pos as u32) < self.spec.zone_layout().gate
+    }
+
+    /// Moves `ion` to the front of its chain — the explicit intra-trap zone
+    /// reorder that brings a storage/loading-zone ion into the gate zone.
+    /// Returns `true` if the ion actually moved (`false` when it was
+    /// already gate-ready, in which case no physical operation occurs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ion` is not part of this machine.
+    pub fn promote_to_gate_zone(&mut self, ion: IonId) -> bool {
+        if self.in_gate_zone(ion) {
+            return false;
+        }
+        let trap = self.trap_of[ion.index()];
+        let chain = &mut self.chains[trap.index()];
+        let pos = chain
+            .iter()
+            .position(|&i| i == ion)
+            .expect("trap_of and chains are kept consistent");
+        chain.remove(pos);
+        chain.insert(0, ion);
+        true
     }
 
     /// Moves `ion` one hop into the adjacent trap `to` (split from its
@@ -362,6 +414,47 @@ mod tests {
         // Merge appends: ion 2 is now at the END of T0's chain.
         assert_eq!(s.chain(TrapId(0)), &[IonId(0), IonId(1), IonId(2)]);
         assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn zone_tracking_and_promotion() {
+        use crate::zones::ZoneLayout;
+        // 2 traps, capacity 6 split 2 gate + 2 storage + 2 loading.
+        let spec = MachineSpec::linear(2, 6, 2)
+            .unwrap()
+            .with_zone_layout(ZoneLayout::new(2, 2, 2).unwrap())
+            .unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(0), TrapId(0), TrapId(1)],
+        )
+        .unwrap();
+        let mut s = MachineState::with_mapping(&spec, &mapping).unwrap();
+        let z = s.zone_occupancy(TrapId(0));
+        assert_eq!((z.gate, z.storage, z.loading), (2, 2, 0));
+        assert!(s.in_gate_zone(IonId(0)));
+        assert!(!s.in_gate_zone(IonId(3)), "position 3 is the storage zone");
+
+        // An arriving ion lands in the chain tail (loading zone).
+        s.shuttle(IonId(4), TrapId(0)).unwrap();
+        let z = s.zone_occupancy(TrapId(0));
+        assert_eq!((z.gate, z.storage, z.loading), (2, 2, 1));
+        assert!(!s.in_gate_zone(IonId(4)));
+
+        // Promotion is an explicit reorder; gate-ready ions are no-ops.
+        assert!(s.promote_to_gate_zone(IonId(4)));
+        assert!(s.in_gate_zone(IonId(4)));
+        assert_eq!(s.chain(TrapId(0))[0], IonId(4));
+        assert!(!s.promote_to_gate_zone(IonId(4)), "already gate-ready");
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn single_zone_layout_is_always_gate_ready() {
+        let s = fig1_state();
+        for ion in 0..6 {
+            assert!(s.in_gate_zone(IonId(ion)));
+        }
     }
 
     fn mv(ion: u32, from: u32, to: u32) -> ShuttleMove {

@@ -145,6 +145,18 @@ impl TrapTopology {
         self.adj.has_edge(a.index(), b.index())
     }
 
+    /// Number of shuttle-path segments meeting at `t`.
+    pub fn degree(&self, t: TrapId) -> u32 {
+        self.adj.neighbors(t.index()).len() as u32
+    }
+
+    /// `true` when three or more shuttle paths meet at `t` — a T- or
+    /// X-junction whose corner/swap hardware real QCCD transport must
+    /// negotiate (linear segments and ring corners have degree ≤ 2).
+    pub fn is_junction(&self, t: TrapId) -> bool {
+        self.degree(t) >= 3
+    }
+
     /// Neighbouring traps of `t`.
     pub fn neighbors(&self, t: TrapId) -> Vec<TrapId> {
         self.adj
@@ -248,6 +260,21 @@ mod tests {
             .expect("ring offers an alternative route");
         assert!(!p[1..p.len() - 1].contains(&TrapId(1)));
         assert_eq!(p.len(), 5); // 0-5-4-3-2
+    }
+
+    #[test]
+    fn junction_classification() {
+        let line = TrapTopology::linear(4);
+        assert!(line.traps().all(|t| !line.is_junction(t)));
+        let ring = TrapTopology::ring(6);
+        assert!(ring.traps().all(|t| ring.degree(t) == 2));
+        let grid = TrapTopology::grid(3, 3);
+        assert_eq!(grid.degree(TrapId(4)), 4, "grid centre is an X-junction");
+        assert!(
+            grid.is_junction(TrapId(1)),
+            "edge midpoints are T-junctions"
+        );
+        assert!(!grid.is_junction(TrapId(0)), "corners are not junctions");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Per-trap zone layout: gate / storage / loading regions.
+//!
+//! Full QCCD traps are not homogeneous: ions interact in a *gate zone*
+//! (where laser beams address the chain), idle ions park in a *storage
+//! zone*, and freshly shuttled ions arrive in a *loading zone* next to the
+//! trap's junction ports (the region the spec's *communication capacity*
+//! reserves). Moving an ion between zones is a physical operation with its
+//! own duration — the timing model charges it as an intra-trap zone move.
+//!
+//! The default layout is a single gate zone spanning the whole trap, which
+//! reproduces the paper's homogeneous-trap model (and the PR 2 numbers)
+//! exactly: every ion is always gate-ready and no zone moves are ever
+//! emitted.
+
+use crate::error::MachineError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How one trap's capacity is partitioned into zones.
+///
+/// Positions in a trap's ion chain map onto zones front-to-back: the first
+/// [`gate`](ZoneLayout::gate) chain slots are the gate zone, the next
+/// [`storage`](ZoneLayout::storage) the storage zone, and the final
+/// [`loading`](ZoneLayout::loading) the loading zone (merges append to the
+/// chain end, so arrivals land in the loading zone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneLayout {
+    /// Chain slots in the gate zone (where gates execute).
+    pub gate: u32,
+    /// Chain slots in the storage zone.
+    pub storage: u32,
+    /// Chain slots in the loading zone (where shuttled ions arrive; must
+    /// cover the spec's communication capacity).
+    pub loading: u32,
+}
+
+impl ZoneLayout {
+    /// The homogeneous-trap layout: one gate zone spanning the whole
+    /// capacity. This is the default and reproduces the paper's model.
+    pub fn single(total_capacity: u32) -> Self {
+        ZoneLayout {
+            gate: total_capacity,
+            storage: 0,
+            loading: 0,
+        }
+    }
+
+    /// A validated multi-zone layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`MachineError::EmptyGateZone`] — `gate == 0` (a trap without a
+    ///   gate zone cannot execute anything).
+    /// * [`MachineError::GateZoneTooSmall`] — `gate == 1`: two-qubit gates
+    ///   need both operand ions inside the gate zone at once.
+    pub fn new(gate: u32, storage: u32, loading: u32) -> Result<Self, MachineError> {
+        if gate == 0 {
+            return Err(MachineError::EmptyGateZone);
+        }
+        if gate < 2 {
+            return Err(MachineError::GateZoneTooSmall { gate });
+        }
+        Ok(ZoneLayout {
+            gate,
+            storage,
+            loading,
+        })
+    }
+
+    /// Total chain slots across all zones.
+    pub fn total(&self) -> u32 {
+        self.gate + self.storage + self.loading
+    }
+
+    /// `true` for the homogeneous single-gate-zone layout.
+    pub fn is_single(&self) -> bool {
+        self.storage == 0 && self.loading == 0
+    }
+}
+
+impl fmt::Display for ZoneLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}+{}", self.gate, self.storage, self.loading)
+    }
+}
+
+/// Occupancy of one trap broken down by zone (positional: the chain fills
+/// zones front-to-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ZoneOccupancy {
+    /// Ions currently in the gate zone.
+    pub gate: u32,
+    /// Ions currently in the storage zone.
+    pub storage: u32,
+    /// Ions currently in the loading zone.
+    pub loading: u32,
+}
+
+impl ZoneOccupancy {
+    /// Splits a chain occupancy across `layout`'s zones front-to-back.
+    pub fn from_occupancy(occupancy: u32, layout: &ZoneLayout) -> Self {
+        let gate = occupancy.min(layout.gate);
+        let storage = occupancy.saturating_sub(layout.gate).min(layout.storage);
+        let loading = occupancy.saturating_sub(layout.gate + layout.storage);
+        ZoneOccupancy {
+            gate,
+            storage,
+            loading,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layout_spans_capacity() {
+        let z = ZoneLayout::single(17);
+        assert!(z.is_single());
+        assert_eq!(z.total(), 17);
+        assert_eq!(z.to_string(), "17+0+0");
+    }
+
+    #[test]
+    fn new_rejects_degenerate_gate_zones() {
+        assert_eq!(
+            ZoneLayout::new(0, 10, 2).unwrap_err(),
+            MachineError::EmptyGateZone
+        );
+        assert_eq!(
+            ZoneLayout::new(1, 10, 2).unwrap_err(),
+            MachineError::GateZoneTooSmall { gate: 1 }
+        );
+        let z = ZoneLayout::new(13, 2, 2).unwrap();
+        assert_eq!(z.total(), 17);
+        assert!(!z.is_single());
+    }
+
+    #[test]
+    fn zone_occupancy_fills_front_to_back() {
+        let layout = ZoneLayout::new(3, 2, 1).unwrap();
+        assert_eq!(
+            ZoneOccupancy::from_occupancy(0, &layout),
+            ZoneOccupancy::default()
+        );
+        assert_eq!(
+            ZoneOccupancy::from_occupancy(2, &layout),
+            ZoneOccupancy {
+                gate: 2,
+                storage: 0,
+                loading: 0
+            }
+        );
+        assert_eq!(
+            ZoneOccupancy::from_occupancy(4, &layout),
+            ZoneOccupancy {
+                gate: 3,
+                storage: 1,
+                loading: 0
+            }
+        );
+        assert_eq!(
+            ZoneOccupancy::from_occupancy(6, &layout),
+            ZoneOccupancy {
+                gate: 3,
+                storage: 2,
+                loading: 1
+            }
+        );
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::output::{csv_row, Json};
 use crate::{emit, parse_common};
-use qccd_bench::{compare, ComparisonRow, RANDOM_SUITE_SEED};
+use qccd_bench::{compare_timed, ComparisonRow, RANDOM_SUITE_SEED};
 use qccd_circuit::generators::{paper_suite, random_suite, BenchmarkCircuit};
 use qccd_circuit::parser::parse_program;
 use qccd_core::{compile_with_mapping, CompilerConfig};
@@ -102,7 +102,7 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
         ],
         "each eval suite fixes its machine and circuits, and always runs \
          the baseline-vs-optimized policy pair under both routers (use \
-         compile/simulate/sweep for custom setups)",
+         compile/simulate/sweep for custom setups; --timing composes)",
     )?;
     let suite_name = opts
         .extra_values
@@ -118,6 +118,7 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
     };
 
     let params = SimParams::default();
+    let model = crate::parse_timing_model(&opts.timing);
     let (machine, suite) = match suite_name.as_str() {
         "paper" => (MachineSpec::paper_l6(), paper_suite()),
         "mini" => (
@@ -144,7 +145,7 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|bench| {
             eprintln!("  {}", bench.name);
-            compare(bench, &machine, &params)
+            compare_timed(bench, &machine, &params, &model)
         })
         .collect();
     let all_leq = rows
@@ -157,16 +158,21 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
         .iter()
         .filter(|r| r.transport_depth < r.optimized_shuttles)
         .count();
+    let timed_makespan_wins = rows
+        .iter()
+        .filter(|r| r.transport_sim.timed_makespan_us <= r.optimized_sim.timed_makespan_us)
+        .count();
     let checks = EvalChecks {
         all_leq,
         congestion_leq,
         depth_wins,
+        timed_makespan_wins,
     };
 
     let report = match opts.format.as_str() {
-        "json" => render_json(&suite_name, &machine, &fig4, &rows, &checks),
-        "csv" => render_csv(&rows),
-        _ => render_text(&suite_name, &machine, &fig4, &rows, &checks),
+        "json" => render_json(&suite_name, &machine, &opts.timing, &fig4, &rows, &checks),
+        "csv" => render_csv(&opts.timing, &rows),
+        _ => render_text(&suite_name, &machine, &opts.timing, &fig4, &rows, &checks),
     };
     emit(&report, &opts.out)
 }
@@ -180,23 +186,29 @@ struct EvalChecks {
     /// Benchmarks whose concurrent transport depth is strictly below the
     /// serial shuttle count.
     depth_wins: usize,
+    /// Benchmarks whose congestion-routed *timed* makespan (under the
+    /// selected timing model) is at or below the serial router's.
+    timed_makespan_wins: usize,
 }
 
 fn render_text(
     suite: &str,
     machine: &MachineSpec,
+    timing: &str,
     fig4: &Fig4,
     rows: &[ComparisonRow],
     checks: &EvalChecks,
 ) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# muzzle eval — suite `{suite}` on {machine}\n\n"));
+    out.push_str(&format!(
+        "# muzzle eval — suite `{suite}` on {machine} (timing {timing})\n\n"
+    ));
     out.push_str(&format!(
         "Fig. 4 worked example: baseline {} shuttles, optimized {} shuttles (paper: 4 vs. 1)\n\n",
         fig4.baseline_shuttles, fig4.optimized_shuttles
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>12} {:>12}\n",
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>12} {:>12} {:>6} {:>12}\n",
         "Benchmark",
         "Qubits",
         "2Q gates",
@@ -205,12 +217,14 @@ fn render_text(
         "D(dn)",
         "%D",
         "Depth",
-        "Mkspn(us)",
+        "TMkspn(us)",
+        "SMkspn(us)",
+        "Junc",
         "Fidelity gain"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>12.1} {:>11.2}X\n",
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>12.1} {:>12.1} {:>6} {:>11.2}X\n",
             r.name,
             r.qubits,
             r.two_qubit_gates,
@@ -219,7 +233,9 @@ fn render_text(
             r.delta(),
             r.delta_percent(),
             r.transport_depth,
-            r.transport_sim.makespan_us,
+            r.transport_sim.timed_makespan_us,
+            r.optimized_sim.timed_makespan_us,
+            r.transport_sim.junction_crossings,
             r.fidelity_improvement()
         ));
     }
@@ -244,14 +260,21 @@ fn render_text(
         checks.depth_wins,
         rows.len()
     ));
+    out.push_str(&format!(
+        "benchmarks where concurrent timed makespan <= serial: {} of {}\n",
+        checks.timed_makespan_wins,
+        rows.len()
+    ));
     out
 }
 
-fn render_csv(rows: &[ComparisonRow]) -> String {
+fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
     let mut out = String::from(
         "benchmark,qubits,two_qubit_gates,baseline_shuttles,optimized_shuttles,delta,\
-         delta_percent,congestion_shuttles,transport_depth,serial_makespan_us,\
-         transport_makespan_us,fidelity_improvement,baseline_compile_s,optimized_compile_s\n",
+         delta_percent,congestion_shuttles,transport_depth,timing,serial_makespan_us,\
+         transport_makespan_us,serial_timed_makespan_us,transport_timed_makespan_us,\
+         zone_moves,junction_crossings,fidelity_improvement,baseline_compile_s,\
+         optimized_compile_s\n",
     );
     for r in rows {
         out.push_str(&csv_row(&[
@@ -264,8 +287,13 @@ fn render_csv(rows: &[ComparisonRow]) -> String {
             format!("{:.3}", r.delta_percent()),
             r.congestion_shuttles.to_string(),
             r.transport_depth.to_string(),
+            timing.to_owned(),
             format!("{:.3}", r.optimized_sim.makespan_us),
             format!("{:.3}", r.transport_sim.makespan_us),
+            format!("{:.3}", r.optimized_sim.timed_makespan_us),
+            format!("{:.3}", r.transport_sim.timed_makespan_us),
+            r.transport_sim.zone_moves.to_string(),
+            r.transport_sim.junction_crossings.to_string(),
             format!("{:.4}", r.fidelity_improvement()),
             format!("{:.6}", r.baseline_compile_s),
             format!("{:.6}", r.optimized_compile_s),
@@ -278,6 +306,7 @@ fn render_csv(rows: &[ComparisonRow]) -> String {
 fn render_json(
     suite: &str,
     machine: &MachineSpec,
+    timing: &str,
     fig4: &Fig4,
     rows: &[ComparisonRow],
     checks: &EvalChecks,
@@ -329,12 +358,31 @@ fn render_json(
                         ),
                     ]),
                 ),
+                (
+                    "timed",
+                    Json::obj(vec![
+                        (
+                            "serial_makespan_us",
+                            Json::Num(r.optimized_sim.timed_makespan_us),
+                        ),
+                        (
+                            "congestion_makespan_us",
+                            Json::Num(r.transport_sim.timed_makespan_us),
+                        ),
+                        ("zone_moves", Json::int(r.transport_sim.zone_moves)),
+                        (
+                            "junction_crossings",
+                            Json::int(r.transport_sim.junction_crossings),
+                        ),
+                    ]),
+                ),
             ])
         })
         .collect();
     let value = Json::obj(vec![
         ("suite", Json::str(suite)),
         ("machine", Json::str(machine.to_string())),
+        ("timing", Json::str(timing)),
         (
             "fig4_worked_example",
             Json::obj(vec![
@@ -349,6 +397,10 @@ fn render_json(
             Json::Bool(checks.congestion_leq),
         ),
         ("depth_strictly_lower_count", Json::int(checks.depth_wins)),
+        (
+            "timed_makespan_leq_serial_count",
+            Json::int(checks.timed_makespan_wins),
+        ),
     ]);
     let mut text = value.to_string();
     text.push('\n');

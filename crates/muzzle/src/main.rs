@@ -22,9 +22,10 @@ mod spec;
 use output::Json;
 use qccd_core::{
     compile, CompileResult, CompilerConfig, DirectionPolicy, RouterPolicy, ScheduleAnalysis,
+    TimingModel,
 };
 use qccd_machine::MachineSpec;
-use qccd_sim::{simulate, simulate_transport, SimParams, SimReport};
+use qccd_sim::{simulate_timed, SimParams, SimReport};
 use spec::{parse_circuit, CircuitSpec, MachineOptions};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -52,13 +53,21 @@ CIRCUIT / MACHINE OPTIONS (compile, simulate, sweep):
     --comm N            communication capacity     [default: 2]
     --topology T        linear[:N] | ring[:N] | grid:RxC   [default: linear]
                         (sized forms override --traps)
+    --zones G:S:L       per-trap gate/storage/loading zone sizes (must sum
+                        to --capacity; default: one gate zone spanning it)
 
 POLICY OPTIONS:
     --policy P          baseline | optimized       [default: optimized]
     --proximity N       future-ops proximity override (optimized only)
-    --router R          serial | congestion        [default: serial]
+    --router R          serial | congestion | lookahead    [default: serial]
                         (congestion prices routes by trap fullness and edge
-                        load, and schedules transport as concurrent rounds)
+                        load, and schedules transport as concurrent rounds;
+                        lookahead additionally backfills hops into earlier
+                        compatible rounds)
+    --timing T          ideal | realistic          [default: ideal]
+                        (ideal reproduces the uniform-hop numbers exactly;
+                        realistic charges linear-segment speed, junction
+                        corner/swap time, and intra-trap zone moves)
 
 OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
@@ -112,6 +121,7 @@ pub struct CommonOptions {
     pub policy: String,
     pub proximity: Option<u32>,
     pub router: String,
+    pub timing: String,
     pub format: String,
     pub out: Option<String>,
     /// Flags the subcommand recognises beyond the common set.
@@ -150,6 +160,7 @@ pub fn parse_common(
         policy: "optimized".to_owned(),
         proximity: None,
         router: "serial".to_owned(),
+        timing: "ideal".to_owned(),
         format: "text".to_owned(),
         out: None,
         extra_flags: Vec::new(),
@@ -177,6 +188,7 @@ pub fn parse_common(
             "--capacity" => opts.machine.capacity = parse_num(&next(&mut i, arg)?, arg)?,
             "--comm" => opts.machine.comm = parse_num(&next(&mut i, arg)?, arg)?,
             "--topology" => opts.machine.topology = next(&mut i, arg)?,
+            "--zones" => opts.machine.zones = Some(next(&mut i, arg)?),
             "--policy" => {
                 let p = next(&mut i, arg)?;
                 if p != "baseline" && p != "optimized" {
@@ -187,10 +199,19 @@ pub fn parse_common(
             "--proximity" => opts.proximity = Some(parse_num(&next(&mut i, arg)?, arg)?),
             "--router" => {
                 let r = next(&mut i, arg)?;
-                if r != "serial" && r != "congestion" {
-                    return Err(format!("--router must be serial or congestion, got `{r}`"));
+                if !["serial", "congestion", "lookahead"].contains(&r.as_str()) {
+                    return Err(format!(
+                        "--router must be serial, congestion, or lookahead, got `{r}`"
+                    ));
                 }
                 opts.router = r;
+            }
+            "--timing" => {
+                let t = next(&mut i, arg)?;
+                if t != "ideal" && t != "realistic" {
+                    return Err(format!("--timing must be ideal or realistic, got `{t}`"));
+                }
+                opts.timing = t;
             }
             "--format" => {
                 let f = next(&mut i, arg)?;
@@ -217,20 +238,31 @@ fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> 
         .map_err(|_| format!("{flag}: `{text}` is not a valid number"))
 }
 
+/// Resolves a `--timing` value into the device timing model.
+pub fn parse_timing_model(timing: &str) -> TimingModel {
+    match timing {
+        "realistic" => TimingModel::realistic(),
+        _ => TimingModel::ideal(),
+    }
+}
+
 /// Resolves the policy options into a compiler configuration.
 ///
 /// `--proximity` tunes the future-ops scan and is meaningless for the
 /// baseline's excess-capacity rule, so that combination is rejected.
-/// `--router` composes with either policy.
+/// `--router` and `--timing` compose with either policy.
 pub fn build_config(
     policy: &str,
     proximity: Option<u32>,
     router: &str,
+    timing: &str,
 ) -> Result<CompilerConfig, String> {
-    let router = match router {
-        "congestion" => RouterPolicy::congestion(),
-        _ => RouterPolicy::Serial,
+    let (router, lookahead) = match router {
+        "congestion" => (RouterPolicy::congestion(), false),
+        "lookahead" => (RouterPolicy::congestion(), true),
+        _ => (RouterPolicy::Serial, false),
     };
+    let timing = parse_timing_model(timing);
     if policy == "baseline" {
         if proximity.is_some() {
             return Err(
@@ -239,9 +271,15 @@ pub fn build_config(
                     .to_owned(),
             );
         }
-        return Ok(CompilerConfig::baseline().with_router(router));
+        return Ok(CompilerConfig::baseline()
+            .with_router(router)
+            .with_lookahead(lookahead)
+            .with_timing(timing));
     }
-    let mut config = CompilerConfig::optimized().with_router(router);
+    let mut config = CompilerConfig::optimized()
+        .with_router(router)
+        .with_lookahead(lookahead)
+        .with_timing(timing);
     if let Some(p) = proximity {
         config.direction = DirectionPolicy::FutureOps { proximity: p };
     }
@@ -277,9 +315,12 @@ fn sim_report_json(report: &SimReport) -> Json {
             Json::Num(report.log_program_fidelity),
         ),
         ("makespan_us", Json::Num(report.makespan_us)),
+        ("timed_makespan_us", Json::Num(report.timed_makespan_us)),
         ("shuttles", Json::int(report.shuttles)),
         ("shuttle_depth", Json::int(report.shuttle_depth)),
         ("gates", Json::int(report.gates)),
+        ("zone_moves", Json::int(report.zone_moves)),
+        ("junction_crossings", Json::int(report.junction_crossings)),
         (
             "final_mean_motional_mode",
             Json::Num(report.final_mean_motional_mode),
@@ -302,6 +343,12 @@ fn compile_stats_json(result: &CompileResult, compile_s: f64) -> Json {
             "opposite_direction_moves",
             Json::int(s.opposite_direction_moves),
         ),
+        ("timed_makespan_us", Json::Num(result.timeline.makespan_us)),
+        ("zone_moves", Json::int(result.timeline.zone_moves)),
+        (
+            "junction_crossings",
+            Json::int(result.timeline.junction_crossings),
+        ),
         ("compile_seconds", Json::Num(compile_s)),
     ])
 }
@@ -322,7 +369,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let opts = parse_common(args, &[], &["--show-schedule", "--analyze"])?;
     let circuit = require_circuit(&opts)?;
     let machine = opts.machine.build()?;
-    let config = build_config(&opts.policy, opts.proximity, &opts.router)?;
+    let config = build_config(&opts.policy, opts.proximity, &opts.router, &opts.timing)?;
     let (result, compile_s) = timed(&circuit.circuit, &machine, &config)?;
 
     let mut report = String::new();
@@ -344,15 +391,18 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             report.push('\n');
         }
         "csv" => {
-            report.push_str("circuit,machine,policy,router,shuttles,rebalance_shuttles,transport_depth,gates,local_gates,reorders,rebalances,compile_seconds\n");
+            report.push_str("circuit,machine,policy,router,timing,shuttles,rebalance_shuttles,transport_depth,timed_makespan_us,zone_moves,gates,local_gates,reorders,rebalances,compile_seconds\n");
             report.push_str(&output::csv_row(&[
                 circuit.name.clone(),
                 machine.to_string(),
                 opts.policy.clone(),
                 opts.router.clone(),
+                opts.timing.clone(),
                 result.stats.shuttles.to_string(),
                 result.stats.rebalance_shuttles.to_string(),
                 result.stats.transport_depth.to_string(),
+                format!("{:.3}", result.timeline.makespan_us),
+                result.timeline.zone_moves.to_string(),
                 result.stats.gate_ops.to_string(),
                 result.stats.local_gates.to_string(),
                 result.stats.reorders.to_string(),
@@ -371,6 +421,13 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             report.push_str(&format!("machine  {machine}\n"));
             report.push_str(&format!("policy   {} ({config})\n", opts.policy));
             report.push_str(&format!("result   {}\n", result.stats));
+            report.push_str(&format!(
+                "timeline {:.1} us makespan ({}), {} zone moves, {} junction crossings\n",
+                result.timeline.makespan_us,
+                opts.timing,
+                result.timeline.zone_moves,
+                result.timeline.junction_crossings
+            ));
             report.push_str(&format!("time     {compile_s:.4} s\n"));
         }
     }
@@ -406,21 +463,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let params = SimParams::default();
     let compare = opts.extra_flags.iter().any(|f| f == "--compare");
 
-    // Congestion-routed schedules are timed by concurrent transport
-    // rounds; serial ones hop-by-hop (the historical replay).
+    // Every schedule replays through its compiled transport rounds (one
+    // hop per round under the serial router — the historical replay) on
+    // the timed event timeline of the selected --timing model.
+    let model = parse_timing_model(&opts.timing);
     let run = |config: &CompilerConfig| -> Result<(CompileResult, SimReport), String> {
         let (result, _) = timed(&circuit.circuit, &machine, config)?;
-        let report = if config.router.is_congestion() {
-            simulate_transport(
-                &result.schedule,
-                &result.transport,
-                &circuit.circuit,
-                &machine,
-                &params,
-            )
-        } else {
-            simulate(&result.schedule, &circuit.circuit, &machine, &params)
-        }
+        let report = simulate_timed(
+            &result.schedule,
+            &result.transport,
+            &circuit.circuit,
+            &machine,
+            &params,
+            &model,
+        )
         .map_err(|e| e.to_string())?;
         Ok((result, report))
     };
@@ -431,8 +487,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &["--policy"],
             "--compare always runs both the baseline and optimized policies",
         )?;
-        let (_, base) = run(&build_config("baseline", None, &opts.router)?)?;
-        let (_, opt) = run(&build_config("optimized", opts.proximity, &opts.router)?)?;
+        let (_, base) = run(&build_config("baseline", None, &opts.router, &opts.timing)?)?;
+        let (_, opt) = run(&build_config(
+            "optimized",
+            opts.proximity,
+            &opts.router,
+            &opts.timing,
+        )?)?;
         match opts.format.as_str() {
             "json" => {
                 let value = Json::obj(vec![
@@ -450,17 +511,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
             "csv" => {
                 report.push_str(
-                    "circuit,machine,policy,program_fidelity,makespan_us,shuttles,gates\n",
+                    "circuit,machine,policy,timing,program_fidelity,makespan_us,timed_makespan_us,shuttles,gates,zone_moves\n",
                 );
                 for (policy, r) in [("baseline", &base), ("optimized", &opt)] {
                     report.push_str(&output::csv_row(&[
                         circuit.name.clone(),
                         machine.to_string(),
                         policy.to_owned(),
+                        opts.timing.clone(),
                         format!("{:e}", r.program_fidelity),
                         format!("{:.3}", r.makespan_us),
+                        format!("{:.3}", r.timed_makespan_us),
                         r.shuttles.to_string(),
                         r.gates.to_string(),
+                        r.zone_moves.to_string(),
                     ]));
                     report.push('\n');
                 }
@@ -477,7 +541,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
         }
     } else {
-        let config = build_config(&opts.policy, opts.proximity, &opts.router)?;
+        let config = build_config(&opts.policy, opts.proximity, &opts.router, &opts.timing)?;
         let (_, sim) = run(&config)?;
         match opts.format.as_str() {
             "json" => {
@@ -492,16 +556,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
             "csv" => {
                 report.push_str(
-                    "circuit,machine,policy,program_fidelity,makespan_us,shuttles,gates\n",
+                    "circuit,machine,policy,timing,program_fidelity,makespan_us,timed_makespan_us,shuttles,gates,zone_moves\n",
                 );
                 report.push_str(&output::csv_row(&[
                     circuit.name.clone(),
                     machine.to_string(),
                     opts.policy.clone(),
+                    opts.timing.clone(),
                     format!("{:e}", sim.program_fidelity),
                     format!("{:.3}", sim.makespan_us),
+                    format!("{:.3}", sim.timed_makespan_us),
                     sim.shuttles.to_string(),
                     sim.gates.to_string(),
+                    sim.zone_moves.to_string(),
                 ]));
                 report.push('\n');
             }
@@ -567,8 +634,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let (machine, base_cfg, opt_cfg) = match param.as_str() {
             "proximity" => (
                 opts.machine.build()?,
-                build_config("baseline", None, &opts.router)?,
-                build_config("optimized", Some(value), &opts.router)?,
+                build_config("baseline", None, &opts.router, &opts.timing)?,
+                build_config("optimized", Some(value), &opts.router, &opts.timing)?,
             ),
             "traps" => {
                 let mut m = MachineOptions {
@@ -580,8 +647,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 m.topology = opts.machine.topology.clone();
                 (
                     m.build()?,
-                    build_config("baseline", None, &opts.router)?,
-                    build_config("optimized", opts.proximity, &opts.router)?,
+                    build_config("baseline", None, &opts.router, &opts.timing)?,
+                    build_config("optimized", opts.proximity, &opts.router, &opts.timing)?,
                 )
             }
             other => {

@@ -3,7 +3,7 @@
 use qccd_circuit::generators::{qaoa, qft, quadratic_form, random_circuit, square_root, supremacy};
 use qccd_circuit::parser::parse_program;
 use qccd_circuit::Circuit;
-use qccd_machine::{MachineSpec, TrapTopology};
+use qccd_machine::{MachineSpec, TrapTopology, ZoneLayout};
 
 /// A parsed `--circuit` argument: the circuit plus a display name.
 pub struct CircuitSpec {
@@ -132,6 +132,9 @@ pub struct MachineOptions {
     /// Interconnect shape (`--topology linear[:N]|ring[:N]|grid:RxC`;
     /// sized forms override `--traps`).
     pub topology: String,
+    /// Per-trap zone layout (`--zones GATE:STORAGE:LOADING`; `None` keeps
+    /// the paper's homogeneous single-gate-zone traps).
+    pub zones: Option<String>,
 }
 
 impl Default for MachineOptions {
@@ -141,6 +144,7 @@ impl Default for MachineOptions {
             capacity: 17,
             comm: 2,
             topology: "linear".to_owned(),
+            zones: None,
         }
     }
 }
@@ -155,8 +159,31 @@ impl MachineOptions {
     /// with a parse error.
     pub fn build(&self) -> Result<MachineSpec, String> {
         let topology = parse_topology(&self.topology, self.traps)?;
-        MachineSpec::new(topology, self.capacity, self.comm).map_err(|e| e.to_string())
+        let spec =
+            MachineSpec::new(topology, self.capacity, self.comm).map_err(|e| e.to_string())?;
+        match &self.zones {
+            None => Ok(spec),
+            Some(text) => {
+                let layout = parse_zones(text)?;
+                spec.with_zone_layout(layout).map_err(|e| e.to_string())
+            }
+        }
     }
+}
+
+/// Parses a `--zones GATE:STORAGE:LOADING` spec (e.g. `13:2:2`).
+fn parse_zones(text: &str) -> Result<ZoneLayout, String> {
+    let parts: Vec<&str> = text.split(':').collect();
+    let [gate, storage, loading] = parts.as_slice() else {
+        return Err(format!(
+            "--zones needs GATE:STORAGE:LOADING (three zone sizes), got `{text}`"
+        ));
+    };
+    let num = |part: &str| -> Result<u32, String> {
+        part.parse()
+            .map_err(|_| format!("bad zone size `{part}` in `--zones {text}`"))
+    };
+    ZoneLayout::new(num(gate)?, num(storage)?, num(loading)?).map_err(|e| e.to_string())
 }
 
 /// Parses a `--topology` spec; `default_traps` sizes the bare
@@ -263,12 +290,36 @@ mod tests {
     }
 
     #[test]
+    fn zones_option_builds_multi_zone_machines() {
+        let mut opts = MachineOptions {
+            zones: Some("13:2:2".to_owned()),
+            ..MachineOptions::default()
+        };
+        let spec = opts.build().unwrap();
+        assert!(!spec.zone_layout().is_single());
+        assert_eq!(spec.zone_layout().gate, 13);
+        assert_eq!(spec.to_string(), "L6(cap 17, comm 2, zones 13+2+2)");
+        for (zones, needle) in [
+            ("13:2", "three zone sizes"),
+            ("a:2:2", "bad zone size"),
+            ("0:15:2", "no gate zone"),
+            ("12:2:2", "sum to 16"),    // != capacity 17
+            ("14:2:1", "loading zone"), // comm 2 > loading 1
+        ] {
+            opts.zones = Some(zones.to_owned());
+            let err = opts.build().unwrap_err();
+            assert!(err.contains(needle), "`{zones}` → `{err}`");
+        }
+    }
+
+    #[test]
     fn builds_ring_and_grid() {
         let mut opts = MachineOptions {
             traps: 4,
             capacity: 8,
             comm: 2,
             topology: "ring".to_owned(),
+            zones: None,
         };
         assert_eq!(opts.build().unwrap().topology().to_string(), "R4");
         opts.topology = "grid:2x2".to_owned();
@@ -284,6 +335,7 @@ mod tests {
             capacity: 8,
             comm: 2,
             topology: "linear:7".to_owned(),
+            zones: None,
         };
         assert_eq!(opts.build().unwrap().topology().to_string(), "L7");
         opts.topology = "ring:5".to_owned();

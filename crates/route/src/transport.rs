@@ -2,9 +2,10 @@
 //! into rounds of edge-disjoint simultaneous moves.
 
 use qccd_machine::{
-    MachineError, MachineSpec, MachineState, Operation, Schedule, ShuttleMove, TrapId,
+    IonId, MachineError, MachineSpec, MachineState, Operation, Schedule, ShuttleMove, TrapId,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -156,6 +157,253 @@ impl TransportSchedule {
             &mut departures,
         )?;
         Ok(TransportSchedule { rounds })
+    }
+
+    /// Packs shuttle hops into rounds with *lookahead backfill*: each hop
+    /// is first-fit placed into the earliest compatible round of its
+    /// gate-free run, not just the latest one.
+    ///
+    /// The greedy packer ([`pack_concurrent`](Self::pack_concurrent))
+    /// closes a round forever once any hop fails to join it, so a hop
+    /// conflicting with round *k* can never ride with round *k − 1* even
+    /// when it would fit there. Backfilling re-opens those rounds: a hop
+    /// joins round `r` when
+    ///
+    /// 1. its ion's previous hop sits in an earlier round (per-ion order);
+    /// 2. round `r` accepts it under the machine's round rules (fresh
+    ///    segment, one split and one merge per trap, capacity after
+    ///    departures at round `r`'s occupancy);
+    /// 3. every later round of the run stays legal with the ion arriving
+    ///    early (destination-trap capacity re-checked downstream).
+    ///
+    /// Hops are only moved *within* their gate-free run, so gate-time ion
+    /// placement is untouched; the result validates under
+    /// [`validate_relaxed`](Self::validate_relaxed) (rounds may reorder
+    /// hops inside a run) rather than the strict in-order
+    /// [`validate`](Self::validate). Falls back to the greedy packing
+    /// whenever backfill does not strictly reduce depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if `schedule` does not replay legally on
+    /// `spec` (compile-validated schedules always do).
+    pub fn pack_lookahead(schedule: &Schedule, spec: &MachineSpec) -> Result<Self, TransportError> {
+        let greedy = Self::pack_concurrent(schedule, spec)?;
+        let backfilled = Self::pack_lookahead_inner(schedule, spec)?;
+        if backfilled.depth() < greedy.depth() {
+            Ok(backfilled)
+        } else {
+            Ok(greedy)
+        }
+    }
+
+    fn pack_lookahead_inner(
+        schedule: &Schedule,
+        spec: &MachineSpec,
+    ) -> Result<Self, TransportError> {
+        /// One in-progress round of the current gate-free run.
+        #[derive(Default, Clone)]
+        struct RoundBuild {
+            moves: Vec<ShuttleMove>,
+            segments: Vec<(TrapId, TrapId)>,
+            arrivals: Vec<u32>,
+            departures: Vec<u32>,
+        }
+
+        let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
+            .map_err(TransportError::Machine)?;
+        let num_traps = spec.num_traps() as usize;
+        let cap = spec.total_capacity();
+        let mut rounds: Vec<TransportRound> = Vec::new();
+
+        // Current run: rounds under construction, plus the trap-occupancy
+        // snapshot before each round (`occ_before[r]`) with one extra entry
+        // for "after the last round".
+        let mut run: Vec<RoundBuild> = Vec::new();
+        let mut occ_before: Vec<Vec<u32>> = Vec::new();
+        let mut last_round_of_ion: HashMap<IonId, usize> = HashMap::new();
+
+        let close_run = |state: &mut MachineState,
+                         rounds: &mut Vec<TransportRound>,
+                         run: &mut Vec<RoundBuild>,
+                         occ_before: &mut Vec<Vec<u32>>,
+                         last_round_of_ion: &mut HashMap<IonId, usize>|
+         -> Result<(), TransportError> {
+            for rb in run.drain(..) {
+                state
+                    .apply_round(&rb.moves)
+                    .map_err(TransportError::Machine)?;
+                rounds.push(TransportRound { moves: rb.moves });
+            }
+            occ_before.clear();
+            last_round_of_ion.clear();
+            Ok(())
+        };
+
+        for op in &schedule.operations {
+            match *op {
+                Operation::Gate { .. } => close_run(
+                    &mut state,
+                    &mut rounds,
+                    &mut run,
+                    &mut occ_before,
+                    &mut last_round_of_ion,
+                )?,
+                Operation::Shuttle { ion, from, to } => {
+                    let m = ShuttleMove { ion, from, to };
+                    let seg = m.segment();
+                    if occ_before.is_empty() {
+                        occ_before.push(
+                            (0..num_traps)
+                                .map(|t| state.occupancy(TrapId(t as u32)))
+                                .collect(),
+                        );
+                    }
+                    let earliest = last_round_of_ion.get(&ion).map_or(0, |&r| r + 1);
+                    // First-fit: the earliest round that accepts the hop
+                    // and keeps every later round of the run legal.
+                    let mut chosen = None;
+                    for r in earliest..run.len() {
+                        let rb = &run[r];
+                        if rb.segments.contains(&seg)
+                            || rb.departures[from.index()] > 0
+                            || rb.arrivals[to.index()] > 0
+                            || occ_before[r][to.index()] + 1 > cap + rb.departures[to.index()]
+                        {
+                            continue;
+                        }
+                        // Downstream: the ion now occupies `to` from round
+                        // r on; re-check capacity in later arrival rounds.
+                        let downstream_ok =
+                            run[r + 1..]
+                                .iter()
+                                .zip(&occ_before[r + 1..])
+                                .all(|(s, occ)| {
+                                    s.arrivals[to.index()] == 0
+                                        || occ[to.index()] + 1 + s.arrivals[to.index()]
+                                            <= cap + s.departures[to.index()]
+                                });
+                        if downstream_ok {
+                            chosen = Some(r);
+                            break;
+                        }
+                    }
+                    let chosen = match chosen {
+                        Some(r) => r,
+                        None => {
+                            run.push(RoundBuild {
+                                arrivals: vec![0; num_traps],
+                                departures: vec![0; num_traps],
+                                ..RoundBuild::default()
+                            });
+                            occ_before.push(occ_before.last().expect("seeded above").clone());
+                            run.len() - 1
+                        }
+                    };
+                    let rb = &mut run[chosen];
+                    rb.moves.push(m);
+                    rb.segments.push(seg);
+                    rb.departures[from.index()] += 1;
+                    rb.arrivals[to.index()] += 1;
+                    for occ in &mut occ_before[chosen + 1..] {
+                        occ[from.index()] -= 1;
+                        occ[to.index()] += 1;
+                    }
+                    last_round_of_ion.insert(ion, chosen);
+                }
+            }
+        }
+        close_run(
+            &mut state,
+            &mut rounds,
+            &mut run,
+            &mut occ_before,
+            &mut last_round_of_ion,
+        )?;
+        Ok(TransportSchedule { rounds })
+    }
+
+    /// Replay-validates rounds that may *reorder* hops within a gate-free
+    /// run (the contract of [`pack_lookahead`](Self::pack_lookahead)):
+    ///
+    /// 1. the rounds cover exactly the schedule's shuttle ops, run by run
+    ///    — each round draws all its moves from one gate-free run;
+    /// 2. every round is legal under the machine's concurrent-round rules,
+    ///    replayed via `MachineState::apply_round`;
+    /// 3. the final ion→trap mapping equals the serial replay's.
+    ///
+    /// Strictly weaker than [`validate`](Self::validate): any in-order
+    /// transport schedule that passes `validate` passes this too.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as a [`TransportError`].
+    pub fn validate_relaxed(
+        &self,
+        schedule: &Schedule,
+        spec: &MachineSpec,
+    ) -> Result<(), TransportError> {
+        let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
+            .map_err(TransportError::Machine)?;
+        let mut serial = state.clone();
+        let count_mismatch = || TransportError::MoveCountMismatch {
+            rounds: self.num_moves(),
+            schedule: schedule.stats().shuttles,
+        };
+        let ops = &schedule.operations;
+        let mut round_idx = 0usize;
+        let mut i = 0usize;
+        while i < ops.len() {
+            match ops[i] {
+                Operation::Gate { .. } => i += 1,
+                Operation::Shuttle { .. } => {
+                    // The gate-free run starting here, as a multiset.
+                    let run_start = i;
+                    let mut remaining: Vec<Option<ShuttleMove>> = Vec::new();
+                    while let Some(&Operation::Shuttle { ion, from, to }) = ops.get(i) {
+                        remaining.push(Some(ShuttleMove { ion, from, to }));
+                        serial.shuttle(ion, to).map_err(TransportError::Machine)?;
+                        i += 1;
+                    }
+                    let mut outstanding = remaining.len();
+                    while outstanding > 0 {
+                        let round = self.rounds.get(round_idx).ok_or_else(count_mismatch)?;
+                        if round.moves.is_empty() {
+                            return Err(count_mismatch());
+                        }
+                        if round.moves.len() > outstanding {
+                            return Err(TransportError::RoundSpansGate { round: round_idx });
+                        }
+                        let run_len = remaining.len();
+                        for m in &round.moves {
+                            let consumed = run_len - outstanding;
+                            let slot = remaining
+                                .iter_mut()
+                                .find(|slot| slot.as_ref() == Some(m))
+                                .ok_or(TransportError::MoveMismatch {
+                                op_index: run_start + consumed,
+                            })?;
+                            *slot = None;
+                            outstanding -= 1;
+                        }
+                        state
+                            .apply_round(&round.moves)
+                            .map_err(TransportError::Machine)?;
+                        round_idx += 1;
+                    }
+                }
+            }
+        }
+        if round_idx != self.rounds.len() {
+            return Err(count_mismatch());
+        }
+        for ion in 0..state.num_ions() {
+            let ion = IonId(ion);
+            if state.trap_of(ion) != serial.trap_of(ion) {
+                return Err(TransportError::FinalMappingDiverged { ion });
+            }
+        }
+        Ok(())
     }
 
     /// Replay-validates the rounds against the flat `schedule` on `spec`:
@@ -358,6 +606,131 @@ mod tests {
         let t = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
         assert_eq!(t.depth(), 2);
         t.validate(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn lookahead_backfills_into_earlier_rounds() {
+        // Greedy: h1=(ion2, 0→1) opens round 0; h2=(ion2, 1→0) conflicts
+        // (same segment, same ion) and opens round 1; h3=(ion5, 1→2)
+        // conflicts with round 1 (ion2 departs T1... no — h2 departs from
+        // T1? h2 = 1→0, so departures[1] > 0, blocking h3's departure
+        // from T1) and opens round 2. Lookahead backfills h3 into round 0,
+        // where T1 only receives.
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), sh(2, 1, 0), sh(5, 1, 2)]);
+        let greedy = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
+        assert_eq!(greedy.depth(), 3);
+        let packed = TransportSchedule::pack_lookahead(&schedule, &spec).unwrap();
+        assert_eq!(packed.depth(), 2, "h3 rides with h1");
+        assert_eq!(packed.num_moves(), 3);
+        assert_eq!(packed.rounds[0].moves.len(), 2);
+        packed.validate_relaxed(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn lookahead_respects_per_ion_hop_order() {
+        // ion 2's two hops must stay in distinct, ordered rounds even
+        // though their segments are disjoint.
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), sh(2, 1, 2)]);
+        let packed = TransportSchedule::pack_lookahead(&schedule, &spec).unwrap();
+        assert_eq!(packed.depth(), 2);
+        packed.validate_relaxed(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn lookahead_never_moves_hops_across_gates() {
+        use qccd_machine::Operation::Gate;
+        let (spec, mapping) = fixture();
+        // The second run's hop would fit round 0, but a gate separates
+        // the runs.
+        let ops = vec![
+            sh(2, 0, 1),
+            Gate {
+                gate: qccd_circuit::GateId(0),
+                trap: TrapId(1),
+            },
+            sh(8, 2, 3),
+        ];
+        let schedule = Schedule::new(mapping, ops);
+        let packed = TransportSchedule::pack_lookahead(&schedule, &spec).unwrap();
+        assert_eq!(packed.depth(), 2);
+        packed.validate_relaxed(&schedule, &spec).unwrap();
+        packed.validate(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn lookahead_is_never_deeper_than_greedy() {
+        // A mixed workload: every prefix property the packer relies on is
+        // replay-checked by apply_round inside close_run.
+        let (spec, mapping) = fixture();
+        let ops = vec![
+            sh(2, 0, 1),
+            sh(5, 1, 2),
+            sh(2, 1, 0),
+            sh(8, 2, 3),
+            sh(5, 2, 1),
+            sh(1, 0, 1),
+        ];
+        let schedule = Schedule::new(mapping, ops);
+        let greedy = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
+        let packed = TransportSchedule::pack_lookahead(&schedule, &spec).unwrap();
+        assert!(packed.depth() <= greedy.depth());
+        assert_eq!(packed.num_moves(), greedy.num_moves());
+        packed.validate_relaxed(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn relaxed_validation_accepts_strictly_ordered_schedules() {
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(
+            mapping,
+            vec![sh(2, 0, 1), sh(8, 2, 3), sh(5, 1, 2), sh(1, 0, 1)],
+        );
+        let t = TransportSchedule::pack_concurrent(&schedule, &spec).unwrap();
+        t.validate(&schedule, &spec).unwrap();
+        t.validate_relaxed(&schedule, &spec).unwrap();
+    }
+
+    #[test]
+    fn relaxed_validation_rejects_foreign_and_missing_moves() {
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), sh(8, 2, 3)]);
+        // A round with a move the schedule never performs.
+        let foreign = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![
+                    ShuttleMove {
+                        ion: IonId(2),
+                        from: TrapId(0),
+                        to: TrapId(1),
+                    },
+                    ShuttleMove {
+                        ion: IonId(5),
+                        from: TrapId(1),
+                        to: TrapId(2),
+                    },
+                ],
+            }],
+        };
+        assert!(matches!(
+            foreign.validate_relaxed(&schedule, &spec).unwrap_err(),
+            TransportError::MoveMismatch { .. }
+        ));
+        // Rounds that do not cover every hop.
+        let short = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![ShuttleMove {
+                    ion: IonId(2),
+                    from: TrapId(0),
+                    to: TrapId(1),
+                }],
+            }],
+        };
+        assert!(matches!(
+            short.validate_relaxed(&schedule, &spec).unwrap_err(),
+            TransportError::MoveCountMismatch { .. }
+        ));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulator error type.
 
 use qccd_machine::ValidateScheduleError;
+use qccd_timing::LowerError;
 use std::error::Error;
 use std::fmt;
 
@@ -9,7 +10,8 @@ use std::fmt;
 pub enum SimError {
     /// The schedule failed replay validation against the circuit/machine.
     InvalidSchedule(ValidateScheduleError),
-    /// The simulation parameters contain negative or non-finite values.
+    /// The simulation parameters (or the timing model) contain negative or
+    /// non-finite values.
     InvalidParams,
     /// The transport rounds handed to
     /// [`simulate_transport`](crate::simulate_transport) do not match the
@@ -18,6 +20,9 @@ pub enum SimError {
         /// Index of the first schedule operation the rounds disagree with.
         op_index: usize,
     },
+    /// Lowering the schedule onto the device clock failed for a reason
+    /// other than a transport mismatch (e.g. an illegal hand-built round).
+    Timing(LowerError),
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +36,7 @@ impl fmt::Display for SimError {
                 f,
                 "transport rounds disagree with the schedule at operation {op_index}"
             ),
+            SimError::Timing(e) => write!(f, "timeline lowering failed: {e}"),
         }
     }
 }
@@ -39,6 +45,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::InvalidSchedule(e) => Some(e),
+            SimError::Timing(e) => Some(e),
             _ => None,
         }
     }

@@ -50,5 +50,9 @@ pub use error::SimError;
 pub use fidelity::{chain_scaling_factor, one_qubit_gate_fidelity, two_qubit_gate_fidelity};
 pub use params::SimParams;
 pub use report::SimReport;
-pub use simulator::{simulate, simulate_transport};
+pub use simulator::{simulate, simulate_timed, simulate_transport};
 pub use trace::{simulate_traced, SimTrace, TraceRecord, TrapUtilization};
+
+// The timing model shapes every timed replay; re-export it so simulator
+// users need not depend on `qccd-timing` directly.
+pub use qccd_timing::{Timeline, TimingModel};

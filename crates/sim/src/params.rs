@@ -37,6 +37,10 @@ pub struct SimParams {
     /// Motional quanta deposited into the *destination* chain by one
     /// move-and-merge (Fig. 3: "Merging q\[a1\] increases chain-1's energy").
     pub merge_heating_quanta: f64,
+    /// Motional quanta deposited into a chain by one intra-trap zone
+    /// reorder (multi-zone machines only; zone moves never occur under the
+    /// default single-zone layout).
+    pub zone_move_heating_quanta: f64,
     /// Trap background error rate Γ, per µs, in the gate-fidelity model
     /// `F = 1 − Γτ − A(2n̄+1)`.
     pub gamma_per_us: f64,
@@ -64,6 +68,7 @@ impl SimParams {
             split_heating_quanta: 0.2,
             move_heating_quanta: 0.1,
             merge_heating_quanta: 0.4,
+            zone_move_heating_quanta: 0.05,
             gamma_per_us: 1e-6,
             shuttle_infidelity: 3.5e-3,
             motional_scale_a0: 1.5e-6,
@@ -98,6 +103,7 @@ impl SimParams {
             self.split_heating_quanta,
             self.move_heating_quanta,
             self.merge_heating_quanta,
+            self.zone_move_heating_quanta,
             self.gamma_per_us,
             self.shuttle_infidelity,
             self.motional_scale_a0,

@@ -17,6 +17,12 @@ pub struct SimReport {
     pub log_program_fidelity: f64,
     /// End-to-end execution time: the maximum trap-local clock, µs.
     pub makespan_us: f64,
+    /// The timed event timeline's makespan under the active
+    /// [`TimingModel`](qccd_timing::TimingModel), µs. Always equals
+    /// [`makespan_us`](Self::makespan_us) — the physics replay walks the
+    /// same timeline — and is reported separately so timed columns stay
+    /// present and comparable across `ideal`/`realistic` runs.
+    pub timed_makespan_us: f64,
     /// Shuttle hops replayed.
     pub shuttles: usize,
     /// Transport rounds replayed: equals `shuttles` under serial transport
@@ -26,6 +32,13 @@ pub struct SimReport {
     pub shuttle_depth: usize,
     /// Gates replayed.
     pub gates: usize,
+    /// Intra-trap zone reorders replayed (multi-zone machines only; always
+    /// zero under the default single-zone layout).
+    pub zone_moves: usize,
+    /// Junction endpoints (topology degree ≥ 3) crossed by all shuttle
+    /// hops — the traffic the realistic timing model charges corner/swap
+    /// time for.
+    pub junction_crossings: usize,
     /// Mean motional mode `n̄` across chains when the program ends — a
     /// direct readout of accumulated shuttle heating.
     pub final_mean_motional_mode: f64,
@@ -64,11 +77,13 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fidelity {:.3e}, makespan {:.1} us, {} shuttles, {} gates, final n̄ {:.2}",
+            "fidelity {:.3e}, makespan {:.1} us (timed {:.1} us), {} shuttles, {} gates, {} zone moves, final n̄ {:.2}",
             self.program_fidelity,
             self.makespan_us,
+            self.timed_makespan_us,
             self.shuttles,
             self.gates,
+            self.zone_moves,
             self.final_mean_motional_mode
         )
     }
@@ -87,9 +102,12 @@ mod tests {
                 fidelity.ln()
             },
             makespan_us: 100.0,
+            timed_makespan_us: 100.0,
             shuttles: 1,
             shuttle_depth: 1,
             gates: 2,
+            zone_moves: 0,
+            junction_crossings: 0,
             final_mean_motional_mode: 0.5,
             min_gate_fidelity: fidelity,
         }
@@ -115,5 +133,7 @@ mod tests {
         let s = report(0.25).to_string();
         assert!(s.contains("2.5e-1") || s.contains("2.500e-1"), "{s}");
         assert!(s.contains("1 shuttles"));
+        assert!(s.contains("timed 100.0 us"), "{s}");
+        assert!(s.contains("0 zone moves"), "{s}");
     }
 }

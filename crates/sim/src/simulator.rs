@@ -1,12 +1,20 @@
-//! Schedule replay: per-trap clocks, chain heating, program fidelity.
+//! Schedule replay: timed event timelines, chain heating, program fidelity.
+//!
+//! Since the `qccd-timing` subsystem landed, the simulator no longer keeps
+//! its own ad-hoc clock arithmetic: the schedule is first lowered into a
+//! validated ASAP [`Timeline`](qccd_timing::Timeline) (per-trap and
+//! per-edge resource intervals, critical-path round durations, synthesized
+//! zone moves), and the physics replay walks the timeline's events to
+//! accumulate heating and fidelity.
 
 use crate::error::SimError;
 use crate::fidelity::{one_qubit_gate_fidelity, two_qubit_gate_fidelity};
 use crate::params::SimParams;
 use crate::report::SimReport;
 use qccd_circuit::{Circuit, GateId, GateQubits};
-use qccd_machine::{IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
+use qccd_machine::{IonId, MachineSpec, Schedule, TrapId};
 use qccd_route::TransportSchedule;
+use qccd_timing::{LowerError, TimelineEvent, TimingModel};
 
 /// Event passed to the trace observer for every replayed operation.
 /// See [`simulate_traced`](crate::simulate_traced) for the public surface.
@@ -29,13 +37,22 @@ pub(crate) enum OpObserver {
         end_us: f64,
         dest_n_bar_after: f64,
     },
+    ZoneMove {
+        ion: IonId,
+        trap: TrapId,
+        start_us: f64,
+        end_us: f64,
+    },
 }
 
 /// Replays `schedule` through the physical model and reports program
 /// fidelity and makespan.
 ///
 /// The schedule is first replay-validated (legal shuttles, co-located gate
-/// operands, dependency order); simulation then tracks:
+/// operands, dependency order), then lowered into an ASAP event timeline
+/// under the *uniform-hop* timing model built from `params`' duration
+/// fields — the historical per-hop replay, preserved bit-for-bit.
+/// Simulation then tracks:
 ///
 /// * a clock per trap (serial in-trap execution, parallel across traps;
 ///   a shuttle hop occupies both endpoint traps for its full
@@ -57,14 +74,15 @@ pub fn simulate(
     spec: &MachineSpec,
     params: &SimParams,
 ) -> Result<SimReport, SimError> {
-    simulate_inner(schedule, circuit, spec, params, None, &mut |_| {}).map(|(report, _)| report)
+    simulate_inner(schedule, circuit, spec, params, None, None, &mut |_| {})
+        .map(|(report, _)| report)
 }
 
 /// Replays `schedule` with its shuttle traffic executed as the concurrent
 /// rounds of `transport` instead of one hop at a time.
 ///
-/// Every round occupies all its member traps for a single hop duration —
-/// its moves split, fly and merge simultaneously on disjoint shuttle-path
+/// Every round occupies all its member traps for one round duration — its
+/// moves split, fly and merge simultaneously on disjoint shuttle-path
 /// segments — so transport time scales with the schedule's *depth*
 /// (`transport.depth()`, reported as
 /// [`shuttle_depth`](SimReport::shuttle_depth)) rather than its raw shuttle
@@ -74,7 +92,7 @@ pub fn simulate(
 /// # Errors
 ///
 /// As [`simulate`], plus [`SimError::TransportMismatch`] if the rounds do
-/// not cover the schedule's shuttle operations in order.
+/// not cover the schedule's shuttle operations.
 pub fn simulate_transport(
     schedule: &Schedule,
     transport: &TransportSchedule,
@@ -88,20 +106,57 @@ pub fn simulate_transport(
         spec,
         params,
         Some(transport),
+        None,
         &mut |_| {},
     )
     .map(|(report, _)| report)
 }
 
-/// Core replay loop shared by [`simulate`] and
-/// [`simulate_traced`](crate::simulate_traced). Returns the report plus the
-/// final per-trap motional modes.
+/// Replays `schedule`'s transport rounds under an explicit device
+/// [`TimingModel`] instead of the uniform-hop model: linear-segment
+/// transit, junction corner/swap costs, critical-path round durations, and
+/// timed intra-trap zone moves on multi-zone machines all shape the
+/// timeline the physics replay consumes.
+///
+/// `params` still supplies the *error* physics (heating rates and quanta,
+/// Γ, motional coupling); its duration fields are ignored in favour of
+/// `model`. With [`TimingModel::ideal`] and default parameters this
+/// reproduces [`simulate_transport`] exactly.
+///
+/// # Errors
+///
+/// As [`simulate_transport`], plus [`SimError::InvalidParams`] if `model`
+/// has non-finite or negative constants.
+pub fn simulate_timed(
+    schedule: &Schedule,
+    transport: &TransportSchedule,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    params: &SimParams,
+    model: &TimingModel,
+) -> Result<SimReport, SimError> {
+    simulate_inner(
+        schedule,
+        circuit,
+        spec,
+        params,
+        Some(transport),
+        Some(model),
+        &mut |_| {},
+    )
+    .map(|(report, _)| report)
+}
+
+/// Core replay loop shared by [`simulate`], [`simulate_transport`],
+/// [`simulate_timed`] and [`simulate_traced`](crate::simulate_traced).
+/// Returns the report plus the final per-trap motional modes.
 pub(crate) fn simulate_inner(
     schedule: &Schedule,
     circuit: &Circuit,
     spec: &MachineSpec,
     params: &SimParams,
     transport: Option<&TransportSchedule>,
+    model: Option<&TimingModel>,
     observer: &mut dyn FnMut(OpObserver),
 ) -> Result<(SimReport, Vec<f64>), SimError> {
     if !params.is_valid() {
@@ -111,76 +166,79 @@ pub(crate) fn simulate_inner(
         .validate(circuit, spec)
         .map_err(SimError::InvalidSchedule)?;
 
-    let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
-        .expect("validate() already replayed the mapping");
+    // The device clock: lower the schedule onto a validated ASAP timeline.
+    // Without an explicit model this is the uniform-hop model carrying the
+    // params' historical duration fields.
+    let default_model;
+    let model = match model {
+        Some(m) => m,
+        None => {
+            default_model = TimingModel::ideal_from(
+                params.one_qubit_gate_us,
+                params.two_qubit_gate_base_us,
+                params.gate_chain_slowdown,
+                params.split_us,
+                params.merge_us,
+                params.move_us,
+            );
+            &default_model
+        }
+    };
+    let timeline =
+        qccd_timing::lower(schedule, transport, circuit, spec, model).map_err(|e| match e {
+            LowerError::TransportMismatch { op_index } => SimError::TransportMismatch { op_index },
+            LowerError::InvalidModel => SimError::InvalidParams,
+            other => SimError::Timing(other),
+        })?;
+
     let num_traps = spec.num_traps() as usize;
     let mut clock = vec![0.0f64; num_traps]; // µs, per trap
     let mut n_bar = vec![0.0f64; num_traps]; // motional mode per chain
-    let mut avail = vec![0.0f64; state.num_ions() as usize]; // per qubit, µs
 
     // Energy carried by an ion in transit (Fig. 3: "MOVE ... q[a1] energy ^").
-    let mut carried = vec![0.0f64; state.num_ions() as usize];
+    let mut carried = vec![0.0f64; schedule.initial_mapping.num_ions() as usize];
 
     let mut fidelity_log_sum = 0.0f64; // sum of ln(F); exp at the end
     let mut zero_fidelity = false;
     let mut min_gate_fidelity = 1.0f64;
     let mut gates = 0usize;
     let mut shuttles = 0usize;
-
     let mut shuttle_depth = 0usize;
     let heat_rate_per_us = params.background_heating_quanta_per_s * 1e-6;
 
-    // With a transport schedule, consecutive shuttle ops execute as
-    // concurrent rounds: each round's members share one start/end time and
-    // one hop duration. Without one, every hop is its own round (serial
-    // transport) and the timing matches the historical per-hop replay.
-    let mut round_idx = 0usize;
-    let ops = &schedule.operations;
-    let mut i = 0usize;
-    while i < ops.len() {
-        match ops[i] {
-            Operation::Gate { gate, trap } => {
-                let g = circuit.gate(gate);
+    for event in &timeline.events {
+        match event {
+            TimelineEvent::Gate {
+                gate,
+                trap,
+                chain_len,
+                start_us,
+                end_us,
+            } => {
+                let g = circuit.gate(*gate);
                 let t = trap.index();
-                let chain_len = state.occupancy(trap);
-                let (tau, fidelity) = match g.qubits {
-                    GateQubits::One(_) => {
-                        let tau = params.one_qubit_gate_us;
-                        (tau, one_qubit_gate_fidelity(params, tau))
-                    }
+                let tau = match g.qubits {
+                    GateQubits::One(_) => model.one_qubit_gate_us(),
+                    GateQubits::Two(_, _) => model.two_qubit_gate_us(*chain_len),
+                };
+                // Background heating for the idle + busy interval, then
+                // the fidelity sampled at the heated n̄.
+                n_bar[t] += heat_rate_per_us * (end_us - clock[t]).max(0.0);
+                let fidelity = match g.qubits {
+                    GateQubits::One(_) => one_qubit_gate_fidelity(params, tau),
                     GateQubits::Two(_, _) => {
-                        let tau = params.two_qubit_gate_us(chain_len);
-                        // n̄ is sampled after background heating up to the
-                        // gate's start time (below); use current value plus
-                        // the idle-heating increment for the start time.
-                        (tau, f64::NAN) // computed after heating update
+                        two_qubit_gate_fidelity(params, tau, n_bar[t], *chain_len)
                     }
                 };
-                let start = g
-                    .qubits
-                    .iter()
-                    .map(|q| avail[q.index()])
-                    .fold(clock[t], f64::max);
-                // Background heating for the idle + busy interval.
-                let end = start + tau;
-                n_bar[t] += heat_rate_per_us * (end - clock[t]).max(0.0);
-                let fidelity = if fidelity.is_nan() {
-                    two_qubit_gate_fidelity(params, tau, n_bar[t], chain_len)
-                } else {
-                    fidelity
-                };
-                clock[t] = end;
-                for q in g.qubits.iter() {
-                    avail[q.index()] = end;
-                }
+                clock[t] = *end_us;
                 observer(OpObserver::Gate {
                     gate: g.id,
-                    trap,
-                    start_us: start,
-                    end_us: end,
+                    trap: *trap,
+                    start_us: *start_us,
+                    end_us: *end_us,
                     fidelity,
                     n_bar: n_bar[t],
-                    chain_len,
+                    chain_len: *chain_len,
                 });
                 gates += 1;
                 min_gate_fidelity = min_gate_fidelity.min(fidelity);
@@ -189,109 +247,71 @@ pub(crate) fn simulate_inner(
                 } else {
                     fidelity_log_sum += fidelity.ln();
                 }
-                i += 1;
             }
-            Operation::Shuttle { .. } => {
-                // Determine this round's member ops: `width` consecutive
-                // shuttle ops starting at `i`.
-                let width = match transport {
-                    None => 1,
-                    Some(t) => {
-                        let round = t
-                            .rounds
-                            .get(round_idx)
-                            .ok_or(SimError::TransportMismatch { op_index: i })?;
-                        if round.moves.is_empty() {
-                            // An empty round matches no op and would stall
-                            // the cursor while inflating the depth count.
-                            return Err(SimError::TransportMismatch { op_index: i });
-                        }
-                        for (k, m) in round.moves.iter().enumerate() {
-                            match ops.get(i + k) {
-                                Some(&Operation::Shuttle { ion, from, to })
-                                    if ion == m.ion && from == m.from && to == m.to => {}
-                                _ => return Err(SimError::TransportMismatch { op_index: i + k }),
-                            }
-                        }
-                        round.moves.len()
-                    }
-                };
-                round_idx += 1;
+            TimelineEvent::TransportRound {
+                moves,
+                involved,
+                start_us,
+                end_us,
+            } => {
                 shuttle_depth += 1;
-                let members: Vec<(IonId, TrapId, TrapId)> = ops[i..i + width]
-                    .iter()
-                    .map(|op| match *op {
-                        Operation::Shuttle { ion, from, to } => (ion, from, to),
-                        Operation::Gate { .. } => unreachable!("round members are shuttles"),
-                    })
-                    .collect();
-                // The round starts when every member trap is free and every
-                // member ion's data dependencies have resolved; all members
-                // fly together for one hop duration.
-                let tau = params.shuttle_hop_us();
-                let mut involved: Vec<usize> = Vec::with_capacity(2 * width);
-                for &(_, from, to) in &members {
-                    for t in [from.index(), to.index()] {
-                        if !involved.contains(&t) {
-                            involved.push(t);
-                        }
-                    }
-                }
-                let start = members
-                    .iter()
-                    .map(|&(ion, _, _)| avail[ion.index()])
-                    .chain(involved.iter().map(|&t| clock[t]))
-                    .fold(0.0f64, f64::max);
-                let end = start + tau;
                 // Background heating up to `end` on every involved chain.
-                for &t in &involved {
-                    n_bar[t] += heat_rate_per_us * (end - clock[t]).max(0.0);
+                for t in involved {
+                    let t = t.index();
+                    n_bar[t] += heat_rate_per_us * (end_us - clock[t]).max(0.0);
                 }
-                for &(ion, from, to) in &members {
-                    let (fi, ti) = (from.index(), to.index());
+                for m in moves {
+                    let (fi, ti) = (m.from.index(), m.to.index());
                     // Fig. 3 energy transport:
                     //   SPLIT — the departing ion carries its per-ion share
                     //   of the chain's motional energy ("Split reduces
                     //   chain-0's energy"), while the split pulse itself
                     //   deposits quanta into the remaining chain.
-                    let m_src = f64::from(state.occupancy(from)).max(1.0);
+                    let m_src = f64::from(m.src_occupancy).max(1.0);
                     let share = n_bar[fi] / m_src;
                     n_bar[fi] = n_bar[fi] - share + params.split_heating_quanta;
                     //   MOVE — transit adds energy to the shuttled ion.
-                    carried[ion.index()] += share + params.move_heating_quanta;
+                    carried[m.ion.index()] += share + params.move_heating_quanta;
                     //   MERGE — the arriving ion's energy joins the
                     //   destination chain plus the merge pulse ("Merging
                     //   q[a1] increases chain-1's energy").
-                    n_bar[ti] += carried[ion.index()] + params.merge_heating_quanta;
-                    carried[ion.index()] = 0.0;
-                    avail[ion.index()] = end;
-                    state
-                        .shuttle(ion, to)
-                        .expect("validate() already replayed every hop");
+                    n_bar[ti] += carried[m.ion.index()] + params.merge_heating_quanta;
+                    carried[m.ion.index()] = 0.0;
                     // The transport pulses themselves are lossy operations.
                     fidelity_log_sum += (1.0 - params.shuttle_infidelity).ln();
                     observer(OpObserver::Shuttle {
-                        ion,
-                        from,
-                        to,
-                        start_us: start,
-                        end_us: end,
+                        ion: m.ion,
+                        from: m.from,
+                        to: m.to,
+                        start_us: *start_us,
+                        end_us: *end_us,
                         dest_n_bar_after: n_bar[ti],
                     });
                     shuttles += 1;
                 }
-                for &t in &involved {
-                    clock[t] = end;
+                for t in involved {
+                    clock[t.index()] = *end_us;
                 }
-                i += width;
             }
-        }
-    }
-    if let Some(t) = transport {
-        if round_idx != t.rounds.len() {
-            return Err(SimError::TransportMismatch {
-                op_index: ops.len(),
-            });
+            TimelineEvent::ZoneMove {
+                ion,
+                trap,
+                start_us,
+                end_us,
+            } => {
+                // An intra-trap reorder: the chain idles (background
+                // heating) and the reorder pulse deposits its own quanta.
+                let t = trap.index();
+                n_bar[t] += heat_rate_per_us * (end_us - clock[t]).max(0.0)
+                    + params.zone_move_heating_quanta;
+                clock[t] = *end_us;
+                observer(OpObserver::ZoneMove {
+                    ion: *ion,
+                    trap: *trap,
+                    start_us: *start_us,
+                    end_us: *end_us,
+                });
+            }
         }
     }
 
@@ -312,9 +332,12 @@ pub(crate) fn simulate_inner(
             program_fidelity,
             log_program_fidelity,
             makespan_us,
+            timed_makespan_us: timeline.makespan_us,
             shuttles,
             shuttle_depth,
             gates,
+            zone_moves: timeline.zone_moves,
+            junction_crossings: timeline.junction_crossings,
             final_mean_motional_mode,
             min_gate_fidelity,
         },
@@ -326,7 +349,7 @@ pub(crate) fn simulate_inner(
 mod tests {
     use super::*;
     use qccd_circuit::{GateId, Opcode, Qubit};
-    use qccd_machine::{InitialMapping, TrapId};
+    use qccd_machine::{InitialMapping, Operation, TrapId};
 
     fn two_trap_fixture() -> (Circuit, MachineSpec, InitialMapping) {
         let mut c = Circuit::new(4);
@@ -377,11 +400,17 @@ mod tests {
         .unwrap();
         assert_eq!(report.gates, 3);
         assert_eq!(report.shuttles, 1);
+        assert_eq!(report.zone_moves, 0, "single-zone traps never reorder");
+        assert_eq!(report.junction_crossings, 0, "a line has no junctions");
         assert!(report.program_fidelity > 0.0 && report.program_fidelity < 1.0);
         assert!(report.min_gate_fidelity <= 1.0);
         assert!(
             report.final_mean_motional_mode > 0.0,
             "shuttle must heat chains"
+        );
+        assert_eq!(
+            report.timed_makespan_us, report.makespan_us,
+            "timeline and clock replay must agree exactly"
         );
     }
 
@@ -464,6 +493,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_timing_model_rejected() {
+        let (c, spec, mapping) = two_trap_fixture();
+        let schedule = schedule_with_shuttle(mapping);
+        let transport = TransportSchedule::pack_serial(&schedule);
+        let mut model = TimingModel::realistic();
+        model.junction_cross_us = -1.0;
+        assert_eq!(
+            simulate_timed(
+                &schedule,
+                &transport,
+                &c,
+                &spec,
+                &SimParams::default(),
+                &model
+            ),
+            Err(SimError::InvalidParams)
+        );
+    }
+
+    #[test]
     fn empty_schedule_is_perfect() {
         let c = Circuit::new(2);
         let spec = MachineSpec::linear(1, 4, 1).unwrap();
@@ -525,6 +574,57 @@ mod tests {
     }
 
     #[test]
+    fn timed_replay_with_ideal_model_matches_uniform_replay() {
+        let (c, spec, mapping) = two_trap_fixture();
+        let schedule = schedule_with_shuttle(mapping);
+        let transport = TransportSchedule::pack_serial(&schedule);
+        let params = SimParams::default();
+        let uniform = simulate(&schedule, &c, &spec, &params).unwrap();
+        let timed = simulate_timed(
+            &schedule,
+            &transport,
+            &c,
+            &spec,
+            &params,
+            &TimingModel::ideal(),
+        )
+        .unwrap();
+        assert_eq!(timed, uniform, "ideal timing is bit-for-bit the old replay");
+    }
+
+    #[test]
+    fn realistic_model_stretches_makespan_and_heating() {
+        let (c, spec, mapping) = two_trap_fixture();
+        let schedule = schedule_with_shuttle(mapping);
+        let transport = TransportSchedule::pack_serial(&schedule);
+        let params = SimParams::default();
+        let ideal = simulate_timed(
+            &schedule,
+            &transport,
+            &c,
+            &spec,
+            &params,
+            &TimingModel::ideal(),
+        )
+        .unwrap();
+        let realistic = simulate_timed(
+            &schedule,
+            &transport,
+            &c,
+            &spec,
+            &params,
+            &TimingModel::realistic(),
+        )
+        .unwrap();
+        assert!(realistic.timed_makespan_us > ideal.timed_makespan_us);
+        assert!(
+            realistic.final_mean_motional_mode > ideal.final_mean_motional_mode,
+            "longer transport accrues more background heating"
+        );
+        assert!(realistic.program_fidelity < ideal.program_fidelity);
+    }
+
+    #[test]
     fn transport_mismatch_is_rejected() {
         use qccd_route::{TransportRound, TransportSchedule};
         let (c, spec, mapping) = two_trap_fixture();
@@ -573,5 +673,47 @@ mod tests {
         // Critical path: gate0 (ion 1 busy) -> shuttle -> gate2.
         let expect = p.two_qubit_gate_us(2) + p.shuttle_hop_us() + p.two_qubit_gate_us(3);
         assert!((report.makespan_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zone_moves_heat_and_slow_multi_zone_machines() {
+        use qccd_machine::ZoneLayout;
+        // One trap split 2+1+1: the gate's operands start outside the gate
+        // zone, so the timed replay inserts zone moves.
+        let spec = MachineSpec::linear(1, 4, 1)
+            .unwrap()
+            .with_zone_layout(ZoneLayout::new(2, 1, 1).unwrap())
+            .unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 3).unwrap();
+        let mut c = Circuit::new(3);
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let schedule = Schedule::new(
+            mapping,
+            vec![Operation::Gate {
+                gate: GateId(0),
+                trap: TrapId(0),
+            }],
+        );
+        let transport = TransportSchedule::pack_serial(&schedule);
+        let params = SimParams::default();
+        let report = simulate_timed(
+            &schedule,
+            &transport,
+            &c,
+            &spec,
+            &params,
+            &TimingModel::realistic(),
+        )
+        .unwrap();
+        // Promoting ion 2 to the chain front displaces ion 1 out of the
+        // 2-slot gate zone, so a second reorder is required.
+        assert_eq!(report.zone_moves, 2);
+        let m = TimingModel::realistic();
+        let expect = 2.0 * m.zone_move_us() + m.two_qubit_gate_us(3);
+        assert!((report.timed_makespan_us - expect).abs() < 1e-9);
+        assert!(
+            report.final_mean_motional_mode >= params.zone_move_heating_quanta,
+            "the reorder pulse deposits quanta"
+        );
     }
 }

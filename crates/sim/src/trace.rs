@@ -45,20 +45,35 @@ pub enum TraceRecord {
         /// Destination chain's motional mode after the merge.
         dest_n_bar_after: f64,
     },
+    /// An intra-trap zone reorder (multi-zone machines only).
+    ZoneMove {
+        /// The reordered ion.
+        ion: IonId,
+        /// The trap it happens in.
+        trap: TrapId,
+        /// Start time, µs.
+        start_us: f64,
+        /// End time, µs.
+        end_us: f64,
+    },
 }
 
 impl TraceRecord {
     /// Start time of the record, µs.
     pub fn start_us(&self) -> f64 {
         match *self {
-            TraceRecord::Gate { start_us, .. } | TraceRecord::Shuttle { start_us, .. } => start_us,
+            TraceRecord::Gate { start_us, .. }
+            | TraceRecord::Shuttle { start_us, .. }
+            | TraceRecord::ZoneMove { start_us, .. } => start_us,
         }
     }
 
     /// End time of the record, µs.
     pub fn end_us(&self) -> f64 {
         match *self {
-            TraceRecord::Gate { end_us, .. } | TraceRecord::Shuttle { end_us, .. } => end_us,
+            TraceRecord::Gate { end_us, .. }
+            | TraceRecord::Shuttle { end_us, .. }
+            | TraceRecord::ZoneMove { end_us, .. } => end_us,
         }
     }
 }
@@ -72,6 +87,8 @@ pub struct TrapUtilization {
     pub departures: usize,
     /// Shuttle hops arriving at this trap.
     pub arrivals: usize,
+    /// Intra-trap zone reorders in this trap.
+    pub zone_moves: usize,
     /// Busy time (gates + shuttle participation), µs.
     pub busy_us: f64,
     /// The chain's motional mode at program end.
@@ -131,6 +148,7 @@ pub fn simulate_traced(
         spec,
         params,
         None,
+        None,
         &mut |obs: OpObserver| match obs {
             OpObserver::Gate {
                 gate,
@@ -174,6 +192,22 @@ pub fn simulate_traced(
                 utilization[from.index()].busy_us += end_us - start_us;
                 utilization[to.index()].arrivals += 1;
                 utilization[to.index()].busy_us += end_us - start_us;
+            }
+            OpObserver::ZoneMove {
+                ion,
+                trap,
+                start_us,
+                end_us,
+            } => {
+                records.push(TraceRecord::ZoneMove {
+                    ion,
+                    trap,
+                    start_us,
+                    end_us,
+                });
+                let u = &mut utilization[trap.index()];
+                u.zone_moves += 1;
+                u.busy_us += end_us - start_us;
             }
         },
     )?;

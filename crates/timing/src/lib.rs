@@ -1,0 +1,67 @@
+//! Device timing for QCCD machines: a per-operation duration model and an
+//! ASAP event-timeline scheduler.
+//!
+//! The paper's evaluation counts shuttles, and PR 2's simulator charged
+//! every transport round one uniform hop duration. Real QCCD transport
+//! cost depends on *where* an ion moves: straight segments are cheap,
+//! T-/X-junction corners and swaps are slow, split/merge quanta bracket
+//! every hop, and reordering ions between a trap's gate/storage/loading
+//! zones is itself a timed operation. This crate owns that model:
+//!
+//! * [`TimingModel`] — per-operation durations with two presets:
+//!   [`ideal`](TimingModel::ideal) (uniform hops; validated to reproduce
+//!   the historical simulator numbers bit-for-bit) and
+//!   [`realistic`](TimingModel::realistic) (QCCDSim-style constants:
+//!   linear-segment speed, junction corner cost, zone-move cost).
+//! * [`lower`] — the ASAP scheduler: replays a compiled
+//!   [`Schedule`](qccd_machine::Schedule) (optionally with its
+//!   [`TransportSchedule`](qccd_route::TransportSchedule) rounds) and
+//!   assigns every gate, transport round and synthesized zone move its
+//!   earliest start under per-trap and per-edge resource constraints.
+//! * [`Timeline`] — the result: timed events with resource intervals and a
+//!   [`validate`](Timeline::validate) pass proving no trap or shuttle-path
+//!   segment is ever double-booked.
+//!
+//! `qccd-sim` consumes the timeline for makespan/heating/fidelity;
+//! `qccd-core` attaches one to every compile result.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_circuit::generators::qft;
+//! use qccd_core::{compile, CompilerConfig};
+//! use qccd_machine::MachineSpec;
+//! use qccd_timing::{lower, TimingModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = qft(12);
+//! let spec = MachineSpec::linear(2, 10, 2)?;
+//! let compiled = compile(&circuit, &spec, &CompilerConfig::optimized())?;
+//! let ideal = lower(
+//!     &compiled.schedule,
+//!     Some(&compiled.transport),
+//!     &circuit,
+//!     &spec,
+//!     &TimingModel::ideal(),
+//! )?;
+//! let realistic = lower(
+//!     &compiled.schedule,
+//!     Some(&compiled.transport),
+//!     &circuit,
+//!     &spec,
+//!     &TimingModel::realistic(),
+//! )?;
+//! ideal.validate()?;
+//! realistic.validate()?;
+//! assert!(realistic.makespan_us > ideal.makespan_us);
+//! # Ok(())
+//! # }
+//! ```
+
+mod model;
+mod scheduler;
+mod timeline;
+
+pub use model::TimingModel;
+pub use scheduler::{lower, LowerError};
+pub use timeline::{TimedMove, Timeline, TimelineError, TimelineEvent};

@@ -1,0 +1,624 @@
+//! ASAP lowering of a compiled schedule onto the device clock.
+
+use crate::model::TimingModel;
+use crate::timeline::{TimedMove, Timeline, TimelineEvent};
+use qccd_circuit::{Circuit, GateQubits};
+use qccd_machine::{IonId, MachineError, MachineSpec, MachineState, Operation, Schedule, TrapId};
+use qccd_route::TransportSchedule;
+use std::error::Error;
+use std::fmt;
+
+/// Lowers a compiled `schedule` into a validated ASAP [`Timeline`] under
+/// `model`.
+///
+/// The scheduler replays the machine state and assigns every operation the
+/// earliest start compatible with its resources:
+///
+/// * a **gate** starts when its trap is free and every operand qubit's
+///   prior operations have finished; it occupies the trap for the model's
+///   (chain-length-dependent) gate duration;
+/// * a **transport round** — taken from `transport`, or one synthetic
+///   single-hop round per shuttle op when `transport` is `None` — starts
+///   when all its member traps are free and all member ions are available,
+///   and lasts its *critical path*: the slowest member hop (split +
+///   segment transit + junction corners + merge). All member segments and
+///   endpoint traps are occupied for the full round;
+/// * a **zone move** is synthesized before a gate whenever an operand ion
+///   sits outside its trap's gate zone (multi-zone layouts only): the ion
+///   is reordered to the chain front at the model's zone-move cost.
+///
+/// Under [`TimingModel::ideal`] this reproduces the historical uniform-hop
+/// simulator's clock arithmetic bit-for-bit.
+///
+/// `schedule` must already be replay-valid against `circuit`/`spec` (as
+/// every [`compile`](../qccd_core/fn.compile.html) result is); lowering
+/// only re-checks what it must replay (shuttle legality, transport-round
+/// coverage).
+///
+/// # Errors
+///
+/// * [`LowerError::InvalidModel`] — `model` has non-finite or negative
+///   constants.
+/// * [`LowerError::TransportMismatch`] — `transport`'s rounds do not cover
+///   the schedule's shuttle operations (wrong moves, empty rounds, rounds
+///   spanning a gate, or leftover rounds).
+/// * [`LowerError::Machine`] — a shuttle replay violated machine rules.
+/// * [`LowerError::StalledRound`] — a round's moves could not be applied
+///   in any order (an illegal hand-built round).
+pub fn lower(
+    schedule: &Schedule,
+    transport: Option<&TransportSchedule>,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    model: &TimingModel,
+) -> Result<Timeline, LowerError> {
+    if !model.is_valid() {
+        return Err(LowerError::InvalidModel);
+    }
+    let mut state =
+        MachineState::with_mapping(spec, &schedule.initial_mapping).map_err(LowerError::Machine)?;
+    let num_traps = spec.num_traps() as usize;
+    let topology = spec.topology();
+    let mut clock = vec![0.0f64; num_traps]; // µs, per trap
+    let mut avail = vec![0.0f64; state.num_ions() as usize]; // per qubit, µs
+
+    let mut events: Vec<TimelineEvent> = Vec::with_capacity(schedule.operations.len());
+    let mut gates = 0usize;
+    let mut shuttles = 0usize;
+    let mut shuttle_depth = 0usize;
+    let mut zone_moves = 0usize;
+    let mut junction_crossings = 0usize;
+
+    let ops = &schedule.operations;
+    let mut round_idx = 0usize;
+    let mut i = 0usize;
+    while i < ops.len() {
+        match ops[i] {
+            Operation::Gate { gate, trap } => {
+                let g = circuit.gate(gate);
+                let t = trap.index();
+                // Multi-zone traps: operands outside the gate zone need an
+                // explicit timed reorder first. Promoting one operand to
+                // the chain front shifts the others back, so it can push an
+                // already-checked operand out again — iterate until every
+                // operand is *simultaneously* gate-ready (the gate zone
+                // holds ≥ 2 ions by validation, so this settles in at most
+                // a few passes). Never fires under the default single-zone
+                // layout.
+                if !spec.zone_layout().is_single() {
+                    loop {
+                        let mut promoted = false;
+                        for q in g.qubits.iter() {
+                            let ion = IonId::from(q);
+                            if state.promote_to_gate_zone(ion) {
+                                let start = clock[t].max(avail[ion.index()]);
+                                let end = start + model.zone_move_us();
+                                clock[t] = end;
+                                avail[ion.index()] = end;
+                                zone_moves += 1;
+                                events.push(TimelineEvent::ZoneMove {
+                                    ion,
+                                    trap,
+                                    start_us: start,
+                                    end_us: end,
+                                });
+                                promoted = true;
+                            }
+                        }
+                        if !promoted {
+                            break;
+                        }
+                    }
+                }
+                let chain_len = state.occupancy(trap);
+                let tau = match g.qubits {
+                    GateQubits::One(_) => model.one_qubit_gate_us(),
+                    GateQubits::Two(_, _) => model.two_qubit_gate_us(chain_len),
+                };
+                let start = g
+                    .qubits
+                    .iter()
+                    .map(|q| avail[q.index()])
+                    .fold(clock[t], f64::max);
+                let end = start + tau;
+                clock[t] = end;
+                for q in g.qubits.iter() {
+                    avail[q.index()] = end;
+                }
+                gates += 1;
+                events.push(TimelineEvent::Gate {
+                    gate,
+                    trap,
+                    chain_len,
+                    start_us: start,
+                    end_us: end,
+                });
+                i += 1;
+            }
+            Operation::Shuttle { .. } => {
+                // The gate-free run of consecutive shuttle ops starting here.
+                let run_start = i;
+                let mut run_len = 0usize;
+                while matches!(
+                    ops.get(run_start + run_len),
+                    Some(Operation::Shuttle { .. })
+                ) {
+                    run_len += 1;
+                }
+                // Multiset of the run's moves still awaiting a round.
+                let mut remaining: Vec<Option<(IonId, TrapId, TrapId)>> = ops
+                    [run_start..run_start + run_len]
+                    .iter()
+                    .map(|op| match *op {
+                        Operation::Shuttle { ion, from, to } => Some((ion, from, to)),
+                        Operation::Gate { .. } => unreachable!("run members are shuttles"),
+                    })
+                    .collect();
+                let mut consumed = 0usize;
+                while consumed < run_len {
+                    // This round's member moves: from the transport
+                    // schedule, or one synthetic single-hop round.
+                    let members: Vec<(IonId, TrapId, TrapId)> = match transport {
+                        None => {
+                            let m = remaining[consumed].take().expect("consumed in order");
+                            vec![m]
+                        }
+                        Some(t) => {
+                            let round =
+                                t.rounds
+                                    .get(round_idx)
+                                    .ok_or(LowerError::TransportMismatch {
+                                        op_index: run_start + consumed,
+                                    })?;
+                            if round.moves.is_empty() {
+                                return Err(LowerError::TransportMismatch {
+                                    op_index: run_start + consumed,
+                                });
+                            }
+                            round_idx += 1;
+                            let mut taken = Vec::with_capacity(round.moves.len());
+                            for m in &round.moves {
+                                let want = (m.ion, m.from, m.to);
+                                let slot = remaining
+                                    .iter_mut()
+                                    .find(|slot| **slot == Some(want))
+                                    .ok_or(LowerError::TransportMismatch {
+                                    op_index: run_start + consumed,
+                                })?;
+                                *slot = None;
+                                taken.push(want);
+                            }
+                            taken
+                        }
+                    };
+
+                    // Apply the members with departures-first retry: a move
+                    // blocked by a full trap waits for a same-round
+                    // departure to free it. In-order rounds (the strict
+                    // packers) always apply on the first pass, preserving
+                    // the historical per-move occupancy reads.
+                    let mut timed: Vec<TimedMove> = Vec::with_capacity(members.len());
+                    let mut pending: Vec<(IonId, TrapId, TrapId)> = members.clone();
+                    while !pending.is_empty() {
+                        let mut progressed = false;
+                        let mut still: Vec<(IonId, TrapId, TrapId)> = Vec::new();
+                        for (ion, from, to) in pending {
+                            let src_occupancy = state.occupancy(from);
+                            match state.shuttle(ion, to) {
+                                Ok(()) => {
+                                    let junctions =
+                                        TimingModel::junctions_crossed(topology, from, to);
+                                    junction_crossings += junctions as usize;
+                                    timed.push(TimedMove {
+                                        ion,
+                                        from,
+                                        to,
+                                        src_occupancy,
+                                        junctions,
+                                    });
+                                    progressed = true;
+                                }
+                                Err(MachineError::TrapFull { .. }) => still.push((ion, from, to)),
+                                Err(e) => return Err(LowerError::Machine(e)),
+                            }
+                        }
+                        if !progressed {
+                            return Err(LowerError::StalledRound {
+                                round: shuttle_depth,
+                            });
+                        }
+                        pending = still;
+                    }
+
+                    // ASAP timing: the round starts when every member trap
+                    // is free and every member ion's dependencies resolved;
+                    // it lasts its critical-path hop.
+                    let mut involved: Vec<usize> = Vec::with_capacity(2 * members.len());
+                    for &(_, from, to) in &members {
+                        for t in [from.index(), to.index()] {
+                            if !involved.contains(&t) {
+                                involved.push(t);
+                            }
+                        }
+                    }
+                    let tau = timed
+                        .iter()
+                        .map(|m| model.hop_us(m.junctions))
+                        .fold(0.0f64, f64::max);
+                    let start = members
+                        .iter()
+                        .map(|&(ion, _, _)| avail[ion.index()])
+                        .chain(involved.iter().map(|&t| clock[t]))
+                        .fold(0.0f64, f64::max);
+                    let end = start + tau;
+                    for &(ion, _, _) in &members {
+                        avail[ion.index()] = end;
+                    }
+                    for &t in &involved {
+                        clock[t] = end;
+                    }
+                    shuttles += members.len();
+                    shuttle_depth += 1;
+                    consumed += members.len();
+                    events.push(TimelineEvent::TransportRound {
+                        moves: timed,
+                        involved: involved.into_iter().map(|t| TrapId(t as u32)).collect(),
+                        start_us: start,
+                        end_us: end,
+                    });
+                }
+                i = run_start + run_len;
+            }
+        }
+    }
+    if let Some(t) = transport {
+        if round_idx != t.rounds.len() {
+            return Err(LowerError::TransportMismatch {
+                op_index: ops.len(),
+            });
+        }
+    }
+
+    let makespan_us = clock.iter().copied().fold(0.0f64, f64::max);
+    Ok(Timeline {
+        events,
+        makespan_us,
+        gates,
+        shuttles,
+        shuttle_depth,
+        zone_moves,
+        junction_crossings,
+    })
+}
+
+/// Errors raised by [`lower`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// The timing model has non-finite or negative constants.
+    InvalidModel,
+    /// A machine-level rule was violated while replaying the schedule.
+    Machine(MachineError),
+    /// The transport rounds do not cover the schedule's shuttle operations.
+    TransportMismatch {
+        /// Index of the first schedule operation the rounds disagree with.
+        op_index: usize,
+    },
+    /// A round's moves could not be applied in any order.
+    StalledRound {
+        /// Index of the stalled round.
+        round: usize,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::InvalidModel => {
+                write!(f, "timing model constants must be finite and non-negative")
+            }
+            LowerError::Machine(e) => write!(f, "illegal schedule replay: {e}"),
+            LowerError::TransportMismatch { op_index } => write!(
+                f,
+                "transport rounds disagree with the schedule at operation {op_index}"
+            ),
+            LowerError::StalledRound { round } => {
+                write!(f, "transport round {round} cannot be applied in any order")
+            }
+        }
+    }
+}
+
+impl Error for LowerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LowerError::Machine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::{GateId, Opcode, Qubit};
+    use qccd_machine::{InitialMapping, ZoneLayout};
+    use qccd_route::{TransportRound, TransportSchedule};
+
+    fn sh(ion: u32, from: u32, to: u32) -> Operation {
+        Operation::Shuttle {
+            ion: IonId(ion),
+            from: TrapId(from),
+            to: TrapId(to),
+        }
+    }
+
+    fn two_trap_fixture() -> (Circuit, MachineSpec, Schedule) {
+        let mut c = Circuit::new(4);
+        c.push_two_qubit(Opcode::Ms, Qubit(0), Qubit(1)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)])
+                .unwrap();
+        let schedule = Schedule::new(
+            mapping,
+            vec![
+                Operation::Gate {
+                    gate: GateId(0),
+                    trap: TrapId(0),
+                },
+                Operation::Gate {
+                    gate: GateId(1),
+                    trap: TrapId(1),
+                },
+                sh(1, 0, 1),
+                Operation::Gate {
+                    gate: GateId(2),
+                    trap: TrapId(1),
+                },
+            ],
+        );
+        (c, spec, schedule)
+    }
+
+    #[test]
+    fn ideal_lowering_matches_uniform_clock_arithmetic() {
+        let (c, spec, schedule) = two_trap_fixture();
+        let model = TimingModel::ideal();
+        let timeline = lower(&schedule, None, &c, &spec, &model).unwrap();
+        timeline.validate().unwrap();
+        assert_eq!(timeline.gates, 3);
+        assert_eq!(timeline.shuttles, 1);
+        assert_eq!(timeline.shuttle_depth, 1);
+        assert_eq!(timeline.zone_moves, 0);
+        assert_eq!(timeline.junction_crossings, 0);
+        // Critical path: gate0 (100) + hop (165) + gate2 (3-ion chain, 105).
+        let expect = model.two_qubit_gate_us(2) + model.hop_us(0) + model.two_qubit_gate_us(3);
+        assert!((timeline.makespan_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_round_costs_its_critical_path() {
+        // L3 corridor: two pipelined hops share one round.
+        let c = Circuit::new(4);
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)])
+                .unwrap();
+        let schedule = Schedule::new(mapping, vec![sh(2, 1, 2), sh(1, 0, 1)]);
+        let transport = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![
+                    qccd_machine::ShuttleMove {
+                        ion: IonId(2),
+                        from: TrapId(1),
+                        to: TrapId(2),
+                    },
+                    qccd_machine::ShuttleMove {
+                        ion: IonId(1),
+                        from: TrapId(0),
+                        to: TrapId(1),
+                    },
+                ],
+            }],
+        };
+        let model = TimingModel::ideal();
+        let timeline = lower(&schedule, Some(&transport), &c, &spec, &model).unwrap();
+        timeline.validate().unwrap();
+        assert_eq!(timeline.shuttle_depth, 1);
+        assert!((timeline.makespan_us - model.hop_us(0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn junction_hops_stretch_realistic_rounds() {
+        // 3x3 grid: hop into the centre crosses two junction endpoints.
+        let spec = MachineSpec::new(qccd_machine::TrapTopology::grid(3, 3), 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(&spec, vec![TrapId(1)]).unwrap();
+        let c = Circuit::new(1);
+        let schedule = Schedule::new(mapping, vec![sh(0, 1, 4)]);
+        let ideal = lower(&schedule, None, &c, &spec, &TimingModel::ideal()).unwrap();
+        let realistic = lower(&schedule, None, &c, &spec, &TimingModel::realistic()).unwrap();
+        assert_eq!(realistic.junction_crossings, 2);
+        let m = TimingModel::realistic();
+        assert!((realistic.makespan_us - m.hop_us(2)).abs() < 1e-9);
+        assert!(realistic.makespan_us > ideal.makespan_us);
+    }
+
+    #[test]
+    fn zone_moves_are_synthesized_for_multi_zone_traps() {
+        // One trap, 2-slot gate zone: ions 2 and 3 start outside it, so the
+        // gate on (2, 3) needs two timed reorders first.
+        let spec = MachineSpec::linear(1, 6, 1)
+            .unwrap()
+            .with_zone_layout(ZoneLayout::new(2, 3, 1).unwrap())
+            .unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 4).unwrap();
+        let mut c = Circuit::new(4);
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        let schedule = Schedule::new(
+            mapping,
+            vec![Operation::Gate {
+                gate: GateId(0),
+                trap: TrapId(0),
+            }],
+        );
+        let model = TimingModel::realistic();
+        let timeline = lower(&schedule, None, &c, &spec, &model).unwrap();
+        timeline.validate().unwrap();
+        assert_eq!(timeline.zone_moves, 2);
+        let expect = 2.0 * model.zone_move_us() + model.two_qubit_gate_us(4);
+        assert!((timeline.makespan_us - expect).abs() < 1e-9);
+
+        // The ideal model charges zone moves nothing.
+        let ideal = lower(&schedule, None, &c, &spec, &TimingModel::ideal()).unwrap();
+        assert_eq!(ideal.zone_moves, 2);
+        let ideal_expect = TimingModel::ideal().two_qubit_gate_us(4);
+        assert!((ideal.makespan_us - ideal_expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zone_promotion_displacement_is_recharged() {
+        // Gate zone of 2, chain [x, A, B] with a gate on (A, B): A starts
+        // inside the zone, but promoting B to the chain front pushes A
+        // out, so the scheduler must charge a second reorder and end with
+        // both operands gate-ready.
+        let spec = MachineSpec::linear(1, 4, 1)
+            .unwrap()
+            .with_zone_layout(ZoneLayout::new(2, 1, 1).unwrap())
+            .unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 3).unwrap();
+        let mut c = Circuit::new(3);
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let schedule = Schedule::new(
+            mapping,
+            vec![Operation::Gate {
+                gate: GateId(0),
+                trap: TrapId(0),
+            }],
+        );
+        let model = TimingModel::realistic();
+        let timeline = lower(&schedule, None, &c, &spec, &model).unwrap();
+        timeline.validate().unwrap();
+        assert_eq!(timeline.zone_moves, 2, "B's promotion displaces A");
+        let expect = 2.0 * model.zone_move_us() + model.two_qubit_gate_us(3);
+        assert!((timeline.makespan_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reordered_rounds_lower_with_departures_first_retry() {
+        // T1 (capacity 2) is full; the round moves ion 0 into T1 while
+        // ion 2 leaves — listed arrival-first to force the retry pass.
+        let spec = MachineSpec::linear(3, 2, 0).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(1), TrapId(1), TrapId(2)])
+                .unwrap();
+        let c = Circuit::new(4);
+        let schedule = Schedule::new(mapping, vec![sh(2, 1, 2), sh(0, 0, 1)]);
+        let transport = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![
+                    qccd_machine::ShuttleMove {
+                        ion: IonId(0),
+                        from: TrapId(0),
+                        to: TrapId(1),
+                    },
+                    qccd_machine::ShuttleMove {
+                        ion: IonId(2),
+                        from: TrapId(1),
+                        to: TrapId(2),
+                    },
+                ],
+            }],
+        };
+        let timeline = lower(
+            &schedule,
+            Some(&transport),
+            &c,
+            &spec,
+            &TimingModel::ideal(),
+        )
+        .unwrap();
+        timeline.validate().unwrap();
+        assert_eq!(timeline.shuttle_depth, 1);
+        // Application order is departures-first: ion 2 out, then ion 0 in.
+        match &timeline.events[0] {
+            TimelineEvent::TransportRound { moves, .. } => {
+                assert_eq!(moves[0].ion, IonId(2));
+                assert_eq!(moves[1].ion, IonId(0));
+            }
+            other => panic!("expected a round, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_mismatches_are_rejected() {
+        let (c, spec, schedule) = two_trap_fixture();
+        let model = TimingModel::ideal();
+        // Wrong move.
+        let wrong = TransportSchedule {
+            rounds: vec![TransportRound {
+                moves: vec![qccd_machine::ShuttleMove {
+                    ion: IonId(3),
+                    from: TrapId(1),
+                    to: TrapId(0),
+                }],
+            }],
+        };
+        assert!(matches!(
+            lower(&schedule, Some(&wrong), &c, &spec, &model),
+            Err(LowerError::TransportMismatch { .. })
+        ));
+        // Empty round.
+        let empty = TransportSchedule {
+            rounds: vec![
+                TransportRound { moves: vec![] },
+                TransportRound {
+                    moves: vec![qccd_machine::ShuttleMove {
+                        ion: IonId(1),
+                        from: TrapId(0),
+                        to: TrapId(1),
+                    }],
+                },
+            ],
+        };
+        assert!(matches!(
+            lower(&schedule, Some(&empty), &c, &spec, &model),
+            Err(LowerError::TransportMismatch { .. })
+        ));
+        // Leftover rounds.
+        let extra = TransportSchedule {
+            rounds: vec![
+                TransportRound {
+                    moves: vec![qccd_machine::ShuttleMove {
+                        ion: IonId(1),
+                        from: TrapId(0),
+                        to: TrapId(1),
+                    }],
+                },
+                TransportRound {
+                    moves: vec![qccd_machine::ShuttleMove {
+                        ion: IonId(1),
+                        from: TrapId(1),
+                        to: TrapId(0),
+                    }],
+                },
+            ],
+        };
+        assert!(matches!(
+            lower(&schedule, Some(&extra), &c, &spec, &model),
+            Err(LowerError::TransportMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let (c, spec, schedule) = two_trap_fixture();
+        let mut model = TimingModel::ideal();
+        model.split_us = f64::INFINITY;
+        assert_eq!(
+            lower(&schedule, None, &c, &spec, &model),
+            Err(LowerError::InvalidModel)
+        );
+    }
+}

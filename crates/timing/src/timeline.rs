@@ -1,0 +1,367 @@
+//! Timed event timelines and their resource-interval validator.
+
+use qccd_circuit::GateId;
+use qccd_machine::{IonId, TrapId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// One shuttle move as a member of a timed transport round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedMove {
+    /// The moved ion.
+    pub ion: IonId,
+    /// Source trap.
+    pub from: TrapId,
+    /// Destination trap.
+    pub to: TrapId,
+    /// Occupancy of `from` immediately before this move's SPLIT, in the
+    /// round's application order (the physics replay divides the source
+    /// chain's motional energy by this).
+    pub src_occupancy: u32,
+    /// Junction endpoints (topology degree ≥ 3) this hop negotiates.
+    pub junctions: u32,
+}
+
+impl TimedMove {
+    /// The move's shuttle-path segment in canonical (low, high) order.
+    pub fn segment(&self) -> (TrapId, TrapId) {
+        if self.from.0 <= self.to.0 {
+            (self.from, self.to)
+        } else {
+            (self.to, self.from)
+        }
+    }
+}
+
+/// One event on the device timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimelineEvent {
+    /// A gate execution occupying its trap for `[start_us, end_us)`.
+    Gate {
+        /// The circuit gate.
+        gate: GateId,
+        /// The trap it runs in.
+        trap: TrapId,
+        /// Ions in the chain when the gate runs (sets its duration).
+        chain_len: u32,
+        /// Start time, µs.
+        start_us: f64,
+        /// End time, µs.
+        end_us: f64,
+    },
+    /// One concurrent transport round: every member move splits, flies and
+    /// merges within `[start_us, end_us)`, occupying its shuttle-path
+    /// segment and both endpoint traps. The round's duration is its
+    /// critical path — the slowest member hop.
+    TransportRound {
+        /// Member moves in application (departures-first) order.
+        moves: Vec<TimedMove>,
+        /// Every trap the round occupies, deduplicated.
+        involved: Vec<TrapId>,
+        /// Start time, µs.
+        start_us: f64,
+        /// End time, µs.
+        end_us: f64,
+    },
+    /// An intra-trap zone reorder bringing `ion` into the gate zone.
+    ZoneMove {
+        /// The reordered ion.
+        ion: IonId,
+        /// The trap it happens in.
+        trap: TrapId,
+        /// Start time, µs.
+        start_us: f64,
+        /// End time, µs.
+        end_us: f64,
+    },
+}
+
+impl TimelineEvent {
+    /// Start time of the event, µs.
+    pub fn start_us(&self) -> f64 {
+        match *self {
+            TimelineEvent::Gate { start_us, .. }
+            | TimelineEvent::TransportRound { start_us, .. }
+            | TimelineEvent::ZoneMove { start_us, .. } => start_us,
+        }
+    }
+
+    /// End time of the event, µs.
+    pub fn end_us(&self) -> f64 {
+        match *self {
+            TimelineEvent::Gate { end_us, .. }
+            | TimelineEvent::TransportRound { end_us, .. }
+            | TimelineEvent::ZoneMove { end_us, .. } => end_us,
+        }
+    }
+}
+
+/// A compiled program lowered onto the device clock: every gate, transport
+/// round and zone move with explicit start/end times, ASAP-scheduled under
+/// a [`TimingModel`](crate::TimingModel).
+///
+/// Produced by [`lower`](crate::lower); consumed by `qccd-sim` for
+/// makespan/heating/fidelity and by reporting layers for timed columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Events in schedule order.
+    pub events: Vec<TimelineEvent>,
+    /// End-to-end execution time: the latest event end, µs.
+    pub makespan_us: f64,
+    /// Gate events.
+    pub gates: usize,
+    /// Total shuttle moves across all rounds.
+    pub shuttles: usize,
+    /// Transport rounds (the schedule's transport depth).
+    pub shuttle_depth: usize,
+    /// Intra-trap zone reorders synthesized for multi-zone traps.
+    pub zone_moves: usize,
+    /// Total junction endpoints crossed by all shuttle moves.
+    pub junction_crossings: usize,
+}
+
+impl Timeline {
+    /// Checks the timeline's resource intervals: on every trap and every
+    /// shuttle-path segment, event intervals must be non-overlapping (they
+    /// may touch), and every event must have a non-negative duration no
+    /// later than the recorded makespan.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, as a [`TimelineError`].
+    pub fn validate(&self) -> Result<(), TimelineError> {
+        let mut trap_busy: HashMap<TrapId, Vec<(f64, f64)>> = HashMap::new();
+        let mut edge_busy: HashMap<(TrapId, TrapId), Vec<(f64, f64)>> = HashMap::new();
+        for (index, event) in self.events.iter().enumerate() {
+            let (start, end) = (event.start_us(), event.end_us());
+            if !(start.is_finite() && end.is_finite()) || end < start {
+                return Err(TimelineError::BadInterval { index });
+            }
+            if end > self.makespan_us {
+                return Err(TimelineError::EventPastMakespan { index });
+            }
+            match event {
+                TimelineEvent::Gate { trap, .. } | TimelineEvent::ZoneMove { trap, .. } => {
+                    trap_busy.entry(*trap).or_default().push((start, end));
+                }
+                TimelineEvent::TransportRound {
+                    moves, involved, ..
+                } => {
+                    for t in involved {
+                        trap_busy.entry(*t).or_default().push((start, end));
+                    }
+                    for m in moves {
+                        edge_busy.entry(m.segment()).or_default().push((start, end));
+                    }
+                }
+            }
+        }
+        for (trap, intervals) in &mut trap_busy {
+            if let Some((first_end_us, second_start_us)) = find_overlap(intervals) {
+                return Err(TimelineError::TrapOverlap {
+                    trap: *trap,
+                    first_end_us,
+                    second_start_us,
+                });
+            }
+        }
+        for (&(a, b), intervals) in &mut edge_busy {
+            if let Some((first_end_us, second_start_us)) = find_overlap(intervals) {
+                return Err(TimelineError::EdgeOverlap {
+                    a,
+                    b,
+                    first_end_us,
+                    second_start_us,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Total time a given trap is busy (gates + transport + zone moves), µs.
+    pub fn trap_busy_us(&self, trap: TrapId) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                TimelineEvent::Gate { trap: t, .. } | TimelineEvent::ZoneMove { trap: t, .. } => {
+                    *t == trap
+                }
+                TimelineEvent::TransportRound { involved, .. } => involved.contains(&trap),
+            })
+            .map(|e| e.end_us() - e.start_us())
+            .sum()
+    }
+}
+
+/// Finds the first pair of strictly overlapping intervals after sorting by
+/// start; returns `(earlier end, later start)` of the clash.
+fn find_overlap(intervals: &mut [(f64, f64)]) -> Option<(f64, f64)> {
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated finite"));
+    intervals
+        .windows(2)
+        .find(|w| w[1].0 < w[0].1)
+        .map(|w| (w[0].1, w[1].0))
+}
+
+/// A violated timeline invariant, reported by [`Timeline::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineError {
+    /// An event has a non-finite or negative-length interval.
+    BadInterval {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// An event ends after the timeline's recorded makespan.
+    EventPastMakespan {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// Two events overlap on one trap resource.
+    TrapOverlap {
+        /// The double-booked trap.
+        trap: TrapId,
+        /// End of the earlier event, µs.
+        first_end_us: f64,
+        /// Start of the overlapping later event, µs.
+        second_start_us: f64,
+    },
+    /// Two rounds overlap on one shuttle-path segment.
+    EdgeOverlap {
+        /// First endpoint of the contested segment.
+        a: TrapId,
+        /// Second endpoint of the contested segment.
+        b: TrapId,
+        /// End of the earlier round, µs.
+        first_end_us: f64,
+        /// Start of the overlapping later round, µs.
+        second_start_us: f64,
+    },
+}
+
+impl fmt::Display for TimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimelineError::BadInterval { index } => {
+                write!(f, "event {index} has a non-finite or negative interval")
+            }
+            TimelineError::EventPastMakespan { index } => {
+                write!(f, "event {index} ends after the recorded makespan")
+            }
+            TimelineError::TrapOverlap {
+                trap,
+                first_end_us,
+                second_start_us,
+            } => write!(
+                f,
+                "trap {trap} double-booked: event starting at {second_start_us} us overlaps one ending at {first_end_us} us"
+            ),
+            TimelineError::EdgeOverlap {
+                a,
+                b,
+                first_end_us,
+                second_start_us,
+            } => write!(
+                f,
+                "segment {a} — {b} double-booked: round starting at {second_start_us} us overlaps one ending at {first_end_us} us"
+            ),
+        }
+    }
+}
+
+impl Error for TimelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(trap: u32, start: f64, end: f64) -> TimelineEvent {
+        TimelineEvent::Gate {
+            gate: GateId(0),
+            trap: TrapId(trap),
+            chain_len: 2,
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    fn round(from: u32, to: u32, start: f64, end: f64) -> TimelineEvent {
+        TimelineEvent::TransportRound {
+            moves: vec![TimedMove {
+                ion: IonId(0),
+                from: TrapId(from),
+                to: TrapId(to),
+                src_occupancy: 1,
+                junctions: 0,
+            }],
+            involved: vec![TrapId(from), TrapId(to)],
+            start_us: start,
+            end_us: end,
+        }
+    }
+
+    fn timeline(events: Vec<TimelineEvent>) -> Timeline {
+        let makespan_us = events.iter().map(|e| e.end_us()).fold(0.0, f64::max);
+        Timeline {
+            events,
+            makespan_us,
+            gates: 0,
+            shuttles: 0,
+            shuttle_depth: 0,
+            zone_moves: 0,
+            junction_crossings: 0,
+        }
+    }
+
+    #[test]
+    fn disjoint_and_touching_intervals_validate() {
+        let t = timeline(vec![
+            gate(0, 0.0, 100.0),
+            gate(1, 50.0, 150.0),  // different trap: overlap fine
+            gate(0, 100.0, 200.0), // touching is fine
+            round(0, 1, 200.0, 365.0),
+        ]);
+        t.validate().unwrap();
+        assert_eq!(t.makespan_us, 365.0);
+        assert!((t.trap_busy_us(TrapId(0)) - 365.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trap_overlap_detected() {
+        let t = timeline(vec![gate(0, 0.0, 100.0), gate(0, 99.0, 150.0)]);
+        assert_eq!(
+            t.validate().unwrap_err(),
+            TimelineError::TrapOverlap {
+                trap: TrapId(0),
+                first_end_us: 100.0,
+                second_start_us: 99.0
+            }
+        );
+    }
+
+    #[test]
+    fn edge_overlap_detected() {
+        // Rounds on the same segment at overlapping times, sharing no trap
+        // booking mistake... they do share traps too, so test edges via
+        // distinct trap sets is impossible — assert the error mentions a
+        // resource clash at all.
+        let t = timeline(vec![round(0, 1, 0.0, 165.0), round(1, 0, 100.0, 265.0)]);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn bad_intervals_detected() {
+        let t = timeline(vec![gate(0, 100.0, 50.0)]);
+        assert_eq!(
+            t.validate().unwrap_err(),
+            TimelineError::BadInterval { index: 0 }
+        );
+        let mut t = timeline(vec![gate(0, 0.0, 100.0)]);
+        t.makespan_us = 50.0;
+        assert_eq!(
+            t.validate().unwrap_err(),
+            TimelineError::EventPastMakespan { index: 0 }
+        );
+    }
+}

@@ -12,9 +12,13 @@
 //! * [`flow`] — graph substrate (shortest paths, min-cost max-flow).
 //! * [`route`] — shuttle transport: congestion-aware route planning and
 //!   concurrent transport scheduling (rounds of edge-disjoint shuttles).
+//! * [`timing`] — device timing: per-operation duration models (uniform
+//!   `ideal` and QCCDSim-style `realistic`) and the ASAP event-timeline
+//!   scheduler with per-trap/per-edge resource validation.
 //! * [`compiler`] — the paper's contribution: the shuttle-aware compiler with
 //!   baseline (Murali et al., ISCA'20) and optimized (this paper) policies.
-//! * [`sim`] — fidelity/timing simulator replaying compiled schedules.
+//! * [`sim`] — fidelity/timing simulator replaying compiled schedules on
+//!   their timed event timelines.
 //!
 //! # Quickstart
 //!
@@ -44,12 +48,14 @@ pub use qccd_flow as flow;
 pub use qccd_machine as machine;
 pub use qccd_route as route;
 pub use qccd_sim as sim;
+pub use qccd_timing as timing;
 
 /// Convenience prelude importing the most common types.
 pub mod prelude {
     pub use qccd_circuit::{Circuit, DependencyDag, Gate, GateId, Opcode, Qubit};
     pub use qccd_core::{compile, CompileResult, CompilerConfig};
-    pub use qccd_machine::{IonId, MachineSpec, MachineState, Schedule, TrapId};
+    pub use qccd_machine::{IonId, MachineSpec, MachineState, Schedule, TrapId, ZoneLayout};
     pub use qccd_route::{RouterPolicy, TransportSchedule};
-    pub use qccd_sim::{simulate, simulate_transport, SimParams, SimReport};
+    pub use qccd_sim::{simulate, simulate_timed, simulate_transport, SimParams, SimReport};
+    pub use qccd_timing::{Timeline, TimingModel};
 }

@@ -51,6 +51,7 @@ fn config_strategy() -> impl Strategy<Value = CompilerConfig> {
                 ion_selection,
                 mapping,
                 router,
+                ..CompilerConfig::baseline()
             },
         )
 }
