@@ -5,11 +5,11 @@
 //! ```
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
-//! `mapping`, `routers`, `timing`, `lookahead`, `all`.
+//! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `all`.
 
 use qccd_bench::{
-    aggregate_random, lookahead_packing_gains, run_nisq_suite, run_random_suite, run_timing_sweep,
-    run_topology_router_sweep, standard_topologies, timed_compile, ComparisonRow,
+    aggregate_random, lookahead_packing_gains, pack_gains, run_nisq_suite, run_random_suite,
+    run_timing_sweep, run_topology_router_sweep, standard_topologies, timed_compile, ComparisonRow,
     RANDOM_SUITE_SEED,
 };
 use qccd_circuit::generators::{paper_suite, random_suite};
@@ -34,7 +34,7 @@ fn main() {
                 i += 2;
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
-            | "timing" | "lookahead" | "all" => {
+            | "timing" | "lookahead" | "pack" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -71,6 +71,7 @@ fn main() {
         "routers" => routers(&params),
         "timing" => timing(&spec, &params),
         "lookahead" => lookahead(&spec),
+        "pack" => pack(&spec),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -81,6 +82,7 @@ fn main() {
             routers(&params);
             timing(&spec, &params);
             lookahead(&spec);
+            pack(&spec);
         }
         _ => unreachable!("validated above"),
     }
@@ -89,7 +91,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|all] [--per-size N]"
     );
     std::process::exit(2);
 }
@@ -156,7 +158,59 @@ fn lookahead(spec: &MachineSpec) {
             regressions += 1;
         }
     }
-    assert_eq!(regressions, 0, "lookahead packing must never deepen");
+    // The never-deeper invariant holds by construction (pack_lookahead
+    // falls back to greedy); debug builds re-assert it, release reports.
+    debug_assert_eq!(regressions, 0, "lookahead packing must never deepen");
+    if regressions > 0 {
+        println!("WARNING: {regressions} benchmark(s) regressed under lookahead");
+    }
+    println!();
+}
+
+/// Timeline-driven packing: before/after transport depth and timed
+/// makespan (realistic device model). This doubles as the PR 4 acceptance
+/// gate: packed timed makespan must be ≤ lookahead on every paper
+/// benchmark and *strictly* lower on QAOA.
+fn pack(spec: &MachineSpec) {
+    println!("## qccd-pack — cross-gate packing + batched layer planning (realistic timing)");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>12} {:>12} {:>9} {:>6} {:>7}",
+        "Benchmark",
+        "Greedy",
+        "Look",
+        "Packed",
+        "LookMk(us)",
+        "PackMk(us)",
+        "Gain(us)",
+        "Hoist",
+        "Replan"
+    );
+    eprintln!("pack gains...");
+    let rows = pack_gains(&paper_suite(), spec);
+    for r in &rows {
+        println!(
+            "{:<16} {:>7} {:>7} {:>7} {:>12.1} {:>12.1} {:>9.1} {:>6} {:>7}",
+            r.name,
+            r.greedy_depth,
+            r.lookahead_depth,
+            r.packed_depth,
+            r.lookahead_makespan_us,
+            r.packed_makespan_us,
+            r.lookahead_makespan_us - r.packed_makespan_us,
+            r.hoisted_hops,
+            r.replanned_runs
+        );
+        assert!(
+            r.packed_makespan_us <= r.lookahead_makespan_us,
+            "{}: packing regressed the timed makespan",
+            r.name
+        );
+    }
+    let qaoa = rows.iter().find(|r| r.name == "QAOA").expect("QAOA row");
+    assert!(
+        qaoa.packed_makespan_us < qaoa.lookahead_makespan_us,
+        "QAOA packed makespan must strictly beat lookahead"
+    );
     println!();
 }
 

@@ -61,6 +61,19 @@ pub struct ComparisonRow {
     /// Simulation of the congestion-routed schedule with rounds timed
     /// concurrently.
     pub transport_sim: SimReport,
+    /// Shuttle count after the `qccd-pack` passes (layer planning can drop
+    /// net-zero walks, so this may dip below `congestion_shuttles`).
+    pub packed_shuttles: usize,
+    /// Transport depth after the `qccd-pack` passes.
+    pub packed_depth: usize,
+    /// Lookahead-packed timed makespan under the row's timing model — the
+    /// baseline the packer optimizes, µs.
+    pub lookahead_timed_makespan_us: f64,
+    /// Packed timed makespan under the row's timing model, µs (never above
+    /// `lookahead_timed_makespan_us`; the packer falls back otherwise).
+    pub packed_timed_makespan_us: f64,
+    /// Simulation of the packed schedule.
+    pub packed_sim: SimReport,
 }
 
 impl ComparisonRow {
@@ -121,10 +134,11 @@ pub fn compare(bench: &BenchmarkCircuit, spec: &MachineSpec, params: &SimParams)
 /// Runs one benchmark under baseline and optimized configurations and
 /// simulates both schedules on `model`'s timed event timeline.
 ///
-/// Also compiles a third time with the congestion router and simulates its
-/// concurrent transport rounds to fill the depth/makespan columns; callers
-/// that only need the serial pair (and care about the ~50% extra compile
-/// cost) should drive [`timed_compile`] directly.
+/// Also compiles with the congestion router (depth/makespan columns) and
+/// with the full packed stack — congestion + lookahead + `qccd-pack`
+/// scored under `model` — to fill the packed columns; callers that only
+/// need the serial pair (and care about the extra compile cost) should
+/// drive [`timed_compile`] directly.
 pub fn compare_timed(
     bench: &BenchmarkCircuit,
     spec: &MachineSpec,
@@ -138,6 +152,14 @@ pub fn compare_timed(
         spec,
         &CompilerConfig::optimized().with_router(RouterPolicy::congestion()),
     );
+    let (packed, pack_stats) = qccd_pack::compile_packed(
+        &bench.circuit,
+        spec,
+        &CompilerConfig::optimized()
+            .with_router(RouterPolicy::congestion())
+            .with_timing(*model),
+    )
+    .expect("benchmark circuits compile and pack on the paper machine");
     let baseline_sim = simulate_timed(
         &base.schedule,
         &base.transport,
@@ -165,6 +187,15 @@ pub fn compare_timed(
         model,
     )
     .expect("round-packed schedules are valid by construction");
+    let packed_sim = simulate_timed(
+        &packed.schedule,
+        &packed.transport,
+        &bench.circuit,
+        spec,
+        params,
+        model,
+    )
+    .expect("packed schedules are valid by construction");
     ComparisonRow {
         name: bench.name.clone(),
         qubits: bench.circuit.num_qubits(),
@@ -178,6 +209,11 @@ pub fn compare_timed(
         congestion_shuttles: cong.stats.shuttles,
         transport_depth: cong.stats.transport_depth,
         transport_sim,
+        packed_shuttles: packed.stats.shuttles,
+        packed_depth: packed.stats.transport_depth,
+        lookahead_timed_makespan_us: pack_stats.input_makespan_us,
+        packed_timed_makespan_us: pack_stats.packed_makespan_us,
+        packed_sim,
     }
 }
 
@@ -395,6 +431,86 @@ pub fn lookahead_packing_gains(
         .collect()
 }
 
+/// Before/after numbers for the timeline-driven `qccd-pack` optimizer on
+/// one benchmark: greedy vs lookahead vs packed transport, counted in
+/// rounds and — the metric packing optimizes — timed makespan under the
+/// realistic device model.
+#[derive(Debug, Clone)]
+pub struct PackRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Transport depth of the greedy in-run packer.
+    pub greedy_depth: usize,
+    /// Transport depth after lookahead backfill.
+    pub lookahead_depth: usize,
+    /// Transport depth after cross-gate packing + layer planning.
+    pub packed_depth: usize,
+    /// Shuttle hops after packing (layer planning can drop net-zero walks).
+    pub packed_shuttles: usize,
+    /// Greedy-packed timed makespan (realistic model), µs.
+    pub greedy_makespan_us: f64,
+    /// Lookahead timed makespan (realistic model), µs.
+    pub lookahead_makespan_us: f64,
+    /// Packed timed makespan (realistic model), µs.
+    pub packed_makespan_us: f64,
+    /// Hops hoisted across at least one gate.
+    pub hoisted_hops: usize,
+    /// Gate-free runs rewritten by the batched layer planner.
+    pub replanned_runs: usize,
+}
+
+/// Measures the `qccd-pack` passes against the greedy and lookahead
+/// packers on every benchmark (optimized stack, congestion router,
+/// realistic timing — the configuration the pack acceptance criteria are
+/// stated in).
+///
+/// # Panics
+///
+/// Panics if a benchmark does not fit `spec` or a packed schedule fails
+/// its validators (never silent).
+pub fn pack_gains(benches: &[BenchmarkCircuit], spec: &MachineSpec) -> Vec<PackRow> {
+    let model = TimingModel::realistic();
+    benches
+        .iter()
+        .map(|bench| {
+            let config = CompilerConfig::optimized()
+                .with_router(RouterPolicy::congestion())
+                .with_lookahead(true)
+                .with_timing(model);
+            let (lookahead, _) = timed_compile(&bench.circuit, spec, &config);
+            let greedy = TransportSchedule::pack_concurrent(&lookahead.schedule, spec)
+                .expect("compiled schedules repack");
+            let greedy_timeline = qccd_timing::lower(
+                &lookahead.schedule,
+                Some(&greedy),
+                &bench.circuit,
+                spec,
+                &model,
+            )
+            .expect("greedy rounds lower");
+            let packed = qccd_pack::pack(
+                &lookahead,
+                &bench.circuit,
+                spec,
+                &qccd_pack::PackConfig::for_model(model),
+            )
+            .expect("packing validates on compiled schedules");
+            PackRow {
+                name: bench.name.clone(),
+                greedy_depth: greedy.depth(),
+                lookahead_depth: lookahead.transport.depth(),
+                packed_depth: packed.stats.packed_depth,
+                packed_shuttles: packed.schedule.stats().shuttles,
+                greedy_makespan_us: greedy_timeline.makespan_us,
+                lookahead_makespan_us: packed.stats.input_makespan_us,
+                packed_makespan_us: packed.stats.packed_makespan_us,
+                hoisted_hops: packed.stats.hoisted_hops,
+                replanned_runs: packed.stats.replanned_runs,
+            }
+        })
+        .collect()
+}
+
 /// Mean and population standard deviation of a sample.
 pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.is_empty() {
@@ -479,6 +595,10 @@ mod tests {
         assert_eq!(row.transport_sim.shuttles, row.congestion_shuttles);
         assert_eq!(row.transport_sim.shuttle_depth, row.transport_depth);
         assert!(row.transport_depth <= row.congestion_shuttles);
+        assert_eq!(row.packed_sim.shuttles, row.packed_shuttles);
+        assert_eq!(row.packed_sim.shuttle_depth, row.packed_depth);
+        assert!(row.packed_timed_makespan_us <= row.lookahead_timed_makespan_us);
+        assert!(row.packed_shuttles <= row.congestion_shuttles);
     }
 
     #[test]
@@ -567,6 +687,42 @@ mod tests {
         assert!(
             rows.iter().any(|r| r.lookahead_depth < r.greedy_depth),
             "lookahead must strictly reduce depth on at least one paper benchmark: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn pack_beats_lookahead_on_qaoa_and_never_regresses() {
+        // The PR 4 acceptance: on the paper machine, packed timed makespan
+        // ≤ lookahead *and* ≤ greedy on every paper benchmark (the packer
+        // carries the greedy repack as a candidate precisely because
+        // lookahead optimizes depth and can lose the odd 100 µs on the
+        // clock), with a *strict* packed win on QAOA — the benchmark whose
+        // depth lives between gates, out of the in-run packers' reach.
+        let spec = MachineSpec::paper_l6();
+        let rows = pack_gains(&paper_suite(), &spec);
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.packed_makespan_us <= r.lookahead_makespan_us,
+                "{}: packed {} > lookahead {}",
+                r.name,
+                r.packed_makespan_us,
+                r.lookahead_makespan_us
+            );
+            assert!(
+                r.packed_makespan_us <= r.greedy_makespan_us,
+                "{}: packed {} > greedy {}",
+                r.name,
+                r.packed_makespan_us,
+                r.greedy_makespan_us
+            );
+        }
+        let qaoa = rows.iter().find(|r| r.name == "QAOA").expect("QAOA row");
+        assert!(
+            qaoa.packed_makespan_us < qaoa.lookahead_makespan_us,
+            "QAOA must strictly improve: packed {} vs lookahead {}",
+            qaoa.packed_makespan_us,
+            qaoa.lookahead_makespan_us
         );
     }
 

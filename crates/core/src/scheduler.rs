@@ -1,7 +1,7 @@
 //! The compile loop: earliest-ready-gate-first scheduling with pluggable
 //! shuttle-direction, re-ordering, and re-balancing policies.
 
-use crate::config::CompilerConfig;
+use crate::config::{CompilerConfig, RebalancePolicy};
 use crate::error::CompileError;
 use crate::mapping::initial_mapping;
 use crate::policies::{decide_direction, MoveDecision};
@@ -9,7 +9,9 @@ use crate::rebalance::{choose_destination, choose_ion, eviction_route};
 use crate::stats::CompileStats;
 use qccd_circuit::{Circuit, DependencyDag, GateId, GateQubits, ReadySet};
 use qccd_machine::{InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
-use qccd_route::{plan_route, route_budget, EdgeLoad, RouterPolicy, TransportSchedule};
+use qccd_route::{
+    plan_eviction, plan_route, route_budget, EdgeLoad, RouterPolicy, TransportSchedule,
+};
 use qccd_timing::Timeline;
 use std::collections::VecDeque;
 
@@ -28,8 +30,41 @@ pub struct CompileResult {
     /// move with explicit start/end times. `timeline.makespan_us` is the
     /// compiler's timed-makespan estimate without running the simulator.
     pub timeline: Timeline,
+    /// The timing model `timeline` was lowered under
+    /// ([`CompilerConfig::timing`]) — recorded so downstream optimizers
+    /// scoring under the same model can reuse the timeline instead of
+    /// re-lowering the whole schedule.
+    pub timing: qccd_timing::TimingModel,
     /// Counters collected during compilation.
     pub stats: CompileStats,
+}
+
+impl CompileResult {
+    /// Pack hook: this result rebuilt around a transformed schedule,
+    /// transport and timeline — a provably-equivalent rewrite produced by
+    /// a post-compile transport optimizer such as `qccd-pack`.
+    ///
+    /// The schedule-derived counters (`shuttles`, `transport_depth`) are
+    /// refreshed from the new parts; the compile-time counters (reorders,
+    /// rebalances, ...) describe the original compile and are kept, as is
+    /// the recorded [`timing`](CompileResult::timing) model — the
+    /// replacement `timeline` must be lowered under that same model. The
+    /// caller is responsible for having validated the replacement (replay
+    /// equivalence, transport coverage, timeline resources) — `qccd-pack`
+    /// refuses to hand back anything unvalidated.
+    pub fn with_transport(
+        mut self,
+        schedule: Schedule,
+        transport: TransportSchedule,
+        timeline: Timeline,
+    ) -> Self {
+        self.stats.shuttles = schedule.stats().shuttles;
+        self.stats.transport_depth = transport.depth();
+        self.schedule = schedule;
+        self.transport = transport;
+        self.timeline = timeline;
+        self
+    }
 }
 
 /// Compiles `circuit` onto `spec` under `config`.
@@ -116,13 +151,13 @@ pub fn compile_with_mapping(
             .map_err(CompileError::InternalTransport)?,
     };
     // Lookahead rounds reorder hops within gate-free runs, so they answer
-    // to the relaxed (multiset + replay + final-mapping) validator; the
-    // other packers preserve flat order and must pass the strict one.
-    if config.lookahead && config.router.is_congestion() {
-        transport
-            .validate_relaxed(&schedule, spec)
-            .map_err(CompileError::InternalTransport)?;
-    } else {
+    // to the relaxed (multiset + replay + final-mapping) validator. The
+    // packer already runs that replay once per gate-free run while
+    // building (and debug builds re-validate inside `pack_lookahead`), so
+    // release builds skip the redundant whole-schedule second pass — the
+    // lookahead hot-path cleanup. The other packers preserve flat order
+    // and must pass the strict validator.
+    if !(config.lookahead && config.router.is_congestion()) {
         transport
             .validate(&schedule, spec)
             .map_err(CompileError::InternalTransport)?;
@@ -135,6 +170,7 @@ pub fn compile_with_mapping(
         schedule,
         transport,
         timeline,
+        timing: config.timing,
         stats,
     })
 }
@@ -401,6 +437,16 @@ impl Scheduler<'_> {
     /// full trap along the remaining route, processed from the destination
     /// end backward, which is always legal because entries into a trap only
     /// ever come from the step after its own clearing.
+    ///
+    /// Under the congestion router with the nearest-neighbour rebalance
+    /// policy, the destination and route are priced together on the
+    /// planner's MCMF network ([`plan_eviction`]): hop count still
+    /// dominates (the destination stays a nearest non-full trap), but ties
+    /// break toward cold corridors and routes avoid full interior traps
+    /// when an equal-cost detour exists. The baseline `FromTrapZero`
+    /// policy keeps the paper's T0-first rule even under the congestion
+    /// router (the policy *is* the thing a baseline comparison measures),
+    /// and the serial router keeps every paper policy bit-for-bit.
     fn rebalance(
         &mut self,
         blocked: TrapId,
@@ -411,9 +457,38 @@ impl Scheduler<'_> {
         // The avoid list is a preference (keep space in the active move's
         // endpoints); when it excludes every candidate — easy on 2-3-trap
         // machines — relax it rather than deadlock.
-        let dest = choose_destination(self.config.rebalance, &self.state, blocked, avoid)
-            .or_else(|| choose_destination(self.config.rebalance, &self.state, blocked, &[]))
-            .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
+        let priced = match (self.config.router, self.config.rebalance) {
+            (RouterPolicy::Congestion { full_trap_penalty }, RebalancePolicy::NearestNeighbor) => {
+                plan_eviction(
+                    &self.state,
+                    blocked,
+                    avoid,
+                    &self.edge_load,
+                    full_trap_penalty,
+                )
+                .or_else(|| {
+                    plan_eviction(
+                        &self.state,
+                        blocked,
+                        &[],
+                        &self.edge_load,
+                        full_trap_penalty,
+                    )
+                })
+            }
+            _ => None,
+        };
+        let (dest, priced_route) = match priced {
+            Some((dest, route)) => (dest, Some(route)),
+            None => {
+                let dest = choose_destination(self.config.rebalance, &self.state, blocked, avoid)
+                    .or_else(|| {
+                        choose_destination(self.config.rebalance, &self.state, blocked, &[])
+                    })
+                    .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
+                (dest, None)
+            }
+        };
         let ion = choose_ion(
             self.config.ion_selection,
             self.circuit,
@@ -424,13 +499,16 @@ impl Scheduler<'_> {
             keep,
         )
         .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
-        let route = eviction_route(
-            self.config.rebalance,
-            self.state.spec().topology(),
-            blocked,
-            dest,
-        )
-        .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?;
+        let route = match priced_route {
+            Some(route) => route,
+            None => eviction_route(
+                self.config.rebalance,
+                self.state.spec().topology(),
+                blocked,
+                dest,
+            )
+            .ok_or(CompileError::ShuttleDeadlock { trap: blocked })?,
+        };
 
         let was_in_rebalance = self.in_rebalance;
         self.in_rebalance = true;

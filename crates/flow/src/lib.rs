@@ -9,6 +9,10 @@
 //! * [`Adjacency`] — a small undirected graph with BFS shortest paths.
 //! * [`FlowNetwork`] / [`min_cost_max_flow`] — successive-shortest-path
 //!   min-cost max-flow with non-negative edge costs.
+//! * [`route_commodities`] — sequential multi-commodity routing over
+//!   shared unit edge capacities: pairwise edge-disjoint paths (so a whole
+//!   layer of moves can share transport rounds), with a per-commodity
+//!   `None` fallback when the flows conflict.
 //!
 //! # Example
 //!
@@ -22,6 +26,8 @@
 
 mod adjacency;
 mod mcmf;
+mod multicommodity;
 
 pub use adjacency::Adjacency;
 pub use mcmf::{min_cost_max_flow, FlowEdge, FlowNetwork, FlowResult};
+pub use multicommodity::{route_commodities, Commodity};

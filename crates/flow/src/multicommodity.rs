@@ -1,0 +1,188 @@
+//! Multi-commodity routing: one unit per commodity over shared edge
+//! capacities.
+//!
+//! The congestion planner prices one move at a time; the batched layer
+//! planner in `qccd-pack` instead plans a whole *ready layer* of pending
+//! moves together, so a wide QAOA layer's shuttles share transport rounds
+//! deliberately. True minimum-cost multi-commodity flow is NP-hard in the
+//! integral case; this module implements the standard sequential
+//! relaxation on the MCMF substrate: commodities are routed one at a time
+//! through a *shared* residual network whose undirected edges carry unit
+//! capacity, so the routed paths are pairwise edge-disjoint — exactly the
+//! property that lets their k-th hops share the k-th transport round.
+//! When the shared network has no remaining path for a commodity (the
+//! flows conflict), that commodity falls back to `None` and the caller
+//! routes it alone.
+
+use crate::adjacency::Adjacency;
+use crate::mcmf::{min_cost_max_flow, FlowNetwork};
+
+/// One unit of demand: route an ion from `source` to `sink`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commodity {
+    /// Node the unit starts at.
+    pub source: usize,
+    /// Node the unit must reach.
+    pub sink: usize,
+}
+
+/// Routes every commodity over `graph` with pairwise *edge-disjoint*
+/// paths, sequentially through a shared unit-capacity network.
+///
+/// Each undirected edge of `graph` may carry at most one commodity in
+/// total (either direction), and each returned path is simple. Commodities
+/// are processed in the given order; each is routed by min-cost max-flow
+/// over the remaining capacities with `edge_cost(a, b)` pricing the hop
+/// `a → b` (costs must be non-negative). The entry for a commodity is
+/// `None` when the shared network has no path left for it — the flows
+/// conflict — and the caller decides the fallback (typically routing it
+/// alone on the raw topology).
+///
+/// A zero-length commodity (`source == sink`) routes to the trivial
+/// one-node path and consumes no capacity.
+///
+/// # Panics
+///
+/// Panics if a commodity endpoint is out of range for `graph`.
+pub fn route_commodities(
+    graph: &Adjacency,
+    commodities: &[Commodity],
+    mut edge_cost: impl FnMut(usize, usize) -> i64,
+) -> Vec<Option<Vec<usize>>> {
+    let n = graph.len();
+    // Remaining undirected capacity per (low, high) edge.
+    let mut used: Vec<(usize, usize)> = Vec::new();
+    let key = |a: usize, b: usize| if a <= b { (a, b) } else { (b, a) };
+
+    commodities
+        .iter()
+        .map(|c| {
+            assert!(
+                c.source < n && c.sink < n,
+                "commodity endpoint out of range"
+            );
+            if c.source == c.sink {
+                return Some(vec![c.source]);
+            }
+            // Build the residual network: node-split traps (in/out halves,
+            // internal capacity 1) keep paths simple; spent undirected
+            // edges are omitted.
+            let source = 2 * n;
+            let mut net = FlowNetwork::new(2 * n + 1);
+            for a in 0..n {
+                net.add_edge(2 * a, 2 * a + 1, 1, 0);
+                for &b in graph.neighbors(a) {
+                    if !used.contains(&key(a, b)) {
+                        net.add_edge(2 * a + 1, 2 * b, 1, edge_cost(a, b));
+                    }
+                }
+            }
+            net.add_edge(source, 2 * c.source, 1, 0);
+            let result = min_cost_max_flow(&mut net, source, 2 * c.sink + 1);
+            if result.flow != 1 {
+                return None;
+            }
+            // Follow the unit of flow through the out-halves.
+            let flows = net.forward_flows();
+            let mut path = vec![c.source];
+            let mut cur = c.source;
+            while cur != c.sink {
+                let next = flows.iter().find_map(|&(s, t, f)| {
+                    (f > 0 && s == 2 * cur + 1 && t % 2 == 0).then_some(t / 2)
+                })?;
+                path.push(next);
+                cur = next;
+                if path.len() > n {
+                    return None; // defensive: malformed flow
+                }
+            }
+            for w in path.windows(2) {
+                used.push(key(w[0], w[1]));
+            }
+            Some(path)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(source: usize, sink: usize) -> Commodity {
+        Commodity { source, sink }
+    }
+
+    #[test]
+    fn disjoint_demands_route_simultaneously() {
+        // Line of 6: 0→2 and 3→5 never touch the same segment.
+        let g = Adjacency::line(6);
+        let routes = route_commodities(&g, &[c(0, 2), c(3, 5)], |_, _| 1);
+        assert_eq!(routes[0], Some(vec![0, 1, 2]));
+        assert_eq!(routes[1], Some(vec![3, 4, 5]));
+    }
+
+    #[test]
+    fn conflicting_demands_take_disjoint_detours() {
+        // Ring of 6: 0→3 has two 3-hop routes; two commodities with the
+        // same endpoints must split across them.
+        let g = Adjacency::ring(6);
+        let routes = route_commodities(&g, &[c(0, 3), c(0, 3)], |_, _| 1);
+        let a = routes[0].as_ref().unwrap();
+        let b = routes[1].as_ref().unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        assert_ne!(a[1], b[1], "the two units must take opposite arcs");
+    }
+
+    #[test]
+    fn overconstrained_commodity_falls_back_to_none() {
+        // Line of 3: both commodities need segment 1—2; the second must
+        // report a conflict rather than share the edge.
+        let g = Adjacency::line(3);
+        let routes = route_commodities(&g, &[c(0, 2), c(1, 2)], |_, _| 1);
+        assert_eq!(routes[0], Some(vec![0, 1, 2]));
+        assert_eq!(routes[1], None);
+    }
+
+    #[test]
+    fn zero_length_commodity_is_trivial_and_free() {
+        let g = Adjacency::line(3);
+        let routes = route_commodities(&g, &[c(1, 1), c(0, 2)], |_, _| 1);
+        assert_eq!(routes[0], Some(vec![1]));
+        assert_eq!(routes[1], Some(vec![0, 1, 2]), "no capacity was consumed");
+    }
+
+    #[test]
+    fn edge_costs_steer_route_choice() {
+        // Ring of 4: 0→2 via 1 or via 3; price the clockwise arc hot.
+        let g = Adjacency::ring(4);
+        let hot = |a: usize, b: usize| {
+            if (a, b) == (0, 1) || (a, b) == (1, 0) {
+                100
+            } else {
+                1
+            }
+        };
+        let routes = route_commodities(&g, &[c(0, 2)], hot);
+        assert_eq!(routes[0], Some(vec![0, 3, 2]));
+    }
+
+    #[test]
+    fn routed_paths_are_pairwise_edge_disjoint() {
+        let g = Adjacency::grid(3, 3);
+        let demands = [c(0, 8), c(2, 6), c(1, 7)];
+        let routes = route_commodities(&g, &demands, |_, _| 1);
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for route in routes.iter().flatten() {
+            for w in route.windows(2) {
+                let k = if w[0] <= w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                };
+                assert!(!seen.contains(&k), "segment {k:?} used twice");
+                seen.push(k);
+            }
+        }
+    }
+}

@@ -162,11 +162,20 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
         .iter()
         .filter(|r| r.transport_sim.timed_makespan_us <= r.optimized_sim.timed_makespan_us)
         .count();
+    let packed_leq_lookahead = rows
+        .iter()
+        .all(|r| r.packed_timed_makespan_us <= r.lookahead_timed_makespan_us);
+    let packed_strict_wins = rows
+        .iter()
+        .filter(|r| r.packed_timed_makespan_us < r.lookahead_timed_makespan_us)
+        .count();
     let checks = EvalChecks {
         all_leq,
         congestion_leq,
         depth_wins,
         timed_makespan_wins,
+        packed_leq_lookahead,
+        packed_strict_wins,
     };
 
     let report = match opts.format.as_str() {
@@ -189,6 +198,11 @@ struct EvalChecks {
     /// Benchmarks whose congestion-routed *timed* makespan (under the
     /// selected timing model) is at or below the serial router's.
     timed_makespan_wins: usize,
+    /// Packed timed makespan ≤ lookahead on every benchmark (the packer's
+    /// never-regress guarantee, re-checked end to end).
+    packed_leq_lookahead: bool,
+    /// Benchmarks where packing *strictly* beat lookahead on the clock.
+    packed_strict_wins: usize,
 }
 
 fn render_text(
@@ -208,7 +222,7 @@ fn render_text(
         fig4.baseline_shuttles, fig4.optimized_shuttles
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>12} {:>12} {:>6} {:>12}\n",
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>6} {:>12}\n",
         "Benchmark",
         "Qubits",
         "2Q gates",
@@ -217,14 +231,16 @@ fn render_text(
         "D(dn)",
         "%D",
         "Depth",
+        "PkDep",
         "TMkspn(us)",
+        "PkMkspn(us)",
         "SMkspn(us)",
         "Junc",
         "Fidelity gain"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>12.1} {:>12.1} {:>6} {:>11.2}X\n",
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>11.2}X\n",
             r.name,
             r.qubits,
             r.two_qubit_gates,
@@ -233,7 +249,9 @@ fn render_text(
             r.delta(),
             r.delta_percent(),
             r.transport_depth,
+            r.packed_depth,
             r.transport_sim.timed_makespan_us,
+            r.packed_sim.timed_makespan_us,
             r.optimized_sim.timed_makespan_us,
             r.transport_sim.junction_crossings,
             r.fidelity_improvement()
@@ -265,14 +283,28 @@ fn render_text(
         checks.timed_makespan_wins,
         rows.len()
     ));
+    out.push_str(&format!(
+        "packed timed makespan <= lookahead on every benchmark: {}\n",
+        if checks.packed_leq_lookahead {
+            "yes"
+        } else {
+            "NO — regression!"
+        }
+    ));
+    out.push_str(&format!(
+        "benchmarks where packing strictly beat lookahead: {} of {}\n",
+        checks.packed_strict_wins,
+        rows.len()
+    ));
     out
 }
 
 fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
     let mut out = String::from(
         "benchmark,qubits,two_qubit_gates,baseline_shuttles,optimized_shuttles,delta,\
-         delta_percent,congestion_shuttles,transport_depth,timing,serial_makespan_us,\
-         transport_makespan_us,serial_timed_makespan_us,transport_timed_makespan_us,\
+         delta_percent,congestion_shuttles,transport_depth,packed_shuttles,packed_depth,\
+         timing,serial_makespan_us,transport_makespan_us,serial_timed_makespan_us,\
+         transport_timed_makespan_us,lookahead_timed_makespan_us,packed_timed_makespan_us,\
          zone_moves,junction_crossings,fidelity_improvement,baseline_compile_s,\
          optimized_compile_s\n",
     );
@@ -287,11 +319,15 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
             format!("{:.3}", r.delta_percent()),
             r.congestion_shuttles.to_string(),
             r.transport_depth.to_string(),
+            r.packed_shuttles.to_string(),
+            r.packed_depth.to_string(),
             timing.to_owned(),
             format!("{:.3}", r.optimized_sim.makespan_us),
             format!("{:.3}", r.transport_sim.makespan_us),
             format!("{:.3}", r.optimized_sim.timed_makespan_us),
             format!("{:.3}", r.transport_sim.timed_makespan_us),
+            format!("{:.3}", r.lookahead_timed_makespan_us),
+            format!("{:.3}", r.packed_timed_makespan_us),
             r.transport_sim.zone_moves.to_string(),
             r.transport_sim.junction_crossings.to_string(),
             format!("{:.4}", r.fidelity_improvement()),
@@ -376,6 +412,22 @@ fn render_json(
                         ),
                     ]),
                 ),
+                (
+                    "packed",
+                    Json::obj(vec![
+                        ("shuttles", Json::int(r.packed_shuttles)),
+                        ("transport_depth", Json::int(r.packed_depth)),
+                        (
+                            "lookahead_timed_makespan_us",
+                            Json::Num(r.lookahead_timed_makespan_us),
+                        ),
+                        (
+                            "packed_timed_makespan_us",
+                            Json::Num(r.packed_timed_makespan_us),
+                        ),
+                        ("program_fidelity", Json::Num(r.packed_sim.program_fidelity)),
+                    ]),
+                ),
             ])
         })
         .collect();
@@ -400,6 +452,14 @@ fn render_json(
         (
             "timed_makespan_leq_serial_count",
             Json::int(checks.timed_makespan_wins),
+        ),
+        (
+            "all_packed_leq_lookahead",
+            Json::Bool(checks.packed_leq_lookahead),
+        ),
+        (
+            "packed_strict_win_count",
+            Json::int(checks.packed_strict_wins),
         ),
     ]);
     let mut text = value.to_string();

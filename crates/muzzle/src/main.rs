@@ -59,11 +59,15 @@ CIRCUIT / MACHINE OPTIONS (compile, simulate, sweep):
 POLICY OPTIONS:
     --policy P          baseline | optimized       [default: optimized]
     --proximity N       future-ops proximity override (optimized only)
-    --router R          serial | congestion | lookahead    [default: serial]
+    --router R          serial | congestion | lookahead | packed
+                        [default: serial]
                         (congestion prices routes by trap fullness and edge
                         load, and schedules transport as concurrent rounds;
                         lookahead additionally backfills hops into earlier
-                        compatible rounds)
+                        compatible rounds; packed then runs the qccd-pack
+                        optimizer — cross-gate packing + batched layer
+                        planning, keeping the rewrite only when it lowers
+                        the timed makespan under the --timing model)
     --timing T          ideal | realistic          [default: ideal]
                         (ideal reproduces the uniform-hop numbers exactly;
                         realistic charges linear-segment speed, junction
@@ -199,9 +203,9 @@ pub fn parse_common(
             "--proximity" => opts.proximity = Some(parse_num(&next(&mut i, arg)?, arg)?),
             "--router" => {
                 let r = next(&mut i, arg)?;
-                if !["serial", "congestion", "lookahead"].contains(&r.as_str()) {
+                if !["serial", "congestion", "lookahead", "packed"].contains(&r.as_str()) {
                     return Err(format!(
-                        "--router must be serial, congestion, or lookahead, got `{r}`"
+                        "--router must be serial, congestion, lookahead, or packed, got `{r}`"
                     ));
                 }
                 opts.router = r;
@@ -259,7 +263,9 @@ pub fn build_config(
 ) -> Result<CompilerConfig, String> {
     let (router, lookahead) = match router {
         "congestion" => (RouterPolicy::congestion(), false),
-        "lookahead" => (RouterPolicy::congestion(), true),
+        // `packed` compiles exactly like `lookahead`; the qccd-pack passes
+        // run post-compile (see `timed`).
+        "lookahead" | "packed" => (RouterPolicy::congestion(), true),
         _ => (RouterPolicy::Serial, false),
     };
     let timing = parse_timing_model(timing);
@@ -353,14 +359,36 @@ fn compile_stats_json(result: &CompileResult, compile_s: f64) -> Json {
     ])
 }
 
+fn pack_stats_json(p: &qccd_pack::PackStats) -> Json {
+    Json::obj(vec![
+        ("input_depth", Json::int(p.input_depth)),
+        ("packed_depth", Json::int(p.packed_depth)),
+        ("input_makespan_us", Json::Num(p.input_makespan_us)),
+        ("packed_makespan_us", Json::Num(p.packed_makespan_us)),
+        ("hoisted_hops", Json::int(p.hoisted_hops)),
+        ("replanned_runs", Json::int(p.replanned_runs)),
+        ("dropped_hops", Json::int(p.dropped_hops)),
+        ("improved", Json::Bool(p.improved)),
+    ])
+}
+
+/// Compiles (and, for `--router packed`, runs the qccd-pack passes under
+/// the configured timing model via [`qccd_pack::compile_packed`]),
+/// measuring total wall-clock time.
 fn timed(
     circuit: &qccd_circuit::Circuit,
     machine: &MachineSpec,
     config: &CompilerConfig,
-) -> Result<(CompileResult, f64), String> {
+    pack: bool,
+) -> Result<(CompileResult, Option<qccd_pack::PackStats>, f64), String> {
     let start = Instant::now();
+    if pack {
+        let (result, stats) =
+            qccd_pack::compile_packed(circuit, machine, config).map_err(|e| e.to_string())?;
+        return Ok((result, Some(stats), start.elapsed().as_secs_f64()));
+    }
     let result = compile(circuit, machine, config).map_err(|e| e.to_string())?;
-    Ok((result, start.elapsed().as_secs_f64()))
+    Ok((result, None, start.elapsed().as_secs_f64()))
 }
 
 // ---------------------------------------------------------------- compile
@@ -370,7 +398,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let circuit = require_circuit(&opts)?;
     let machine = opts.machine.build()?;
     let config = build_config(&opts.policy, opts.proximity, &opts.router, &opts.timing)?;
-    let (result, compile_s) = timed(&circuit.circuit, &machine, &config)?;
+    let (result, pack_stats, compile_s) =
+        timed(&circuit.circuit, &machine, &config, opts.router == "packed")?;
 
     let mut report = String::new();
     match opts.format.as_str() {
@@ -387,6 +416,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 ("config", Json::str(config.to_string())),
                 ("stats", compile_stats_json(&result, compile_s)),
             ]);
+            let value = match pack_stats {
+                Some(p) => value.with_field("pack", pack_stats_json(&p)),
+                None => value,
+            };
             report.push_str(&value.to_string());
             report.push('\n');
         }
@@ -428,6 +461,18 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 result.timeline.zone_moves,
                 result.timeline.junction_crossings
             ));
+            if let Some(p) = &pack_stats {
+                report.push_str(&format!(
+                    "pack     depth {} -> {}, timed makespan {:.1} -> {:.1} us ({} hoisted, {} runs replanned{})\n",
+                    p.input_depth,
+                    p.packed_depth,
+                    p.input_makespan_us,
+                    p.packed_makespan_us,
+                    p.hoisted_hops,
+                    p.replanned_runs,
+                    if p.improved { "" } else { "; no gain — kept lookahead" }
+                ));
+            }
             report.push_str(&format!("time     {compile_s:.4} s\n"));
         }
     }
@@ -467,8 +512,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     // hop per round under the serial router — the historical replay) on
     // the timed event timeline of the selected --timing model.
     let model = parse_timing_model(&opts.timing);
+    let pack = opts.router == "packed";
     let run = |config: &CompilerConfig| -> Result<(CompileResult, SimReport), String> {
-        let (result, _) = timed(&circuit.circuit, &machine, config)?;
+        let (result, _, _) = timed(&circuit.circuit, &machine, config, pack)?;
         let report = simulate_timed(
             &result.schedule,
             &result.transport,
@@ -657,8 +703,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 ))
             }
         };
-        let (base, _) = timed(&circuit.circuit, &machine, &base_cfg)?;
-        let (opt, _) = timed(&circuit.circuit, &machine, &opt_cfg)?;
+        let (base, _, _) = timed(
+            &circuit.circuit,
+            &machine,
+            &base_cfg,
+            opts.router == "packed",
+        )?;
+        let (opt, _, _) = timed(
+            &circuit.circuit,
+            &machine,
+            &opt_cfg,
+            opts.router == "packed",
+        )?;
         rows.push(Row {
             value,
             baseline: base.stats.shuttles,

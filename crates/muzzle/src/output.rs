@@ -39,6 +39,21 @@ impl Json {
     pub fn int(n: usize) -> Json {
         Json::Num(n as f64)
     }
+
+    /// This object extended with one more `(key, value)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn with_field(self, key: &str, value: Json) -> Json {
+        match self {
+            Json::Obj(mut pairs) => {
+                pairs.push((key.to_owned(), value));
+                Json::Obj(pairs)
+            }
+            _ => panic!("with_field requires an object"),
+        }
+    }
 }
 
 fn escape(s: &str, out: &mut String) {

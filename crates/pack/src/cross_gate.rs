@@ -1,0 +1,344 @@
+//! Cross-gate round packing: hoisting shuttle hops across non-conflicting
+//! gates.
+//!
+//! The in-run packers (`pack_concurrent`, `pack_lookahead`) never let a
+//! round span a gate, so a hop that *follows* a gate can never ride with a
+//! round that *precedes* it — even when the hop and the gate touch
+//! disjoint traps and the hardware would happily run them together. On
+//! gate-dense programs (QAOA's alternating gate/rebalance traffic) that is
+//! where almost all of the remaining transport depth lives.
+//!
+//! This packer rebuilds the round structure globally. Every hop first-fits
+//! into the earliest existing round that can *prove* the hoist safe:
+//!
+//! * **trap-disjointness** — for every gate between the candidate round
+//!   and the hop's original position, neither hop endpoint is the gate's
+//!   trap (`min_join` per trap). This simultaneously guarantees the gate's
+//!   operands are untouched (an operand ion's hop always touches the gate
+//!   trap) and that every gate still runs over an identical chain length;
+//! * **per-ion order** — a hop joins a round strictly after its ion's
+//!   previous hop;
+//! * **machine round rules** — fresh segment, one split and one merge per
+//!   trap per round;
+//! * **no-credit capacity** — an arrival is only placed where the
+//!   destination has room *before* the round (`occ < cap`), never relying
+//!   on a same-round departure. This keeps every round's moves serially
+//!   replayable in any order, so the emitted flat schedule stays valid
+//!   under the strict serial validator and downstream consumers.
+//!
+//! The result is a rewritten flat schedule plus a strict-validating
+//! transport schedule with the same gates in the same traps, the same
+//! per-ion hop sequences, and an identical final mapping.
+
+use qccd_machine::{Operation, Schedule, ShuttleMove, TrapId};
+use qccd_route::{TransportRound, TransportSchedule};
+
+/// One rebuilt schedule + transport pair from the cross-gate packer.
+pub(crate) struct CrossGatePacked {
+    /// The rewritten flat operation stream (round-ordered hops).
+    pub ops: Vec<Operation>,
+    /// The matching rounds, strict-validating against `ops`.
+    pub transport: TransportSchedule,
+    /// Hops that crossed at least one gate on their way into a round.
+    pub hoisted_hops: usize,
+}
+
+/// One round under construction.
+struct RoundBuild {
+    moves: Vec<ShuttleMove>,
+    segments: Vec<(TrapId, TrapId)>,
+    /// Per-trap arrival (merge) count, 0 or 1.
+    arrivals: Vec<u8>,
+    /// Per-trap departure (split) count, 0 or 1.
+    departures: Vec<u8>,
+    /// Gates emitted when this round was opened (hoist accounting).
+    gates_at_creation: usize,
+}
+
+/// Event stream of the packed program: gates in original order, rounds at
+/// their creation points.
+enum Ev {
+    Gate { op: Operation },
+    Round(usize),
+}
+
+/// Packs `schedule`'s hops into rounds that may precede non-conflicting
+/// gates. With `share_only`, a hop joins an existing round only when it
+/// shares an endpoint trap with a member move (the pipeline/corridor case
+/// where merging genuinely shortens the critical path); without it, any
+/// compatible round within the window accepts.
+///
+/// `window` bounds how far back (in rounds) the first-fit scan looks,
+/// keeping the packer linear in schedule length.
+pub(crate) fn pack_cross_gate(
+    schedule: &Schedule,
+    cap: u32,
+    num_traps: usize,
+    window: usize,
+    share_only: bool,
+) -> CrossGatePacked {
+    let num_ions = schedule.initial_mapping.num_ions() as usize;
+    let mut occ0 = vec![0u32; num_traps];
+    for t in schedule.initial_mapping.as_slice() {
+        occ0[t.index()] += 1;
+    }
+
+    let mut rounds: Vec<RoundBuild> = Vec::new();
+    // occ_before[r] = trap occupancies entering round r; one extra entry
+    // for "after the last round" (gates never change occupancy).
+    let mut occ_before: Vec<Vec<u32>> = vec![occ0];
+    // Rounds with an arrival at each trap, ascending (downstream capacity
+    // re-checks only visit these).
+    let mut arrival_rounds: Vec<Vec<usize>> = vec![Vec::new(); num_traps];
+    // A hop touching trap t may not join a round older than min_join[t]
+    // (set by every gate executed in t).
+    let mut min_join: Vec<usize> = vec![0; num_traps];
+    let mut last_round_of_ion: Vec<Option<usize>> = vec![None; num_ions];
+    let mut events: Vec<Ev> = Vec::new();
+    let mut gates_emitted = 0usize;
+    let mut hoisted_hops = 0usize;
+
+    for op in &schedule.operations {
+        match *op {
+            Operation::Gate { trap, .. } => {
+                events.push(Ev::Gate { op: *op });
+                gates_emitted += 1;
+                min_join[trap.index()] = rounds.len();
+            }
+            Operation::Shuttle { ion, from, to } => {
+                let m = ShuttleMove { ion, from, to };
+                let seg = m.segment();
+                let (fi, ti) = (from.index(), to.index());
+                let lo = min_join[fi]
+                    .max(min_join[ti])
+                    .max(last_round_of_ion[ion.index()].map_or(0, |r| r + 1))
+                    .max(rounds.len().saturating_sub(window));
+                let mut chosen = None;
+                for r in lo..rounds.len() {
+                    let rb = &rounds[r];
+                    if rb.segments.contains(&seg)
+                        || rb.departures[fi] > 0
+                        || rb.arrivals[ti] > 0
+                        || occ_before[r][ti] >= cap
+                    {
+                        continue;
+                    }
+                    if share_only
+                        && rb.arrivals[fi] == 0
+                        && rb.departures[ti] == 0
+                        && !rb.moves.iter().any(|c| {
+                            let (cf, ct) = (c.from.index(), c.to.index());
+                            cf == fi || cf == ti || ct == fi || ct == ti
+                        })
+                    {
+                        continue;
+                    }
+                    // Downstream: the ion occupies `to` from round r on;
+                    // later rounds with an arrival there must keep room
+                    // under the no-credit rule (their single arrival needs
+                    // occ + 1 ≤ cap after our +1).
+                    let downstream_ok = arrival_rounds[ti]
+                        .iter()
+                        .filter(|&&s| s > r)
+                        .all(|&s| occ_before[s][ti] + 2 <= cap);
+                    if downstream_ok {
+                        chosen = Some(r);
+                        break;
+                    }
+                }
+                let chosen = match chosen {
+                    Some(r) => r,
+                    None => {
+                        rounds.push(RoundBuild {
+                            moves: Vec::new(),
+                            segments: Vec::new(),
+                            arrivals: vec![0; num_traps],
+                            departures: vec![0; num_traps],
+                            gates_at_creation: gates_emitted,
+                        });
+                        occ_before.push(occ_before.last().expect("seeded").clone());
+                        events.push(Ev::Round(rounds.len() - 1));
+                        rounds.len() - 1
+                    }
+                };
+                if rounds[chosen].gates_at_creation < gates_emitted {
+                    hoisted_hops += 1;
+                }
+                let rb = &mut rounds[chosen];
+                rb.moves.push(m);
+                rb.segments.push(seg);
+                rb.departures[fi] += 1;
+                rb.arrivals[ti] += 1;
+                let list = &mut arrival_rounds[ti];
+                let pos = list.partition_point(|&s| s < chosen);
+                list.insert(pos, chosen);
+                for occ in &mut occ_before[chosen + 1..] {
+                    occ[fi] -= 1;
+                    occ[ti] += 1;
+                }
+                last_round_of_ion[ion.index()] = Some(chosen);
+            }
+        }
+    }
+
+    // Emit: gates in place, each round's moves contiguously at its
+    // creation point. Under the no-credit rule any within-round order
+    // replays serially, so insertion order is kept (it matches the strict
+    // transport validator's in-order expectation by construction).
+    let mut ops = Vec::with_capacity(schedule.operations.len());
+    let mut transport_rounds = Vec::with_capacity(rounds.len());
+    for ev in events {
+        match ev {
+            Ev::Gate { op } => ops.push(op),
+            Ev::Round(idx) => {
+                let rb = &rounds[idx];
+                for m in &rb.moves {
+                    ops.push(Operation::Shuttle {
+                        ion: m.ion,
+                        from: m.from,
+                        to: m.to,
+                    });
+                }
+                transport_rounds.push(TransportRound {
+                    moves: rb.moves.clone(),
+                });
+            }
+        }
+    }
+    CrossGatePacked {
+        ops,
+        transport: TransportSchedule {
+            rounds: transport_rounds,
+        },
+        hoisted_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::GateId;
+    use qccd_machine::{InitialMapping, IonId, MachineSpec};
+
+    fn sh(ion: u32, from: u32, to: u32) -> Operation {
+        Operation::Shuttle {
+            ion: IonId(ion),
+            from: TrapId(from),
+            to: TrapId(to),
+        }
+    }
+
+    fn gate(g: u32, trap: u32) -> Operation {
+        Operation::Gate {
+            gate: GateId(g),
+            trap: TrapId(trap),
+        }
+    }
+
+    /// L4, capacity 4/comm 1, ions 0-2 in T0, 3-5 in T1, 6-8 in T2.
+    fn fixture() -> (MachineSpec, InitialMapping) {
+        let spec = MachineSpec::linear(4, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 9).unwrap();
+        (spec, mapping)
+    }
+
+    fn pack(schedule: &Schedule, spec: &MachineSpec, share_only: bool) -> CrossGatePacked {
+        pack_cross_gate(
+            schedule,
+            spec.total_capacity(),
+            spec.num_traps() as usize,
+            96,
+            share_only,
+        )
+    }
+
+    #[test]
+    fn hop_rides_across_a_trap_disjoint_gate() {
+        // Gate in T3 separates two corridor hops T0→T1, T1→T2; both are
+        // trap-disjoint from the gate, so they pipeline into one round.
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), gate(0, 3), sh(5, 1, 2)]);
+        let packed = pack(&schedule, &spec, false);
+        assert_eq!(packed.transport.rounds.len(), 1, "one merged round");
+        assert_eq!(packed.hoisted_hops, 1);
+        packed
+            .transport
+            .validate(
+                &Schedule::new(schedule.initial_mapping.clone(), packed.ops.clone()),
+                &spec,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn hop_touching_the_gate_trap_never_crosses() {
+        // The second hop arrives in the gate's trap: it must stay behind
+        // the gate (the gate's chain length depends on it).
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), gate(0, 2), sh(5, 1, 2)]);
+        let packed = pack(&schedule, &spec, false);
+        assert_eq!(packed.transport.rounds.len(), 2);
+        assert_eq!(packed.hoisted_hops, 0);
+        // Flat order keeps the hop after the gate.
+        let gate_pos = packed
+            .ops
+            .iter()
+            .position(|o| matches!(o, Operation::Gate { .. }))
+            .unwrap();
+        assert_eq!(gate_pos, 1);
+    }
+
+    #[test]
+    fn per_ion_order_is_preserved_across_gates() {
+        // Same ion hops twice around a disjoint gate: the hops must stay
+        // in distinct ordered rounds.
+        let (spec, mapping) = fixture();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), gate(0, 3), sh(2, 1, 2)]);
+        let packed = pack(&schedule, &spec, false);
+        assert_eq!(packed.transport.rounds.len(), 2);
+        let first = &packed.transport.rounds[0].moves[0];
+        let second = &packed.transport.rounds[1].moves[0];
+        assert_eq!((first.from, first.to), (TrapId(0), TrapId(1)));
+        assert_eq!((second.from, second.to), (TrapId(1), TrapId(2)));
+    }
+
+    #[test]
+    fn share_only_skips_disjoint_merges() {
+        // Two fully disjoint hops around a gate in T3... T0→T1 and T2→T3
+        // shares T3 with the gate; use a 5-trap machine instead.
+        let spec = MachineSpec::linear(5, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 12).unwrap();
+        let schedule = Schedule::new(mapping, vec![sh(2, 0, 1), gate(0, 4), sh(8, 2, 3)]);
+        let share = pack(&schedule, &spec, true);
+        assert_eq!(
+            share.transport.rounds.len(),
+            2,
+            "disjoint hops stay in their own rounds under share-only"
+        );
+        let any = pack(&schedule, &spec, false);
+        assert_eq!(any.transport.rounds.len(), 1, "first-fit merges them");
+    }
+
+    #[test]
+    fn no_credit_rule_blocks_arrivals_into_full_traps() {
+        // T1 full (comm 0 lets traps start full): ion 1 leaves T1 and ion 0
+        // enters it. The greedy in-run packers would pipeline both into one
+        // round via the departure credit; the cross-gate packer's no-credit
+        // rule keeps them sequential so the flat emission stays serially
+        // valid in any order.
+        let spec = MachineSpec::linear(3, 2, 0).unwrap();
+        let mapping =
+            InitialMapping::from_traps(&spec, vec![TrapId(0), TrapId(1), TrapId(1), TrapId(2)])
+                .unwrap();
+        let schedule = Schedule::new(mapping, vec![sh(1, 1, 2), sh(0, 0, 1)]);
+        let packed = pack(&schedule, &spec, false);
+        assert_eq!(packed.transport.rounds.len(), 2);
+        packed
+            .transport
+            .validate(
+                &Schedule::new(schedule.initial_mapping.clone(), packed.ops.clone()),
+                &spec,
+            )
+            .unwrap();
+    }
+}

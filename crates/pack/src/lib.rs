@@ -1,0 +1,530 @@
+//! Timeline-driven transport packing for compiled QCCD programs.
+//!
+//! The compiler minimizes shuttle *count*; the hardware pays for shuttle
+//! *depth on the device clock*. This crate is the post-compile optimizer
+//! that closes that gap: it rewrites a [`CompileResult`] into a
+//! provably-equivalent one — same gates in the same traps, same final ion
+//! mapping — with a lower *timed makespan*, scored end to end with
+//! `qccd-timing`'s ASAP lowering. Two passes:
+//!
+//! * **Cross-gate packing** ([`cross_gate`]) — hoists shuttle hops across
+//!   non-conflicting gates: a hop may overlap a gate executing in an
+//!   uninvolved trap, which the in-run packers can never exploit because
+//!   their rounds stop at every gate. Trap-disjointness is proved per
+//!   crossed gate, per-ion hop order is preserved, and a no-credit
+//!   capacity rule keeps the rewritten flat schedule serially valid.
+//! * **Batched layer planning** ([`layers`]) — re-plans each gate-free run
+//!   as a multi-commodity flow on `qccd-flow`'s shared MCMF network:
+//!   every net-displaced ion becomes a commodity, paths come out pairwise
+//!   edge-disjoint (so layers share rounds deliberately), net-zero
+//!   eviction ping-pongs drop out, and conflicting commodities fall back
+//!   to per-commodity routes. Each run's rewrite is accepted only if it
+//!   replays legally and strictly beats the original run on the clock,
+//!   scored by incremental re-lowering from a [`LowerState`] checkpoint.
+//!
+//! Every candidate the passes produce is compared against the input under
+//! the same [`TimingModel`]; [`pack`] returns the input unchanged whenever
+//! no candidate strictly improves the timed makespan, so packing **never
+//! regresses** the clock. The winning candidate is replay-validated
+//! ([`validate_equivalent`]) and its rounds strict-validated before being
+//! handed back — an invalid rewrite is a typed error, never a silent
+//! fallback.
+//!
+//! # Example
+//!
+//! ```
+//! use qccd_circuit::generators::qft;
+//! use qccd_core::CompilerConfig;
+//! use qccd_machine::MachineSpec;
+//! use qccd_pack::compile_packed;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = qft(16);
+//! let spec = MachineSpec::linear(3, 8, 2)?;
+//! let (packed, stats) = compile_packed(&circuit, &spec, &CompilerConfig::optimized())?;
+//! assert!(stats.packed_makespan_us <= stats.input_makespan_us);
+//! assert_eq!(packed.timeline.makespan_us, stats.packed_makespan_us);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cross_gate;
+mod layers;
+mod validate;
+
+use cross_gate::pack_cross_gate;
+use layers::plan_layers;
+use qccd_circuit::Circuit;
+use qccd_core::{compile, CompileError, CompileResult, CompilerConfig, RouterPolicy};
+use qccd_machine::{IonId, MachineSpec, Schedule};
+use qccd_route::{TransportError, TransportSchedule};
+use qccd_timing::{lower, LowerError, Timeline, TimingModel};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+pub use validate::validate_equivalent;
+
+/// Configuration of the packing passes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackConfig {
+    /// Timing model every candidate is scored under (and the returned
+    /// timeline is lowered with).
+    pub model: TimingModel,
+    /// Enable cross-gate round packing.
+    pub cross_gate: bool,
+    /// Enable batched multi-commodity layer planning.
+    pub batch_layers: bool,
+    /// How many rounds back the cross-gate first-fit scan looks. Bounds
+    /// the packer at O(schedule × window); the default comfortably covers
+    /// every gap the paper workloads exhibit.
+    pub window: usize,
+}
+
+impl PackConfig {
+    /// Both passes enabled, scored under `model`.
+    pub fn for_model(model: TimingModel) -> Self {
+        PackConfig {
+            model,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for PackConfig {
+    /// Both passes, realistic device timing, window 96.
+    fn default() -> Self {
+        PackConfig {
+            model: TimingModel::realistic(),
+            cross_gate: true,
+            batch_layers: true,
+            window: 96,
+        }
+    }
+}
+
+/// What packing did, and what it was worth on the device clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PackStats {
+    /// Transport depth of the input result.
+    pub input_depth: usize,
+    /// Transport depth after packing (equals input when not improved).
+    pub packed_depth: usize,
+    /// Input timed makespan under the pack model, µs.
+    pub input_makespan_us: f64,
+    /// Packed timed makespan under the pack model, µs.
+    pub packed_makespan_us: f64,
+    /// Hops the winning candidate moved across at least one gate.
+    pub hoisted_hops: usize,
+    /// Gate-free runs rewritten by the batched layer planner.
+    pub replanned_runs: usize,
+    /// Shuttle hops eliminated by layer planning (net-zero walks).
+    pub dropped_hops: usize,
+    /// `true` when a candidate strictly beat the input and was adopted.
+    pub improved: bool,
+}
+
+/// A packed program: the equivalent rewrite plus its timed lowering.
+#[derive(Debug, Clone)]
+pub struct Packed {
+    /// The rewritten (or, when nothing improved, original) schedule.
+    pub schedule: Schedule,
+    /// Its transport rounds.
+    pub transport: TransportSchedule,
+    /// Its timeline under the pack model.
+    pub timeline: Timeline,
+    /// What happened.
+    pub stats: PackStats,
+}
+
+/// Packs `result` into an equivalent program with minimal timed makespan
+/// under `config.model`.
+///
+/// Candidates (cross-gate packings of the input and of its layer-planned
+/// rewrite, under both join policies) are scored with full timed
+/// lowerings; the best strict improvement wins, otherwise the input is
+/// returned unchanged (`stats.improved == false`). The winner is fully
+/// validated: replay equivalence against the input schedule, strict
+/// transport-round validation, and timeline resource validation.
+///
+/// # Errors
+///
+/// * [`PackError::Lower`] — a candidate (or the input) failed to lower;
+///   the input result was not a valid compile artifact.
+/// * [`PackError::InvalidPacked`] / [`PackError::GateSequenceDiverged`] /
+///   [`PackError::FinalMappingDiverged`] / [`PackError::Transport`] — the
+///   winning candidate failed validation (a packer bug, never silent).
+pub fn pack(
+    result: &CompileResult,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &PackConfig,
+) -> Result<Packed, PackError> {
+    // When the compile was lowered under the scoring model, its attached
+    // timeline *is* the input lowering — skip the redundant O(n) re-lower.
+    let input_timeline = if result.timing == config.model {
+        result.timeline.clone()
+    } else {
+        lower(
+            &result.schedule,
+            Some(&result.transport),
+            circuit,
+            spec,
+            &config.model,
+        )?
+    };
+
+    struct Candidate {
+        schedule: Schedule,
+        transport: TransportSchedule,
+        timeline: Timeline,
+        hoisted_hops: usize,
+        replanned_runs: usize,
+        dropped_hops: usize,
+    }
+    let cap = spec.total_capacity();
+    let num_traps = spec.num_traps() as usize;
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let add_cross_gate = |base: &Schedule,
+                          replanned_runs: usize,
+                          dropped_hops: usize,
+                          candidates: &mut Vec<Candidate>|
+     -> Result<(), PackError> {
+        for share_only in [true, false] {
+            let packed = pack_cross_gate(base, cap, num_traps, config.window, share_only);
+            let schedule = Schedule::new(base.initial_mapping.clone(), packed.ops);
+            let timeline = lower(
+                &schedule,
+                Some(&packed.transport),
+                circuit,
+                spec,
+                &config.model,
+            )?;
+            candidates.push(Candidate {
+                schedule,
+                transport: packed.transport,
+                timeline,
+                hoisted_hops: packed.hoisted_hops,
+                replanned_runs,
+                dropped_hops,
+            });
+        }
+        Ok(())
+    };
+
+    // The greedy in-run repack rides along whenever any pass is enabled:
+    // the lookahead packer optimizes *depth* and can be marginally slower
+    // on the clock (fewer, wider rounds can couple resources), so the
+    // packed result must never lose to either in-run packer.
+    if config.cross_gate || config.batch_layers {
+        if let Ok(greedy) = TransportSchedule::pack_concurrent(&result.schedule, spec) {
+            let timeline = lower(
+                &result.schedule,
+                Some(&greedy),
+                circuit,
+                spec,
+                &config.model,
+            )?;
+            candidates.push(Candidate {
+                schedule: result.schedule.clone(),
+                transport: greedy,
+                timeline,
+                hoisted_hops: 0,
+                replanned_runs: 0,
+                dropped_hops: 0,
+            });
+        }
+    }
+    if config.cross_gate {
+        add_cross_gate(&result.schedule, 0, 0, &mut candidates)?;
+    }
+    if config.batch_layers {
+        let planned = plan_layers(
+            &result.schedule,
+            &result.transport,
+            circuit,
+            spec,
+            &config.model,
+        )?;
+        if planned.replanned_runs > 0 {
+            let schedule = Schedule::new(result.schedule.initial_mapping.clone(), planned.ops);
+            if config.cross_gate {
+                add_cross_gate(
+                    &schedule,
+                    planned.replanned_runs,
+                    planned.dropped_hops,
+                    &mut candidates,
+                )?;
+            } else {
+                let transport = TransportSchedule::pack_concurrent(&schedule, spec)
+                    .map_err(PackError::Transport)?;
+                let timeline = lower(&schedule, Some(&transport), circuit, spec, &config.model)?;
+                candidates.push(Candidate {
+                    schedule,
+                    transport,
+                    timeline,
+                    hoisted_hops: 0,
+                    replanned_runs: planned.replanned_runs,
+                    dropped_hops: planned.dropped_hops,
+                });
+            }
+        }
+    }
+
+    let best = candidates
+        .into_iter()
+        .min_by(|a, b| {
+            a.timeline
+                .makespan_us
+                .partial_cmp(&b.timeline.makespan_us)
+                .expect("lowered makespans are finite")
+        })
+        .filter(|c| c.timeline.makespan_us < input_timeline.makespan_us);
+
+    match best {
+        Some(c) => {
+            validate_equivalent(&result.schedule, &c.schedule, circuit, spec)?;
+            c.transport
+                .validate(&c.schedule, spec)
+                .map_err(PackError::Transport)?;
+            c.timeline
+                .validate()
+                .map_err(|e| PackError::InvalidPacked(e.to_string()))?;
+            let stats = PackStats {
+                input_depth: result.transport.depth(),
+                packed_depth: c.transport.depth(),
+                input_makespan_us: input_timeline.makespan_us,
+                packed_makespan_us: c.timeline.makespan_us,
+                hoisted_hops: c.hoisted_hops,
+                replanned_runs: c.replanned_runs,
+                dropped_hops: c.dropped_hops,
+                improved: true,
+            };
+            Ok(Packed {
+                schedule: c.schedule,
+                transport: c.transport,
+                timeline: c.timeline,
+                stats,
+            })
+        }
+        None => {
+            let stats = PackStats {
+                input_depth: result.transport.depth(),
+                packed_depth: result.transport.depth(),
+                input_makespan_us: input_timeline.makespan_us,
+                packed_makespan_us: input_timeline.makespan_us,
+                improved: false,
+                ..PackStats::default()
+            };
+            Ok(Packed {
+                schedule: result.schedule.clone(),
+                transport: result.transport.clone(),
+                timeline: input_timeline,
+                stats,
+            })
+        }
+    }
+}
+
+/// Compiles `circuit` with the packed transport stack: the congestion
+/// router with lookahead packing, followed by [`pack`] under the
+/// compiler's configured timing model (`--router packed` in the CLI).
+///
+/// A serial `config.router` is upgraded to the congestion router — the
+/// packed stack builds on concurrent transport; every other field of
+/// `config` is honoured as-is. The returned result carries the packed
+/// schedule, transport and timeline (via
+/// [`CompileResult::with_transport`]) whenever packing improved the timed
+/// makespan, and the plain lookahead result otherwise.
+///
+/// # Errors
+///
+/// [`PackCompileError::Compile`] from the compiler, or
+/// [`PackCompileError::Pack`] from the packer's validators.
+pub fn compile_packed(
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+) -> Result<(CompileResult, PackStats), PackCompileError> {
+    let router = if config.router.is_congestion() {
+        config.router
+    } else {
+        RouterPolicy::congestion()
+    };
+    let config = config.with_router(router).with_lookahead(true);
+    let result = compile(circuit, spec, &config).map_err(PackCompileError::Compile)?;
+    let packed = pack(
+        &result,
+        circuit,
+        spec,
+        &PackConfig::for_model(config.timing),
+    )
+    .map_err(PackCompileError::Pack)?;
+    let stats = packed.stats;
+    let result = if stats.improved {
+        result.with_transport(packed.schedule, packed.transport, packed.timeline)
+    } else {
+        result
+    };
+    Ok((result, stats))
+}
+
+/// A violated packing invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackError {
+    /// A candidate failed to lower onto the device clock.
+    Lower(LowerError),
+    /// The packed transport rounds failed strict validation.
+    Transport(TransportError),
+    /// The packed schedule failed replay validation (message form of the
+    /// underlying machine/schedule error).
+    InvalidPacked(String),
+    /// The packed program runs a different gate sequence.
+    GateSequenceDiverged {
+        /// Index of the first diverging gate.
+        index: usize,
+    },
+    /// The packed program leaves an ion in a different trap.
+    FinalMappingDiverged {
+        /// The diverged ion.
+        ion: IonId,
+    },
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackError::Lower(e) => write!(f, "candidate failed to lower: {e}"),
+            PackError::Transport(e) => write!(f, "packed rounds invalid: {e}"),
+            PackError::InvalidPacked(msg) => write!(f, "packed schedule invalid: {msg}"),
+            PackError::GateSequenceDiverged { index } => {
+                write!(f, "packed gate sequence diverges at gate {index}")
+            }
+            PackError::FinalMappingDiverged { ion } => {
+                write!(f, "packed replay leaves {ion} in a different trap")
+            }
+        }
+    }
+}
+
+impl Error for PackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PackError::Lower(e) => Some(e),
+            PackError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LowerError> for PackError {
+    fn from(e: LowerError) -> Self {
+        PackError::Lower(e)
+    }
+}
+
+/// Compile-then-pack error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackCompileError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Packing (validation) failed.
+    Pack(PackError),
+}
+
+impl fmt::Display for PackCompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackCompileError::Compile(e) => write!(f, "{e}"),
+            PackCompileError::Pack(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for PackCompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PackCompileError::Compile(e) => Some(e),
+            PackCompileError::Pack(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators::{qaoa, random_circuit};
+    use qccd_core::compile;
+
+    fn packed_config() -> CompilerConfig {
+        CompilerConfig::optimized()
+            .with_router(RouterPolicy::congestion())
+            .with_lookahead(true)
+    }
+
+    #[test]
+    fn pack_never_regresses_the_timed_makespan() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        for seed in [1u64, 7, 23] {
+            let circuit = random_circuit(12, 80, seed);
+            let result = compile(&circuit, &spec, &packed_config()).unwrap();
+            let packed = pack(&result, &circuit, &spec, &PackConfig::default()).unwrap();
+            assert!(
+                packed.stats.packed_makespan_us <= packed.stats.input_makespan_us,
+                "seed {seed}: packed {} > input {}",
+                packed.stats.packed_makespan_us,
+                packed.stats.input_makespan_us
+            );
+            assert_eq!(packed.timeline.makespan_us, packed.stats.packed_makespan_us);
+        }
+    }
+
+    #[test]
+    fn packed_program_is_equivalent_and_strictly_valid() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let circuit = qaoa(14, 4, 3);
+        let result = compile(&circuit, &spec, &packed_config()).unwrap();
+        let packed = pack(&result, &circuit, &spec, &PackConfig::default()).unwrap();
+        validate_equivalent(&result.schedule, &packed.schedule, &circuit, &spec).unwrap();
+        packed.transport.validate(&packed.schedule, &spec).unwrap();
+        packed.timeline.validate().unwrap();
+        assert_eq!(packed.schedule.stats().gates, result.schedule.stats().gates);
+        assert!(packed.schedule.stats().shuttles <= result.schedule.stats().shuttles);
+    }
+
+    #[test]
+    fn compile_packed_upgrades_serial_router_and_reports_stats() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let circuit = qaoa(16, 4, 5);
+        let (result, stats) =
+            compile_packed(&circuit, &spec, &CompilerConfig::optimized()).unwrap();
+        assert_eq!(result.stats.transport_depth, result.transport.depth());
+        assert!(stats.packed_makespan_us <= stats.input_makespan_us);
+        if stats.improved {
+            assert!(stats.packed_makespan_us < stats.input_makespan_us);
+        }
+        // The result's own timeline matches the packed lowering model
+        // (the compiler config's timing — ideal here) only when packing
+        // did not improve; when it did, the timeline is the packed one.
+        result
+            .transport
+            .validate_relaxed(&result.schedule, &spec)
+            .unwrap();
+    }
+
+    #[test]
+    fn disabled_passes_return_the_input() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let circuit = random_circuit(12, 60, 5);
+        let result = compile(&circuit, &spec, &packed_config()).unwrap();
+        let config = PackConfig {
+            cross_gate: false,
+            batch_layers: false,
+            ..PackConfig::default()
+        };
+        let packed = pack(&result, &circuit, &spec, &config).unwrap();
+        assert!(!packed.stats.improved);
+        assert_eq!(packed.schedule, result.schedule);
+        assert_eq!(packed.transport, result.transport);
+    }
+}

@@ -53,6 +53,6 @@ mod planner;
 mod policy;
 mod transport;
 
-pub use planner::{plan_route, route_budget, EdgeLoad, PlannedRoute};
+pub use planner::{plan_eviction, plan_route, route_budget, EdgeLoad, PlannedRoute};
 pub use policy::RouterPolicy;
 pub use transport::{TransportError, TransportRound, TransportSchedule};

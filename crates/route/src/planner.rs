@@ -160,29 +160,91 @@ pub fn plan_route(
     }
 }
 
-/// Minimum-cost route from `from` to `dest` on a node-split flow network.
+/// Plans a re-balancing eviction out of the full trap `blocked` under the
+/// congestion policy: the destination *and* the route are chosen together
+/// on the same priced node-split network [`plan_route`] uses, instead of
+/// the paper's nearest-slot policy followed by an unpriced shortest path.
 ///
-/// Nodes `2t` / `2t+1` are trap `t`'s in/out halves; the internal edge
-/// carries the full-trap penalty, each physical segment carries
-/// `HOP_SCALE + load`. `HOP_SCALE` exceeds any possible load sum, so cost
-/// order is: fewer `hops + penalty×full-traps` first, colder edges second.
-/// Internal edges have capacity 1, so routes are simple paths.
-fn priced_route(
+/// Every trap with excess capacity (other than `blocked` and the traps in
+/// `avoid`) is a candidate sink; each physical segment costs one hop plus
+/// its [`EdgeLoad`] surcharge, and crossing a *full* interior trap costs
+/// `full_trap_penalty` extra hops. Hop count strictly dominates the
+/// surcharge, so the destination is still a nearest non-full trap — but
+/// ties break toward cold corridors and routes never thread a full trap
+/// when an equal-cost detour exists.
+///
+/// Returns the chosen destination and the inclusive trap path
+/// `blocked ..= destination`, or `None` when no candidate is reachable.
+pub fn plan_eviction(
     state: &MachineState,
-    from: TrapId,
-    dest: TrapId,
-    full_trap_penalty: u32,
+    blocked: TrapId,
+    avoid: &[TrapId],
     load: &EdgeLoad,
-) -> Option<PlannedRoute> {
+    full_trap_penalty: u32,
+) -> Option<(TrapId, Vec<TrapId>)> {
+    let topology = state.spec().topology();
+    let n = topology.num_traps() as usize;
+    // One extra node past the trap halves and the source: the super-sink
+    // gathering every candidate destination.
+    let sink = 2 * n + 1;
+    let mut net = priced_network(state, load, full_trap_penalty, |t| t != blocked, 1);
+    let mut candidates = 0usize;
+    for t in topology.traps() {
+        if t != blocked && !avoid.contains(&t) && !state.is_full(t) {
+            net.add_edge(2 * t.index() + 1, sink, 1, 0);
+            candidates += 1;
+        }
+    }
+    if candidates == 0 {
+        return None;
+    }
+    net.add_edge(2 * n, 2 * blocked.index(), 1, 0);
+    let result = min_cost_max_flow(&mut net, 2 * n, sink);
+    if result.flow != 1 {
+        return None;
+    }
+    // Follow the unit of flow out-half to out-half until it exits to the
+    // super-sink; the trap it exits from is the destination.
+    let flows = net.forward_flows();
+    let mut path = vec![blocked];
+    let mut cur = blocked;
+    loop {
+        if flows
+            .iter()
+            .any(|&(s, t, f)| f > 0 && s == 2 * cur.index() + 1 && t == sink)
+        {
+            return Some((cur, path));
+        }
+        cur = flow_next_trap(&flows, cur, n)?;
+        path.push(cur);
+        if path.len() > n {
+            return None; // defensive: malformed flow
+        }
+    }
+}
+
+/// Builds the priced node-split network [`priced_route`] and
+/// [`plan_eviction`] share: nodes `2t` / `2t+1` are trap `t`'s in/out
+/// halves (internal edge: the full-trap penalty when `penalized(t)` and
+/// the trap is full, capacity 1 so routes are simple paths); each physical
+/// segment costs `hop_scale + load`, where `hop_scale` exceeds any
+/// possible load sum so cost order is: fewer `hops + penalty×full-traps`
+/// first, colder edges second. Node `2n` is reserved for the caller's
+/// super-source; `extra` further nodes follow it.
+fn priced_network(
+    state: &MachineState,
+    load: &EdgeLoad,
+    full_trap_penalty: u32,
+    penalized: impl Fn(TrapId) -> bool,
+    extra: usize,
+) -> FlowNetwork {
     let topology = state.spec().topology();
     let n = topology.num_traps() as usize;
     // Any load sum is < n * (LOAD_CAP + 1); scale hop costs above it.
     let hop_scale = (n as i64 + 1) * i64::from(LOAD_CAP + 1);
-    let source = 2 * n;
-    let mut net = FlowNetwork::new(2 * n + 1);
+    let mut net = FlowNetwork::new(2 * n + 1 + extra);
     for t in topology.traps() {
-        let interior_full = t != from && t != dest && state.is_full(t);
-        let cost = if interior_full {
+        let cost = if penalized(t) && state.is_full(t) {
             i64::from(full_trap_penalty) * hop_scale
         } else {
             0
@@ -193,8 +255,38 @@ fn priced_route(
             net.add_edge(2 * t.index() + 1, 2 * nb.index(), 1, cost);
         }
     }
-    net.add_edge(source, 2 * from.index(), 1, 0);
-    let result = min_cost_max_flow(&mut net, source, 2 * dest.index() + 1);
+    net
+}
+
+/// Follows one unit of flow from `cur`'s out-half to the next trap's
+/// in-half, if any.
+fn flow_next_trap(flows: &[(usize, usize, i64)], cur: TrapId, n: usize) -> Option<TrapId> {
+    flows.iter().find_map(|&(s, t, f)| {
+        (f > 0 && s == 2 * cur.index() + 1 && t % 2 == 0 && t < 2 * n)
+            .then_some(TrapId((t / 2) as u32))
+    })
+}
+
+/// Minimum-cost route from `from` to `dest` on the shared
+/// [`priced_network`]; full traps at the route's own endpoints are exempt
+/// from the eviction penalty.
+fn priced_route(
+    state: &MachineState,
+    from: TrapId,
+    dest: TrapId,
+    full_trap_penalty: u32,
+    load: &EdgeLoad,
+) -> Option<PlannedRoute> {
+    let n = state.spec().topology().num_traps() as usize;
+    let mut net = priced_network(
+        state,
+        load,
+        full_trap_penalty,
+        |t| t != from && t != dest,
+        0,
+    );
+    net.add_edge(2 * n, 2 * from.index(), 1, 0);
+    let result = min_cost_max_flow(&mut net, 2 * n, 2 * dest.index() + 1);
     if result.flow != 1 {
         return None;
     }
@@ -203,15 +295,9 @@ fn priced_route(
     let mut path = vec![from];
     let mut cur = from;
     while cur != dest {
-        let next = flows
-            .iter()
-            .find_map(|&(s, t, f)| {
-                // Out-half of `cur` to the in-half of a neighbour.
-                (f > 0 && s == 2 * cur.index() + 1 && t % 2 == 0).then_some(TrapId((t / 2) as u32))
-            })
-            .expect("flow conservation guarantees an outgoing unit");
-        path.push(next);
-        cur = next;
+        cur =
+            flow_next_trap(&flows, cur, n).expect("flow conservation guarantees an outgoing unit");
+        path.push(cur);
         if path.len() > n {
             return None; // defensive: malformed flow
         }
@@ -352,6 +438,41 @@ mod tests {
         load.decay();
         assert_eq!(load.load(TrapId(0), TrapId(1)), LOAD_CAP / 2);
         assert_eq!(load.load(TrapId(1), TrapId(0)), 0);
+    }
+
+    #[test]
+    fn priced_eviction_picks_nearest_candidate_and_cold_route() {
+        // Ring of 6, trap 0 full: both neighbours are 1 hop away. Heating
+        // the 0→1 segment must steer the eviction to trap 5.
+        let state = ring_state(6, &[3, 1, 1, 1, 1, 1]);
+        assert!(state.is_full(TrapId(0)));
+        let mut load = EdgeLoad::new(6);
+        load.record(TrapId(0), TrapId(1));
+        let (dest, route) = plan_eviction(&state, TrapId(0), &[], &load, 6).unwrap();
+        assert_eq!(dest, TrapId(5), "cold neighbour wins the tie");
+        assert_eq!(route, vec![TrapId(0), TrapId(5)]);
+    }
+
+    #[test]
+    fn priced_eviction_respects_avoid_and_detours_around_full_traps() {
+        // Ring of 8 with comm capacity 0 so traps 0 and 1 start genuinely
+        // full; trap 7 is on the avoid list. Clockwise candidates sit
+        // behind full trap 1 (2 hops + penalty 6); counter-clockwise,
+        // trap 6 is 2 clean hops away *through* avoided trap 7 — avoid
+        // only vetoes destinations, not interior crossings.
+        let spec = MachineSpec::new(TrapTopology::ring(8), 2, 0).unwrap();
+        let mut traps = vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1)];
+        traps.extend((2..8).map(TrapId));
+        let mapping = InitialMapping::from_traps(&spec, traps).unwrap();
+        let state = MachineState::with_mapping(&spec, &mapping).unwrap();
+        assert!(state.is_full(TrapId(0)) && state.is_full(TrapId(1)));
+        let load = EdgeLoad::new(8);
+        let (dest, route) = plan_eviction(&state, TrapId(0), &[TrapId(7)], &load, 6).unwrap();
+        assert_eq!(dest, TrapId(6));
+        assert_eq!(route, vec![TrapId(0), TrapId(7), TrapId(6)]);
+        // No candidate at all: every other trap avoided.
+        let all: Vec<TrapId> = (1..8).map(TrapId).collect();
+        assert_eq!(plan_eviction(&state, TrapId(0), &all, &load, 6), None);
     }
 
     #[test]

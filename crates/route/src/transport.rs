@@ -81,8 +81,27 @@ impl TransportSchedule {
         schedule: &Schedule,
         spec: &MachineSpec,
     ) -> Result<Self, TransportError> {
-        let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
+        let state = MachineState::with_mapping(spec, &schedule.initial_mapping)
             .map_err(TransportError::Machine)?;
+        Self::pack_concurrent_from(state, &schedule.operations)
+    }
+
+    /// [`pack_concurrent`](Self::pack_concurrent) starting from an
+    /// arbitrary live [`MachineState`] instead of an initial mapping —
+    /// the form a mid-schedule optimizer needs, where trap occupancies can
+    /// exceed what an `InitialMapping` may load. `ops` is the operation
+    /// stream to pack from that point on; the round-legality rules are
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] if `ops` does not replay legally from
+    /// `state`.
+    pub fn pack_concurrent_from(
+        mut state: MachineState,
+        ops: &[Operation],
+    ) -> Result<Self, TransportError> {
+        let spec = state.spec().clone();
         let num_traps = spec.num_traps() as usize;
         let mut rounds: Vec<TransportRound> = Vec::new();
         let mut cur: Vec<ShuttleMove> = Vec::new();
@@ -110,7 +129,7 @@ impl TransportSchedule {
             Ok(())
         };
 
-        for op in &schedule.operations {
+        for op in ops {
             match *op {
                 Operation::Gate { .. } => close(
                     &mut state,
@@ -183,6 +202,16 @@ impl TransportSchedule {
     /// [`validate`](Self::validate). Falls back to the greedy packing
     /// whenever backfill does not strictly reduce depth.
     ///
+    /// Validation happens **once per gate-free run**: closing a run
+    /// replays its rounds through [`MachineState::apply_round`], which
+    /// enforces every per-round rule and leaves the replayed state equal to
+    /// the serial replay's (the rounds are built *from* the schedule's own
+    /// hops, so multiset coverage and the final mapping hold by
+    /// construction). Callers therefore do not need a second
+    /// [`validate_relaxed`](Self::validate_relaxed) pass per compile;
+    /// debug builds assert the strict-gain invariant (the chosen packing is
+    /// never deeper than greedy) on top.
+    ///
     /// # Errors
     ///
     /// Returns [`TransportError`] if `schedule` does not replay legally on
@@ -190,11 +219,18 @@ impl TransportSchedule {
     pub fn pack_lookahead(schedule: &Schedule, spec: &MachineSpec) -> Result<Self, TransportError> {
         let greedy = Self::pack_concurrent(schedule, spec)?;
         let backfilled = Self::pack_lookahead_inner(schedule, spec)?;
-        if backfilled.depth() < greedy.depth() {
-            Ok(backfilled)
-        } else {
-            Ok(greedy)
-        }
+        let backfill_wins = backfilled.depth() < greedy.depth();
+        let chosen = if backfill_wins { backfilled } else { greedy };
+        debug_assert!(
+            !backfill_wins || {
+                chosen
+                    .validate_relaxed(schedule, spec)
+                    .map(|()| true)
+                    .unwrap_or(false)
+            },
+            "strict-gain invariant: a winning backfill must replay-validate"
+        );
+        Ok(chosen)
     }
 
     fn pack_lookahead_inner(
@@ -218,15 +254,21 @@ impl TransportSchedule {
 
         // Current run: rounds under construction, plus the trap-occupancy
         // snapshot before each round (`occ_before[r]`) with one extra entry
-        // for "after the last round".
+        // for "after the last round". `arrival_rounds[t]` indexes (in
+        // ascending round order) the rounds with an arrival at trap `t`, so
+        // the downstream capacity re-check visits only the handful of
+        // rounds that can actually be affected instead of scanning the
+        // whole tail of the run per backfilled hop.
         let mut run: Vec<RoundBuild> = Vec::new();
         let mut occ_before: Vec<Vec<u32>> = Vec::new();
+        let mut arrival_rounds: Vec<Vec<usize>> = vec![Vec::new(); num_traps];
         let mut last_round_of_ion: HashMap<IonId, usize> = HashMap::new();
 
         let close_run = |state: &mut MachineState,
                          rounds: &mut Vec<TransportRound>,
                          run: &mut Vec<RoundBuild>,
                          occ_before: &mut Vec<Vec<u32>>,
+                         arrival_rounds: &mut Vec<Vec<usize>>,
                          last_round_of_ion: &mut HashMap<IonId, usize>|
          -> Result<(), TransportError> {
             for rb in run.drain(..) {
@@ -236,6 +278,7 @@ impl TransportSchedule {
                 rounds.push(TransportRound { moves: rb.moves });
             }
             occ_before.clear();
+            arrival_rounds.iter_mut().for_each(Vec::clear);
             last_round_of_ion.clear();
             Ok(())
         };
@@ -247,6 +290,7 @@ impl TransportSchedule {
                     &mut rounds,
                     &mut run,
                     &mut occ_before,
+                    &mut arrival_rounds,
                     &mut last_round_of_ion,
                 )?,
                 Operation::Shuttle { ion, from, to } => {
@@ -273,16 +317,15 @@ impl TransportSchedule {
                             continue;
                         }
                         // Downstream: the ion now occupies `to` from round
-                        // r on; re-check capacity in later arrival rounds.
-                        let downstream_ok =
-                            run[r + 1..]
-                                .iter()
-                                .zip(&occ_before[r + 1..])
-                                .all(|(s, occ)| {
-                                    s.arrivals[to.index()] == 0
-                                        || occ[to.index()] + 1 + s.arrivals[to.index()]
-                                            <= cap + s.departures[to.index()]
-                                });
+                        // r on; re-check capacity in the later rounds that
+                        // receive an arrival at `to` (each has exactly one
+                        // arrival there, by the one-merge-per-trap rule).
+                        let downstream_ok = arrival_rounds[to.index()]
+                            .iter()
+                            .filter(|&&s| s > r)
+                            .all(|&s| {
+                                occ_before[s][to.index()] + 2 <= cap + run[s].departures[to.index()]
+                            });
                         if downstream_ok {
                             chosen = Some(r);
                             break;
@@ -305,6 +348,9 @@ impl TransportSchedule {
                     rb.segments.push(seg);
                     rb.departures[from.index()] += 1;
                     rb.arrivals[to.index()] += 1;
+                    let list = &mut arrival_rounds[to.index()];
+                    let pos = list.partition_point(|&s| s < chosen);
+                    list.insert(pos, chosen);
                     for occ in &mut occ_before[chosen + 1..] {
                         occ[from.index()] -= 1;
                         occ[to.index()] += 1;
@@ -318,6 +364,7 @@ impl TransportSchedule {
             &mut rounds,
             &mut run,
             &mut occ_before,
+            &mut arrival_rounds,
             &mut last_round_of_ion,
         )?;
         Ok(TransportSchedule { rounds })

@@ -18,6 +18,10 @@
 //!   [`TransportSchedule`](qccd_route::TransportSchedule) rounds) and
 //!   assigns every gate, transport round and synthesized zone move its
 //!   earliest start under per-trap and per-edge resource constraints.
+//! * [`LowerState`] — the same fold, resumable: checkpoint (clone) the
+//!   state at a chunk boundary and re-lower only a perturbed suffix, so a
+//!   transport optimizer scoring many candidate rewrites pays O(suffix)
+//!   per candidate instead of a full O(n) `lower` each time.
 //! * [`Timeline`] — the result: timed events with resource intervals and a
 //!   [`validate`](Timeline::validate) pass proving no trap or shuttle-path
 //!   segment is ever double-booked.
@@ -63,5 +67,5 @@ mod scheduler;
 mod timeline;
 
 pub use model::TimingModel;
-pub use scheduler::{lower, LowerError};
+pub use scheduler::{lower, LowerError, LowerState};
 pub use timeline::{TimedMove, Timeline, TimelineError, TimelineEvent};

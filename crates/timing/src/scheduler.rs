@@ -1,10 +1,19 @@
 //! ASAP lowering of a compiled schedule onto the device clock.
+//!
+//! [`lower`] runs the whole schedule in one pass. The fold it runs is also
+//! exposed as the resumable [`LowerState`], so callers that repeatedly
+//! re-lower *perturbed* schedules — the `qccd-pack` transport optimizer
+//! scores every candidate rewrite on the device clock — can checkpoint the
+//! fold at a chunk boundary (clone the state) and re-lower only the suffix
+//! instead of paying a full O(n) `lower` per candidate.
 
 use crate::model::TimingModel;
 use crate::timeline::{TimedMove, Timeline, TimelineEvent};
 use qccd_circuit::{Circuit, GateQubits};
-use qccd_machine::{IonId, MachineError, MachineSpec, MachineState, Operation, Schedule, TrapId};
-use qccd_route::TransportSchedule;
+use qccd_machine::{
+    InitialMapping, IonId, MachineError, MachineSpec, MachineState, Operation, Schedule, TrapId,
+};
+use qccd_route::{TransportRound, TransportSchedule};
 use std::error::Error;
 use std::fmt;
 
@@ -52,243 +61,367 @@ pub fn lower(
     spec: &MachineSpec,
     model: &TimingModel,
 ) -> Result<Timeline, LowerError> {
-    if !model.is_valid() {
-        return Err(LowerError::InvalidModel);
-    }
-    let mut state =
-        MachineState::with_mapping(spec, &schedule.initial_mapping).map_err(LowerError::Machine)?;
-    let num_traps = spec.num_traps() as usize;
-    let topology = spec.topology();
-    let mut clock = vec![0.0f64; num_traps]; // µs, per trap
-    let mut avail = vec![0.0f64; state.num_ions() as usize]; // per qubit, µs
-
+    let mut state = LowerState::new(&schedule.initial_mapping, spec, model)?;
     let mut events: Vec<TimelineEvent> = Vec::with_capacity(schedule.operations.len());
-    let mut gates = 0usize;
-    let mut shuttles = 0usize;
-    let mut shuttle_depth = 0usize;
-    let mut zone_moves = 0usize;
-    let mut junction_crossings = 0usize;
+    state.advance(
+        &schedule.operations,
+        transport.map(|t| t.rounds.as_slice()),
+        circuit,
+        spec,
+        &mut events,
+    )?;
+    Ok(state.finish(events))
+}
 
-    let ops = &schedule.operations;
-    let mut round_idx = 0usize;
-    let mut i = 0usize;
-    while i < ops.len() {
-        match ops[i] {
-            Operation::Gate { gate, trap } => {
-                let g = circuit.gate(gate);
-                let t = trap.index();
-                // Multi-zone traps: operands outside the gate zone need an
-                // explicit timed reorder first. Promoting one operand to
-                // the chain front shifts the others back, so it can push an
-                // already-checked operand out again — iterate until every
-                // operand is *simultaneously* gate-ready (the gate zone
-                // holds ≥ 2 ions by validation, so this settles in at most
-                // a few passes). Never fires under the default single-zone
-                // layout.
-                if !spec.zone_layout().is_single() {
-                    loop {
-                        let mut promoted = false;
-                        for q in g.qubits.iter() {
-                            let ion = IonId::from(q);
-                            if state.promote_to_gate_zone(ion) {
-                                let start = clock[t].max(avail[ion.index()]);
-                                let end = start + model.zone_move_us();
-                                clock[t] = end;
-                                avail[ion.index()] = end;
-                                zone_moves += 1;
-                                events.push(TimelineEvent::ZoneMove {
-                                    ion,
-                                    trap,
-                                    start_us: start,
-                                    end_us: end,
-                                });
-                                promoted = true;
-                            }
-                        }
-                        if !promoted {
-                            break;
-                        }
-                    }
-                }
-                let chain_len = state.occupancy(trap);
-                let tau = match g.qubits {
-                    GateQubits::One(_) => model.one_qubit_gate_us(),
-                    GateQubits::Two(_, _) => model.two_qubit_gate_us(chain_len),
-                };
-                let start = g
-                    .qubits
-                    .iter()
-                    .map(|q| avail[q.index()])
-                    .fold(clock[t], f64::max);
-                let end = start + tau;
-                clock[t] = end;
-                for q in g.qubits.iter() {
-                    avail[q.index()] = end;
-                }
-                gates += 1;
-                events.push(TimelineEvent::Gate {
-                    gate,
-                    trap,
-                    chain_len,
-                    start_us: start,
-                    end_us: end,
-                });
-                i += 1;
-            }
-            Operation::Shuttle { .. } => {
-                // The gate-free run of consecutive shuttle ops starting here.
-                let run_start = i;
-                let mut run_len = 0usize;
-                while matches!(
-                    ops.get(run_start + run_len),
-                    Some(Operation::Shuttle { .. })
-                ) {
-                    run_len += 1;
-                }
-                // Multiset of the run's moves still awaiting a round.
-                let mut remaining: Vec<Option<(IonId, TrapId, TrapId)>> = ops
-                    [run_start..run_start + run_len]
-                    .iter()
-                    .map(|op| match *op {
-                        Operation::Shuttle { ion, from, to } => Some((ion, from, to)),
-                        Operation::Gate { .. } => unreachable!("run members are shuttles"),
-                    })
-                    .collect();
-                let mut consumed = 0usize;
-                while consumed < run_len {
-                    // This round's member moves: from the transport
-                    // schedule, or one synthetic single-hop round.
-                    let members: Vec<(IonId, TrapId, TrapId)> = match transport {
-                        None => {
-                            let m = remaining[consumed].take().expect("consumed in order");
-                            vec![m]
-                        }
-                        Some(t) => {
-                            let round =
-                                t.rounds
-                                    .get(round_idx)
-                                    .ok_or(LowerError::TransportMismatch {
-                                        op_index: run_start + consumed,
-                                    })?;
-                            if round.moves.is_empty() {
-                                return Err(LowerError::TransportMismatch {
-                                    op_index: run_start + consumed,
-                                });
-                            }
-                            round_idx += 1;
-                            let mut taken = Vec::with_capacity(round.moves.len());
-                            for m in &round.moves {
-                                let want = (m.ion, m.from, m.to);
-                                let slot = remaining
-                                    .iter_mut()
-                                    .find(|slot| **slot == Some(want))
-                                    .ok_or(LowerError::TransportMismatch {
-                                    op_index: run_start + consumed,
-                                })?;
-                                *slot = None;
-                                taken.push(want);
-                            }
-                            taken
-                        }
-                    };
+/// The resumable ASAP-lowering fold behind [`lower`].
+///
+/// `LowerState` carries everything the lowering loop threads between
+/// operations — the replayed [`MachineState`], the per-trap device clocks,
+/// the per-qubit availability times, and the event counters — but **not**
+/// the accumulated events, which the caller owns. This makes a checkpoint a
+/// cheap `clone()` (O(ions + traps), independent of how many events the
+/// prefix produced), so a transport optimizer can:
+///
+/// 1. [`advance`](LowerState::advance) through the accepted prefix once,
+/// 2. clone the state at a candidate's chunk boundary,
+/// 3. advance the clone through the candidate suffix and compare
+///    [`makespan_us`](LowerState::makespan_us) — an O(suffix) score instead
+///    of an O(n) full re-lower.
+///
+/// Chunk boundaries must not split a transport round, and each `advance`
+/// call's `transport` slice must cover exactly its chunk's shuttle
+/// operations. Chunking a schedule at such boundaries is *bit-for-bit*
+/// equivalent to one whole-schedule [`lower`] call: the fold is a left
+/// fold, and the chunk boundary carries its entire state.
+#[derive(Debug, Clone)]
+pub struct LowerState {
+    model: TimingModel,
+    state: MachineState,
+    /// Per-trap device clock, µs.
+    clock: Vec<f64>,
+    /// Per-qubit availability time, µs.
+    avail: Vec<f64>,
+    gates: usize,
+    shuttles: usize,
+    shuttle_depth: usize,
+    zone_moves: usize,
+    junction_crossings: usize,
+}
 
-                    // Apply the members with departures-first retry: a move
-                    // blocked by a full trap waits for a same-round
-                    // departure to free it. In-order rounds (the strict
-                    // packers) always apply on the first pass, preserving
-                    // the historical per-move occupancy reads.
-                    let mut timed: Vec<TimedMove> = Vec::with_capacity(members.len());
-                    let mut pending: Vec<(IonId, TrapId, TrapId)> = members.clone();
-                    while !pending.is_empty() {
-                        let mut progressed = false;
-                        let mut still: Vec<(IonId, TrapId, TrapId)> = Vec::new();
-                        for (ion, from, to) in pending {
-                            let src_occupancy = state.occupancy(from);
-                            match state.shuttle(ion, to) {
-                                Ok(()) => {
-                                    let junctions =
-                                        TimingModel::junctions_crossed(topology, from, to);
-                                    junction_crossings += junctions as usize;
-                                    timed.push(TimedMove {
+impl LowerState {
+    /// Starts the fold at time zero with every ion at its initial trap.
+    ///
+    /// # Errors
+    ///
+    /// * [`LowerError::InvalidModel`] — `model` has non-finite or negative
+    ///   constants.
+    /// * [`LowerError::Machine`] — `mapping` does not fit `spec`.
+    pub fn new(
+        mapping: &InitialMapping,
+        spec: &MachineSpec,
+        model: &TimingModel,
+    ) -> Result<Self, LowerError> {
+        if !model.is_valid() {
+            return Err(LowerError::InvalidModel);
+        }
+        let state = MachineState::with_mapping(spec, mapping).map_err(LowerError::Machine)?;
+        let num_traps = spec.num_traps() as usize;
+        let num_ions = state.num_ions() as usize;
+        Ok(LowerState {
+            model: *model,
+            state,
+            clock: vec![0.0; num_traps],
+            avail: vec![0.0; num_ions],
+            gates: 0,
+            shuttles: 0,
+            shuttle_depth: 0,
+            zone_moves: 0,
+            junction_crossings: 0,
+        })
+    }
+
+    /// The fold's makespan so far: the latest per-trap clock, µs.
+    pub fn makespan_us(&self) -> f64 {
+        self.clock.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Per-trap device clocks so far, µs.
+    ///
+    /// ASAP lowering is monotone in these (every event start is a max over
+    /// a subset of clocks and availabilities), so a state whose clocks and
+    /// availabilities are all ≤ another's can only produce an equal or
+    /// earlier makespan for any shared suffix — the comparison a local
+    /// rewrite optimizer needs to accept a candidate without re-lowering
+    /// the whole tail.
+    pub fn trap_clocks(&self) -> &[f64] {
+        &self.clock
+    }
+
+    /// Per-qubit availability times so far, µs.
+    pub fn ion_avail(&self) -> &[f64] {
+        &self.avail
+    }
+
+    /// The replayed machine state after every operation advanced so far.
+    pub fn machine(&self) -> &MachineState {
+        &self.state
+    }
+
+    /// Transport rounds lowered so far (the fold's shuttle depth).
+    pub fn shuttle_depth(&self) -> usize {
+        self.shuttle_depth
+    }
+
+    /// Advances the fold through one chunk of operations, appending the
+    /// timed events to `events`.
+    ///
+    /// With `Some(rounds)`, the chunk's shuttle operations are grouped into
+    /// exactly those rounds (in order, none spanning a gate, none left
+    /// over); with `None`, each shuttle op becomes one synthetic single-hop
+    /// round. A gate-free run must not be split across `advance` calls
+    /// mid-round; splitting at round boundaries is fine.
+    ///
+    /// On error the state is left partially advanced and must be discarded.
+    ///
+    /// # Errors
+    ///
+    /// As [`lower`]; `op_index` in [`LowerError::TransportMismatch`] is
+    /// relative to this chunk's `ops`.
+    pub fn advance(
+        &mut self,
+        ops: &[Operation],
+        transport: Option<&[TransportRound]>,
+        circuit: &Circuit,
+        spec: &MachineSpec,
+        events: &mut Vec<TimelineEvent>,
+    ) -> Result<(), LowerError> {
+        let topology = spec.topology();
+        let model = self.model;
+        let mut round_idx = 0usize;
+        let mut i = 0usize;
+        while i < ops.len() {
+            match ops[i] {
+                Operation::Gate { gate, trap } => {
+                    let g = circuit.gate(gate);
+                    let t = trap.index();
+                    // Multi-zone traps: operands outside the gate zone need an
+                    // explicit timed reorder first. Promoting one operand to
+                    // the chain front shifts the others back, so it can push an
+                    // already-checked operand out again — iterate until every
+                    // operand is *simultaneously* gate-ready (the gate zone
+                    // holds ≥ 2 ions by validation, so this settles in at most
+                    // a few passes). Never fires under the default single-zone
+                    // layout.
+                    if !spec.zone_layout().is_single() {
+                        loop {
+                            let mut promoted = false;
+                            for q in g.qubits.iter() {
+                                let ion = IonId::from(q);
+                                if self.state.promote_to_gate_zone(ion) {
+                                    let start = self.clock[t].max(self.avail[ion.index()]);
+                                    let end = start + model.zone_move_us();
+                                    self.clock[t] = end;
+                                    self.avail[ion.index()] = end;
+                                    self.zone_moves += 1;
+                                    events.push(TimelineEvent::ZoneMove {
                                         ion,
-                                        from,
-                                        to,
-                                        src_occupancy,
-                                        junctions,
+                                        trap,
+                                        start_us: start,
+                                        end_us: end,
                                     });
-                                    progressed = true;
+                                    promoted = true;
                                 }
-                                Err(MachineError::TrapFull { .. }) => still.push((ion, from, to)),
-                                Err(e) => return Err(LowerError::Machine(e)),
                             }
-                        }
-                        if !progressed {
-                            return Err(LowerError::StalledRound {
-                                round: shuttle_depth,
-                            });
-                        }
-                        pending = still;
-                    }
-
-                    // ASAP timing: the round starts when every member trap
-                    // is free and every member ion's dependencies resolved;
-                    // it lasts its critical-path hop.
-                    let mut involved: Vec<usize> = Vec::with_capacity(2 * members.len());
-                    for &(_, from, to) in &members {
-                        for t in [from.index(), to.index()] {
-                            if !involved.contains(&t) {
-                                involved.push(t);
+                            if !promoted {
+                                break;
                             }
                         }
                     }
-                    let tau = timed
+                    let chain_len = self.state.occupancy(trap);
+                    let tau = match g.qubits {
+                        GateQubits::One(_) => model.one_qubit_gate_us(),
+                        GateQubits::Two(_, _) => model.two_qubit_gate_us(chain_len),
+                    };
+                    let start = g
+                        .qubits
                         .iter()
-                        .map(|m| model.hop_us(m.junctions))
-                        .fold(0.0f64, f64::max);
-                    let start = members
-                        .iter()
-                        .map(|&(ion, _, _)| avail[ion.index()])
-                        .chain(involved.iter().map(|&t| clock[t]))
-                        .fold(0.0f64, f64::max);
+                        .map(|q| self.avail[q.index()])
+                        .fold(self.clock[t], f64::max);
                     let end = start + tau;
-                    for &(ion, _, _) in &members {
-                        avail[ion.index()] = end;
+                    self.clock[t] = end;
+                    for q in g.qubits.iter() {
+                        self.avail[q.index()] = end;
                     }
-                    for &t in &involved {
-                        clock[t] = end;
-                    }
-                    shuttles += members.len();
-                    shuttle_depth += 1;
-                    consumed += members.len();
-                    events.push(TimelineEvent::TransportRound {
-                        moves: timed,
-                        involved: involved.into_iter().map(|t| TrapId(t as u32)).collect(),
+                    self.gates += 1;
+                    events.push(TimelineEvent::Gate {
+                        gate,
+                        trap,
+                        chain_len,
                         start_us: start,
                         end_us: end,
                     });
+                    i += 1;
                 }
-                i = run_start + run_len;
+                Operation::Shuttle { .. } => {
+                    // The gate-free run of consecutive shuttle ops starting here.
+                    let run_start = i;
+                    let mut run_len = 0usize;
+                    while matches!(
+                        ops.get(run_start + run_len),
+                        Some(Operation::Shuttle { .. })
+                    ) {
+                        run_len += 1;
+                    }
+                    // Multiset of the run's moves still awaiting a round.
+                    let mut remaining: Vec<Option<(IonId, TrapId, TrapId)>> = ops
+                        [run_start..run_start + run_len]
+                        .iter()
+                        .map(|op| match *op {
+                            Operation::Shuttle { ion, from, to } => Some((ion, from, to)),
+                            Operation::Gate { .. } => unreachable!("run members are shuttles"),
+                        })
+                        .collect();
+                    let mut consumed = 0usize;
+                    while consumed < run_len {
+                        // This round's member moves: from the transport
+                        // schedule, or one synthetic single-hop round.
+                        let members: Vec<(IonId, TrapId, TrapId)> = match transport {
+                            None => {
+                                let m = remaining[consumed].take().expect("consumed in order");
+                                vec![m]
+                            }
+                            Some(rounds) => {
+                                let round =
+                                    rounds.get(round_idx).ok_or(LowerError::TransportMismatch {
+                                        op_index: run_start + consumed,
+                                    })?;
+                                if round.moves.is_empty() {
+                                    return Err(LowerError::TransportMismatch {
+                                        op_index: run_start + consumed,
+                                    });
+                                }
+                                round_idx += 1;
+                                let mut taken = Vec::with_capacity(round.moves.len());
+                                for m in &round.moves {
+                                    let want = (m.ion, m.from, m.to);
+                                    let slot = remaining
+                                        .iter_mut()
+                                        .find(|slot| **slot == Some(want))
+                                        .ok_or(LowerError::TransportMismatch {
+                                            op_index: run_start + consumed,
+                                        })?;
+                                    *slot = None;
+                                    taken.push(want);
+                                }
+                                taken
+                            }
+                        };
+
+                        // Apply the members with departures-first retry: a move
+                        // blocked by a full trap waits for a same-round
+                        // departure to free it. In-order rounds (the strict
+                        // packers) always apply on the first pass, preserving
+                        // the historical per-move occupancy reads.
+                        let mut timed: Vec<TimedMove> = Vec::with_capacity(members.len());
+                        let mut pending: Vec<(IonId, TrapId, TrapId)> = members.clone();
+                        while !pending.is_empty() {
+                            let mut progressed = false;
+                            let mut still: Vec<(IonId, TrapId, TrapId)> = Vec::new();
+                            for (ion, from, to) in pending {
+                                let src_occupancy = self.state.occupancy(from);
+                                match self.state.shuttle(ion, to) {
+                                    Ok(()) => {
+                                        let junctions =
+                                            TimingModel::junctions_crossed(topology, from, to);
+                                        self.junction_crossings += junctions as usize;
+                                        timed.push(TimedMove {
+                                            ion,
+                                            from,
+                                            to,
+                                            src_occupancy,
+                                            junctions,
+                                        });
+                                        progressed = true;
+                                    }
+                                    Err(MachineError::TrapFull { .. }) => {
+                                        still.push((ion, from, to))
+                                    }
+                                    Err(e) => return Err(LowerError::Machine(e)),
+                                }
+                            }
+                            if !progressed {
+                                return Err(LowerError::StalledRound {
+                                    round: self.shuttle_depth,
+                                });
+                            }
+                            pending = still;
+                        }
+
+                        // ASAP timing: the round starts when every member trap
+                        // is free and every member ion's dependencies resolved;
+                        // it lasts its critical-path hop.
+                        let mut involved: Vec<usize> = Vec::with_capacity(2 * members.len());
+                        for &(_, from, to) in &members {
+                            for t in [from.index(), to.index()] {
+                                if !involved.contains(&t) {
+                                    involved.push(t);
+                                }
+                            }
+                        }
+                        let tau = timed
+                            .iter()
+                            .map(|m| model.hop_us(m.junctions))
+                            .fold(0.0f64, f64::max);
+                        let start = members
+                            .iter()
+                            .map(|&(ion, _, _)| self.avail[ion.index()])
+                            .chain(involved.iter().map(|&t| self.clock[t]))
+                            .fold(0.0f64, f64::max);
+                        let end = start + tau;
+                        for &(ion, _, _) in &members {
+                            self.avail[ion.index()] = end;
+                        }
+                        for &t in &involved {
+                            self.clock[t] = end;
+                        }
+                        self.shuttles += members.len();
+                        self.shuttle_depth += 1;
+                        consumed += members.len();
+                        events.push(TimelineEvent::TransportRound {
+                            moves: timed,
+                            involved: involved.into_iter().map(|t| TrapId(t as u32)).collect(),
+                            start_us: start,
+                            end_us: end,
+                        });
+                    }
+                    i = run_start + run_len;
+                }
             }
         }
-    }
-    if let Some(t) = transport {
-        if round_idx != t.rounds.len() {
-            return Err(LowerError::TransportMismatch {
-                op_index: ops.len(),
-            });
+        if let Some(rounds) = transport {
+            if round_idx != rounds.len() {
+                return Err(LowerError::TransportMismatch {
+                    op_index: ops.len(),
+                });
+            }
         }
+        Ok(())
     }
 
-    let makespan_us = clock.iter().copied().fold(0.0f64, f64::max);
-    Ok(Timeline {
-        events,
-        makespan_us,
-        gates,
-        shuttles,
-        shuttle_depth,
-        zone_moves,
-        junction_crossings,
-    })
+    /// Finishes the fold, packaging the accumulated `events` and counters
+    /// into a [`Timeline`].
+    pub fn finish(self, events: Vec<TimelineEvent>) -> Timeline {
+        let makespan_us = self.makespan_us();
+        Timeline {
+            events,
+            makespan_us,
+            gates: self.gates,
+            shuttles: self.shuttles,
+            shuttle_depth: self.shuttle_depth,
+            zone_moves: self.zone_moves,
+            junction_crossings: self.junction_crossings,
+        }
+    }
 }
 
 /// Errors raised by [`lower`].
@@ -396,6 +529,51 @@ mod tests {
         // Critical path: gate0 (100) + hop (165) + gate2 (3-ion chain, 105).
         let expect = model.two_qubit_gate_us(2) + model.hop_us(0) + model.two_qubit_gate_us(3);
         assert!((timeline.makespan_us - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunked_advance_is_bit_for_bit_identical_to_lower() {
+        let (c, spec, schedule) = two_trap_fixture();
+        let model = TimingModel::realistic();
+        let full = lower(&schedule, None, &c, &spec, &model).unwrap();
+        // Advance one operation at a time — the finest legal chunking for
+        // synthetic single-hop rounds.
+        let mut state = LowerState::new(&schedule.initial_mapping, &spec, &model).unwrap();
+        let mut events = Vec::new();
+        for op in &schedule.operations {
+            state
+                .advance(std::slice::from_ref(op), None, &c, &spec, &mut events)
+                .unwrap();
+        }
+        let chunked = state.finish(events);
+        assert_eq!(chunked, full, "chunked fold must equal the one-shot fold");
+    }
+
+    #[test]
+    fn checkpoint_clone_resumes_independently() {
+        let (c, spec, schedule) = two_trap_fixture();
+        let model = TimingModel::ideal();
+        let mut state = LowerState::new(&schedule.initial_mapping, &spec, &model).unwrap();
+        let mut events = Vec::new();
+        // Advance through the first two gates, checkpoint, then lower the
+        // suffix twice from the same checkpoint.
+        state
+            .advance(&schedule.operations[..2], None, &c, &spec, &mut events)
+            .unwrap();
+        let checkpoint = state.clone();
+        let prefix_events = events.clone();
+
+        let mut a = checkpoint.clone();
+        let mut ev_a = prefix_events.clone();
+        a.advance(&schedule.operations[2..], None, &c, &spec, &mut ev_a)
+            .unwrap();
+        let mut b = checkpoint;
+        let mut ev_b = prefix_events;
+        b.advance(&schedule.operations[2..], None, &c, &spec, &mut ev_b)
+            .unwrap();
+        let full = lower(&schedule, None, &c, &spec, &model).unwrap();
+        assert_eq!(a.finish(ev_a), full);
+        assert_eq!(b.finish(ev_b), full);
     }
 
     #[test]

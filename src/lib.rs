@@ -17,6 +17,10 @@
 //!   scheduler with per-trap/per-edge resource validation.
 //! * [`compiler`] — the paper's contribution: the shuttle-aware compiler with
 //!   baseline (Murali et al., ISCA'20) and optimized (this paper) policies.
+//! * [`pack`] — the timeline-driven transport optimizer: cross-gate round
+//!   packing and batched multi-commodity layer planning, rewriting a
+//!   compile result into a provably-equivalent one with lower timed
+//!   makespan.
 //! * [`sim`] — fidelity/timing simulator replaying compiled schedules on
 //!   their timed event timelines.
 //!
@@ -46,6 +50,7 @@ pub use qccd_circuit as circuit;
 pub use qccd_core as compiler;
 pub use qccd_flow as flow;
 pub use qccd_machine as machine;
+pub use qccd_pack as pack;
 pub use qccd_route as route;
 pub use qccd_sim as sim;
 pub use qccd_timing as timing;
@@ -55,7 +60,8 @@ pub mod prelude {
     pub use qccd_circuit::{Circuit, DependencyDag, Gate, GateId, Opcode, Qubit};
     pub use qccd_core::{compile, CompileResult, CompilerConfig};
     pub use qccd_machine::{IonId, MachineSpec, MachineState, Schedule, TrapId, ZoneLayout};
+    pub use qccd_pack::{compile_packed, pack, PackConfig, PackStats};
     pub use qccd_route::{RouterPolicy, TransportSchedule};
     pub use qccd_sim::{simulate, simulate_timed, simulate_transport, SimParams, SimReport};
-    pub use qccd_timing::{Timeline, TimingModel};
+    pub use qccd_timing::{LowerState, Timeline, TimingModel};
 }
