@@ -5,12 +5,13 @@
 //! ```
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
-//! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `all`.
+//! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `objective`,
+//! `all`.
 
 use qccd_bench::{
-    aggregate_random, lookahead_packing_gains, pack_gains, run_nisq_suite, run_random_suite,
-    run_timing_sweep, run_topology_router_sweep, standard_topologies, timed_compile, ComparisonRow,
-    RANDOM_SUITE_SEED,
+    aggregate_random, lookahead_packing_gains, objective_gains, pack_gains, run_nisq_suite,
+    run_random_suite, run_timing_sweep, run_topology_router_sweep, standard_topologies,
+    timed_compile, ComparisonRow, RANDOM_SUITE_SEED,
 };
 use qccd_circuit::generators::{paper_suite, random_suite};
 use qccd_core::{
@@ -34,7 +35,7 @@ fn main() {
                 i += 2;
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
-            | "timing" | "lookahead" | "pack" | "all" => {
+            | "timing" | "lookahead" | "pack" | "objective" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -72,6 +73,7 @@ fn main() {
         "timing" => timing(&spec, &params),
         "lookahead" => lookahead(&spec),
         "pack" => pack(&spec),
+        "objective" => objective(&spec),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -83,6 +85,7 @@ fn main() {
             timing(&spec, &params);
             lookahead(&spec);
             pack(&spec);
+            objective(&spec);
         }
         _ => unreachable!("validated above"),
     }
@@ -91,7 +94,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|all] [--per-size N]"
     );
     std::process::exit(2);
 }
@@ -210,6 +213,44 @@ fn pack(spec: &MachineSpec) {
     assert!(
         qaoa.packed_makespan_us < qaoa.lookahead_makespan_us,
         "QAOA packed makespan must strictly beat lookahead"
+    );
+    println!();
+}
+
+/// Timed compile-loop objective: the clock-objective pipeline against the
+/// default-objective packed stack (realistic device model). This doubles
+/// as the PR 5 acceptance gate: the chosen makespan must be <= packed on
+/// every paper benchmark (never-regress, by construction) and the clock
+/// candidate *strictly* lower on at least one — QAOA is the target.
+fn objective(spec: &MachineSpec) {
+    println!("## Timed compile-loop objective — clock vs packed (realistic timing)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>6} {:>7} {:>7} {:>9}",
+        "Benchmark", "PackMk(us)", "ClockMk(us)", "Gain(us)", "Ties", "Batch", "BHops", "Improved"
+    );
+    eprintln!("objective gains...");
+    let rows = objective_gains(&paper_suite(), spec);
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>9.1} {:>6} {:>7} {:>7} {:>9}",
+            r.name,
+            r.packed_makespan_us,
+            r.clock_makespan_us,
+            r.packed_makespan_us - r.clock_makespan_us,
+            r.clock_ties,
+            r.batched_layers,
+            r.batched_hops,
+            r.improved
+        );
+        assert!(
+            r.chosen_makespan_us <= r.packed_makespan_us,
+            "{}: the clock pipeline regressed the packed stack",
+            r.name
+        );
+    }
+    assert!(
+        rows.iter().any(|r| r.improved),
+        "the clock objective must strictly beat the packed stack on at least one benchmark"
     );
     println!();
 }

@@ -39,16 +39,21 @@ mod analysis;
 mod config;
 mod error;
 mod mapping;
+mod objective;
 mod policies;
 mod rebalance;
 mod scheduler;
 mod stats;
 
 pub use analysis::ScheduleAnalysis;
-pub use config::{CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, RebalancePolicy};
+pub use config::{
+    CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, Objective, RebalancePolicy,
+};
 pub use error::CompileError;
 pub use mapping::initial_mapping;
-pub use policies::{decide_direction, MoveDecision, MoveScores};
+pub use policies::{
+    decide_direction, decide_direction_open, DirectionChoice, MoveDecision, MoveScores,
+};
 pub use scheduler::{compile, compile_with_mapping, CompileResult};
 pub use stats::CompileStats;
 

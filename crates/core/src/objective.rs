@@ -1,0 +1,168 @@
+//! The clock objective's scoring harness: an incremental
+//! [`LowerState`] threaded through the compile loop.
+//!
+//! Under [`Objective::Clock`](crate::config::Objective::Clock) the
+//! scheduler commits every emitted operation into this fold (each shuttle
+//! as a synthetic single-hop round, exactly the transport-less
+//! [`lower`](qccd_timing::lower) fold), so at every open decision the
+//! *projected* makespan of each candidate is an O(candidate) speculative
+//! advance from the live checkpoint — never an O(n) re-lower. Chunked
+//! advancing is bit-for-bit equal to one whole-schedule `lower` call
+//! (property-tested in `qccd-timing`), so the fold's final makespan is
+//! exactly what a fresh `lower(schedule, None, ..)` of the committed
+//! schedule reports — the invariant the objective property tests pin.
+
+use qccd_circuit::Circuit;
+use qccd_machine::{InitialMapping, IonId, MachineSpec, Operation, TrapId, TrapTopology};
+use qccd_timing::{LowerError, LowerState, TimelineEvent, TimingModel};
+
+/// The threaded fold plus the timing model it scores under.
+#[derive(Debug, Clone)]
+pub(crate) struct ClockScorer {
+    state: LowerState,
+    model: TimingModel,
+    scratch: Vec<TimelineEvent>,
+}
+
+impl ClockScorer {
+    /// Starts the fold at time zero over `mapping`.
+    pub fn new(
+        mapping: &InitialMapping,
+        spec: &MachineSpec,
+        model: &TimingModel,
+    ) -> Result<Self, LowerError> {
+        Ok(ClockScorer {
+            state: LowerState::new(mapping, spec, model)?,
+            model: *model,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The scoring model (the compiler config's timing model).
+    pub fn model(&self) -> TimingModel {
+        self.model
+    }
+
+    /// Advances the fold through one committed operation. Errors are
+    /// compiler bugs (the machine state already accepted the operation),
+    /// surfaced as typed internal errors, never silent.
+    pub fn commit(
+        &mut self,
+        op: &Operation,
+        circuit: &Circuit,
+        spec: &MachineSpec,
+    ) -> Result<(), LowerError> {
+        self.scratch.clear();
+        self.state.advance(
+            std::slice::from_ref(op),
+            None,
+            circuit,
+            spec,
+            &mut self.scratch,
+        )
+    }
+
+    /// The fold's makespan so far, µs.
+    pub fn makespan_us(&self) -> f64 {
+        self.state.makespan_us()
+    }
+
+    /// Projected makespan after speculatively walking `ion` along the
+    /// inclusive trap path `path` from the live checkpoint. `None` when
+    /// the walk is illegal from here (e.g. a full trap on the way) — the
+    /// candidate needs evictions this score cannot price.
+    pub fn score_walk(
+        &self,
+        ion: IonId,
+        path: &[TrapId],
+        circuit: &Circuit,
+        spec: &MachineSpec,
+    ) -> Option<f64> {
+        let ops: Vec<Operation> = path
+            .windows(2)
+            .map(|w| Operation::Shuttle {
+                ion,
+                from: w[0],
+                to: w[1],
+            })
+            .collect();
+        self.state.score_ops(&ops, circuit, spec)
+    }
+}
+
+/// Relative timed weight of traversing the segment `a → b` under `model`,
+/// in sixteenths of a plain (junction-free) hop, never below 1 — the
+/// [`EdgeWeightFn`](qccd_route::EdgeWeightFn) the clock objective feeds
+/// the route planner so corridors price by device time, not unit hops.
+/// Junction-free topologies (the paper's linear machines) weigh every
+/// segment identically, reproducing unit-hop routing exactly.
+pub(crate) fn edge_weight(
+    model: &TimingModel,
+    topology: &TrapTopology,
+    a: TrapId,
+    b: TrapId,
+) -> u32 {
+    let base = model.hop_us(0);
+    if base <= 0.0 {
+        return 1;
+    }
+    let junctions = TimingModel::junctions_crossed(topology, a, b);
+    (((model.hop_us(junctions) / base) * 16.0).round() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_machine::TrapTopology;
+
+    #[test]
+    fn edge_weight_is_flat_on_linear_and_junction_heavy_on_grids() {
+        let model = TimingModel::realistic();
+        let line = TrapTopology::linear(4);
+        assert_eq!(edge_weight(&model, &line, TrapId(0), TrapId(1)), 16);
+        let grid = TrapTopology::grid(3, 3);
+        // Hopping into the grid centre crosses junction endpoints: the
+        // weighted cost must exceed a plain hop.
+        assert!(edge_weight(&model, &grid, TrapId(1), TrapId(4)) > 16);
+        // The ideal model prices junctions at nothing: flat everywhere.
+        let ideal = TimingModel::ideal();
+        assert_eq!(edge_weight(&ideal, &grid, TrapId(1), TrapId(4)), 16);
+    }
+
+    #[test]
+    fn scorer_commit_tracks_walks_and_speculation_is_free() {
+        use qccd_circuit::Circuit;
+        use qccd_machine::MachineSpec;
+
+        let spec = MachineSpec::linear(3, 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 6).unwrap();
+        let circuit = Circuit::new(6);
+        let model = TimingModel::realistic();
+        let mut scorer = ClockScorer::new(&mapping, &spec, &model).unwrap();
+        assert_eq!(scorer.makespan_us(), 0.0);
+
+        // Speculate a 2-hop walk, twice: identical projections, no drift.
+        let ion = IonId(0);
+        let path = [TrapId(0), TrapId(1), TrapId(2)];
+        let a = scorer.score_walk(ion, &path, &circuit, &spec).unwrap();
+        let b = scorer.score_walk(ion, &path, &circuit, &spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(scorer.makespan_us(), 0.0, "speculation never commits");
+
+        // Committing the walk lands exactly on the projection.
+        for w in path.windows(2) {
+            scorer
+                .commit(
+                    &Operation::Shuttle {
+                        ion,
+                        from: w[0],
+                        to: w[1],
+                    },
+                    &circuit,
+                    &spec,
+                )
+                .unwrap();
+        }
+        assert_eq!(scorer.makespan_us(), a);
+    }
+}

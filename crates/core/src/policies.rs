@@ -51,6 +51,21 @@ pub(crate) enum ProximityMetric {
     Gates,
 }
 
+/// A direction decision plus the §III-A tie information a timed objective
+/// needs: when the move scores tie, *both* orientations are genuinely open
+/// — the paper's text does not specify one — and `alternative` carries the
+/// orientation the excess-capacity fallback rejected, so a clock-driven
+/// compiler can re-arbitrate the tie on projected makespan instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectionChoice {
+    /// The decision the configured policy arrives at (ties broken by the
+    /// excess-capacity fallback, as always).
+    pub decision: MoveDecision,
+    /// The other orientation, present only when the future-ops move scores
+    /// tied and the decision was therefore open.
+    pub alternative: Option<MoveDecision>,
+}
+
 /// Decides which ion of the cross-trap gate at `pending[active_pos]` moves.
 ///
 /// `pending` is the planned execution order of the not-yet-executed gates
@@ -71,6 +86,22 @@ pub fn decide_direction(
     pending: &VecDeque<GateId>,
     active_pos: usize,
 ) -> MoveDecision {
+    decide_direction_open(policy, circuit, dag, state, pending, active_pos).decision
+}
+
+/// [`decide_direction`] with the tie surfaced: identical decision, plus
+/// the rejected orientation whenever the §III-A move scores tied (see
+/// [`DirectionChoice`]). The shuttle-count objective ignores the
+/// alternative; the clock objective scores both on the projected device
+/// clock.
+pub fn decide_direction_open(
+    policy: DirectionPolicy,
+    circuit: &Circuit,
+    dag: &DependencyDag,
+    state: &MachineState,
+    pending: &VecDeque<GateId>,
+    active_pos: usize,
+) -> DirectionChoice {
     let gate = circuit.gate(pending[active_pos]);
     let (qa, qb) = gate
         .two_qubit_operands()
@@ -79,33 +110,46 @@ pub fn decide_direction(
     let (trap_a, trap_b) = (state.trap_of(ion_a), state.trap_of(ion_b));
     assert_ne!(trap_a, trap_b, "gate operands are already co-located");
 
-    let scored = |metric: ProximityMetric, proximity: u32| -> MoveDecision {
+    let scored = |metric: ProximityMetric, proximity: u32| -> DirectionChoice {
         let scores = move_scores(
             circuit, dag, state, pending, active_pos, qa, qb, trap_a, trap_b, proximity, metric,
         );
         if scores.a_to_b > scores.b_to_a {
-            MoveDecision {
-                ion: ion_a,
-                from: trap_a,
-                to: trap_b,
+            DirectionChoice {
+                decision: MoveDecision {
+                    ion: ion_a,
+                    from: trap_a,
+                    to: trap_b,
+                },
+                alternative: None,
             }
         } else if scores.b_to_a > scores.a_to_b {
-            MoveDecision {
-                ion: ion_b,
-                from: trap_b,
-                to: trap_a,
+            DirectionChoice {
+                decision: MoveDecision {
+                    ion: ion_b,
+                    from: trap_b,
+                    to: trap_a,
+                },
+                alternative: None,
             }
         } else {
             // Tie: the paper does not specify; fall back to the
-            // excess-capacity rule, which both compilers share.
-            excess_capacity_direction(state, ion_a, ion_b, trap_a, trap_b)
+            // excess-capacity rule, which both compilers share — and
+            // surface the rejected orientation as an open alternative.
+            let decision = excess_capacity_direction(state, ion_a, ion_b, trap_a, trap_b);
+            let other = if decision.ion == ion_a { ion_b } else { ion_a };
+            DirectionChoice {
+                decision,
+                alternative: Some(decision.opposite(other)),
+            }
         }
     };
 
     match policy {
-        DirectionPolicy::ExcessCapacity => {
-            excess_capacity_direction(state, ion_a, ion_b, trap_a, trap_b)
-        }
+        DirectionPolicy::ExcessCapacity => DirectionChoice {
+            decision: excess_capacity_direction(state, ion_a, ion_b, trap_a, trap_b),
+            alternative: None,
+        },
         DirectionPolicy::FutureOps { proximity } => scored(ProximityMetric::Layers, proximity),
         DirectionPolicy::FutureOpsGateDistance { proximity } => {
             scored(ProximityMetric::Gates, proximity)
@@ -518,6 +562,57 @@ mod tests {
         );
         // EC(T0)=2 > EC(T1)=1: move ion 2 into T0 (same as baseline test).
         assert_eq!(d.ion, IonId(2));
+    }
+
+    #[test]
+    fn open_ties_surface_both_orientations() {
+        // No future gates: the scores tie, so the decision is open and the
+        // alternative is the opposite orientation of the EC choice.
+        let mut c = Circuit::new(5);
+        c.push_two_qubit(Opcode::Ms, Qubit(1), Qubit(2)).unwrap();
+        let spec = MachineSpec::linear(2, 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(
+            &spec,
+            vec![TrapId(0), TrapId(0), TrapId(1), TrapId(1), TrapId(1)],
+        )
+        .unwrap();
+        let state = MachineState::with_mapping(&spec, &mapping).unwrap();
+        let dag = c.dependency_dag();
+        let pending: VecDeque<GateId> = [GateId(0)].into_iter().collect();
+        let choice = decide_direction_open(
+            DirectionPolicy::FutureOps { proximity: 6 },
+            &c,
+            &dag,
+            &state,
+            &pending,
+            0,
+        );
+        let alt = choice.alternative.expect("scoreless gate ties");
+        assert_ne!(choice.decision.ion, alt.ion);
+        assert_eq!(choice.decision.from, alt.to);
+        assert_eq!(choice.decision.to, alt.from);
+
+        // A decisive score (the Fig. 4 setup) surfaces no alternative, and
+        // the EC policy never does.
+        let (c, dag, state, pending) = fig4();
+        let decisive = decide_direction_open(
+            DirectionPolicy::FutureOps { proximity: 6 },
+            &c,
+            &dag,
+            &state,
+            &pending,
+            0,
+        );
+        assert_eq!(decisive.alternative, None);
+        let ec = decide_direction_open(
+            DirectionPolicy::ExcessCapacity,
+            &c,
+            &dag,
+            &state,
+            &pending,
+            0,
+        );
+        assert_eq!(ec.alternative, None);
     }
 
     #[test]

@@ -40,6 +40,45 @@ pub(crate) fn choose_destination(
     }
 }
 
+/// The full *tie set* behind [`choose_destination`]: every candidate the
+/// policy considers equally good, in the policy's own deterministic order
+/// (the first entry is exactly what `choose_destination` returns).
+///
+/// Under [`RebalancePolicy::FromTrapZero`] the set is a singleton (the
+/// paper's T0-first scan is total). Under
+/// [`RebalancePolicy::NearestNeighbor`] it holds every non-full trap at
+/// the minimal topology distance, ascending by trap index — the paper's
+/// hash-table argmin is order-dependent there, i.e. the choice is *open*,
+/// and the clock objective re-arbitrates it on projected makespan.
+pub(crate) fn destination_candidates(
+    policy: RebalancePolicy,
+    state: &MachineState,
+    blocked: TrapId,
+    avoid: &[TrapId],
+) -> Vec<TrapId> {
+    let topology = state.spec().topology();
+    let candidates = topology
+        .traps()
+        .filter(|&t| t != blocked && !avoid.contains(&t) && !state.is_full(t));
+    match policy {
+        RebalancePolicy::FromTrapZero => candidates.min_by_key(|t| t.0).into_iter().collect(),
+        RebalancePolicy::NearestNeighbor => {
+            let mut scored: Vec<(u32, TrapId)> = candidates
+                .filter_map(|t| topology.distance(blocked, t).map(|d| (d, t)))
+                .collect();
+            scored.sort_by_key(|&(d, t)| (d, t.0));
+            let Some(&(best, _)) = scored.first() else {
+                return Vec::new();
+            };
+            scored
+                .into_iter()
+                .take_while(|&(d, _)| d == best)
+                .map(|(_, t)| t)
+                .collect()
+        }
+    }
+}
+
 /// Picks which ion leaves `blocked` toward `dest`.
 ///
 /// `pending` is the planned order of unexecuted gates — the max-score
@@ -245,6 +284,23 @@ mod tests {
         )
         .unwrap();
         assert_eq!(route.len() - 1, 1, "only 1 shuttle needed");
+    }
+
+    #[test]
+    fn destination_candidates_expose_the_tie_set() {
+        // Fig. 7: T3 and T5 are both 1 hop from blocked T4 — an open tie
+        // under nearest-neighbour; the first candidate is the
+        // choose_destination pick.
+        let state = fig7_state();
+        let ties = destination_candidates(RebalancePolicy::NearestNeighbor, &state, TrapId(4), &[]);
+        assert_eq!(ties, vec![TrapId(3), TrapId(5)]);
+        assert_eq!(
+            choose_destination(RebalancePolicy::NearestNeighbor, &state, TrapId(4), &[]),
+            Some(ties[0])
+        );
+        // The baseline's T0-first scan is total: a singleton.
+        let t0 = destination_candidates(RebalancePolicy::FromTrapZero, &state, TrapId(4), &[]);
+        assert_eq!(t0, vec![TrapId(0)]);
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! The compile loop: earliest-ready-gate-first scheduling with pluggable
 //! shuttle-direction, re-ordering, and re-balancing policies.
 
-use crate::config::{CompilerConfig, RebalancePolicy};
+use crate::config::{CompilerConfig, Objective, RebalancePolicy};
 use crate::error::CompileError;
 use crate::mapping::initial_mapping;
-use crate::policies::{decide_direction, MoveDecision};
-use crate::rebalance::{choose_destination, choose_ion, eviction_route};
+use crate::objective::{edge_weight, ClockScorer};
+use crate::policies::{decide_direction, decide_direction_open, MoveDecision};
+use crate::rebalance::{choose_destination, choose_ion, destination_candidates, eviction_route};
 use crate::stats::CompileStats;
 use qccd_circuit::{Circuit, DependencyDag, GateId, GateQubits, ReadySet};
+use qccd_flow::{route_commodities, Commodity};
 use qccd_machine::{InitialMapping, IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
 use qccd_route::{
-    plan_eviction, plan_route, route_budget, EdgeLoad, RouterPolicy, TransportSchedule,
+    plan_eviction_weighted, plan_route, plan_route_weighted, route_budget, EdgeLoad, RouterPolicy,
+    TransportSchedule,
 };
 use qccd_timing::Timeline;
 use std::collections::VecDeque;
@@ -35,6 +38,15 @@ pub struct CompileResult {
     /// scoring under the same model can reuse the timeline instead of
     /// re-lowering the whole schedule.
     pub timing: qccd_timing::TimingModel,
+    /// The clock objective's threaded fold result: the serial-round timed
+    /// makespan of the committed schedule under
+    /// [`timing`](CompileResult::timing), bit-for-bit equal to a fresh
+    /// transport-less `lower()` of `schedule` (the chunked fold *is* that
+    /// fold — the objective property tests pin the equality). `None`
+    /// under the default shuttle-count objective. Like the compile-time
+    /// counters, this describes the original compile and survives
+    /// [`with_transport`](CompileResult::with_transport) rewrites.
+    pub clock_serial_makespan_us: Option<f64>,
     /// Counters collected during compilation.
     pub stats: CompileStats,
 }
@@ -124,6 +136,16 @@ pub fn compile_with_mapping(
     let dag = circuit.dependency_dag();
     let ready = dag.ready_set();
     let pending: VecDeque<GateId> = dag.topological_order().into();
+    let clock = match config.objective {
+        Objective::Shuttles => None,
+        // The clock objective threads the transport-less lowering fold
+        // through the loop; every candidate at an open decision is scored
+        // by an O(candidate) speculative advance from this state.
+        Objective::Clock => Some(
+            ClockScorer::new(&mapping, spec, &config.timing)
+                .map_err(CompileError::InternalTimeline)?,
+        ),
+    };
     let mut scheduler = Scheduler {
         circuit,
         config,
@@ -135,8 +157,10 @@ pub fn compile_with_mapping(
         ops: Vec::with_capacity(circuit.len() * 2),
         stats: CompileStats::default(),
         in_rebalance: false,
+        clock,
     };
     scheduler.run()?;
+    let clock_serial_makespan_us = scheduler.clock.as_ref().map(ClockScorer::makespan_us);
     let schedule = Schedule::new(mapping, scheduler.ops);
     schedule
         .validate(circuit, spec)
@@ -171,6 +195,7 @@ pub fn compile_with_mapping(
         transport,
         timeline,
         timing: config.timing,
+        clock_serial_makespan_us,
         stats,
     })
 }
@@ -192,12 +217,26 @@ struct Scheduler<'a> {
     stats: CompileStats,
     /// Set while shuttles belong to a re-balancing eviction, for stats.
     in_rebalance: bool,
+    /// The clock objective's threaded lowering fold ([`Objective::Clock`]
+    /// only; `None` keeps every paper decision rule bit-for-bit).
+    clock: Option<ClockScorer>,
 }
 
 impl Scheduler<'_> {
     /// Maximum re-balancing recursion depth before declaring deadlock.
     fn depth_limit(&self) -> u32 {
         2 * self.state.spec().num_traps() + 4
+    }
+
+    /// Advances the clock fold through the operation just pushed onto
+    /// `self.ops` (no-op under the shuttle-count objective).
+    fn commit_clock(&mut self, op: Operation) -> Result<(), CompileError> {
+        if let Some(clock) = self.clock.as_mut() {
+            clock
+                .commit(&op, self.circuit, self.state.spec())
+                .map_err(CompileError::InternalTimeline)?;
+        }
+        Ok(())
     }
 
     fn run(&mut self) -> Result<(), CompileError> {
@@ -267,10 +306,12 @@ impl Scheduler<'_> {
                 self.state.trap_of(ia)
             }
         };
-        self.ops.push(Operation::Gate {
+        let gate_op = Operation::Gate {
             gate: gate_id,
             trap: exec_trap,
-        });
+        };
+        self.ops.push(gate_op);
+        self.commit_clock(gate_op)?;
         self.stats.gate_ops += 1;
         // Each retired gate ages the congestion picture: only traffic from
         // the recent past should price routes.
@@ -290,14 +331,7 @@ impl Scheduler<'_> {
             .expect("only two-qubit gates need shuttles");
         let (ia, ib) = (IonId::from(qa), IonId::from(qb));
 
-        let mut decision = decide_direction(
-            self.config.direction,
-            self.circuit,
-            &self.dag,
-            &self.state,
-            &self.pending,
-            pos,
-        );
+        let mut decision = self.decide(pos);
 
         // §III-B: if the favourable destination is full, try to hoist a
         // nearby ready gate whose own favourable move *leaves* that trap
@@ -310,14 +344,7 @@ impl Scheduler<'_> {
                 if self.state.trap_of(ia) == self.state.trap_of(ib) {
                     return Ok(());
                 }
-                decision = decide_direction(
-                    self.config.direction,
-                    self.circuit,
-                    &self.dag,
-                    &self.state,
-                    &self.pending,
-                    pos,
-                );
+                decision = self.decide(pos);
             }
         }
 
@@ -348,7 +375,222 @@ impl Scheduler<'_> {
         }
 
         let stationary = if decision.ion == ia { ib } else { ia };
+        // Clock objective: plan the window's open moves as one batched
+        // multi-commodity layer (PR 4 measured that these decisions are
+        // closed by the time a post-compile pass sees them).
+        if self.try_batched_move(pos, decision, stationary)? {
+            return Ok(());
+        }
         self.move_ion(decision, stationary)
+    }
+
+    /// Directs the cross-trap gate at `pending[pos]`. The configured
+    /// policy decides as always; under the clock objective a *tied*
+    /// §III-A move score — the one case the paper leaves open — is broken
+    /// on projected makespan instead of the excess-capacity fallback:
+    /// both orientations' planned walks are speculatively lowered from
+    /// the live fold and the earlier projected clock wins. Infeasible
+    /// walks (evictions needed) score as unboundedly late; a projected
+    /// dead heat keeps the excess-capacity choice, so the tie-break is
+    /// deterministic.
+    fn decide(&mut self, pos: usize) -> MoveDecision {
+        let choice = decide_direction_open(
+            self.config.direction,
+            self.circuit,
+            &self.dag,
+            &self.state,
+            &self.pending,
+            pos,
+        );
+        let (Some(alt), Some(clock)) = (choice.alternative, self.clock.as_ref()) else {
+            return choice.decision;
+        };
+        let model = clock.model();
+        let score = |d: &MoveDecision| -> Option<f64> {
+            let topology = self.state.spec().topology();
+            let weight = |a: TrapId, b: TrapId| edge_weight(&model, topology, a, b);
+            let plan = plan_route_weighted(
+                self.config.router,
+                &self.state,
+                d.from,
+                d.to,
+                &self.edge_load,
+                Some(&weight),
+            )?;
+            if self.state.is_full(d.to) || plan.full_interior_traps > 0 {
+                return None; // needs evictions the walk cannot price
+            }
+            clock.score_walk(d.ion, &plan.path, self.circuit, self.state.spec())
+        };
+        let decided = match (score(&choice.decision), score(&alt)) {
+            (Some(a), Some(b)) if b < a => Some(alt),
+            (None, Some(_)) => Some(alt),
+            _ => None,
+        };
+        match decided {
+            Some(alt) => {
+                self.stats.clock_ties += 1;
+                alt
+            }
+            None => choice.decision,
+        }
+    }
+
+    /// Upper bound on the movers one batched layer plans jointly.
+    const BATCH_LIMIT: usize = 8;
+
+    /// Clock objective: plans the active move *together with* the
+    /// favourable moves of other ready cross-trap gates in the window as
+    /// one multi-commodity flow ([`route_commodities`]) over timed edge
+    /// costs, and emits the routed walks layer by layer — the k-th hops
+    /// of all commodities side by side, exactly the shape the round
+    /// packers turn into wide rounds. Returns `Ok(false)` (and changes
+    /// nothing) whenever batching does not apply: shuttle-count
+    /// objective, fewer than two unblocked movers, or a rewrite that does
+    /// not replay legally — the one-move-at-a-time path with its eviction
+    /// machinery is the fallback.
+    fn try_batched_move(
+        &mut self,
+        pos: usize,
+        decision: MoveDecision,
+        stationary: IonId,
+    ) -> Result<bool, CompileError> {
+        let Some(clock) = self.clock.as_ref() else {
+            return Ok(false);
+        };
+        let model = clock.model();
+        let topology = self.state.spec().topology();
+
+        // The active mover plus every ready cross-trap gate in the window
+        // whose favourable move is unblocked. Claimed ions (gate operands
+        // of already-batched gates) stay put so each batched gate finds
+        // its operands where the plan leaves them.
+        let mut movers: Vec<(IonId, TrapId, TrapId)> =
+            vec![(decision.ion, decision.from, decision.to)];
+        let mut claimed: Vec<IonId> = vec![decision.ion, stationary];
+        let end = (pos + 1 + Self::REORDER_WINDOW).min(self.pending.len());
+        for p in (pos + 1)..end {
+            if movers.len() >= Self::BATCH_LIMIT {
+                break;
+            }
+            let gid = self.pending[p];
+            if !self.ready.is_ready(gid) {
+                continue;
+            }
+            let Some((xa, xb)) = self.circuit.gate(gid).two_qubit_operands() else {
+                continue;
+            };
+            let (ja, jb) = (IonId::from(xa), IonId::from(xb));
+            if self.state.trap_of(ja) == self.state.trap_of(jb)
+                || claimed.contains(&ja)
+                || claimed.contains(&jb)
+            {
+                continue;
+            }
+            let d = decide_direction(
+                self.config.direction,
+                self.circuit,
+                &self.dag,
+                &self.state,
+                &self.pending,
+                p,
+            );
+            if self.state.is_full(d.to) {
+                continue;
+            }
+            movers.push((d.ion, d.from, d.to));
+            claimed.push(ja);
+            claimed.push(jb);
+        }
+        if movers.len() < 2 {
+            return Ok(false);
+        }
+
+        // Joint plan: pairwise edge-disjoint paths over timed edge costs
+        // (junction-aware), full destinations surcharged to steer the
+        // capacity-blind flow away from likely-illegal corridors.
+        let commodities: Vec<Commodity> = movers
+            .iter()
+            .map(|&(_, a, b)| Commodity {
+                source: a.index(),
+                sink: b.index(),
+            })
+            .collect();
+        let cost = |a: usize, b: usize| -> i64 {
+            let (ta, tb) = (TrapId(a as u32), TrapId(b as u32));
+            let mut c = i64::from(edge_weight(&model, topology, ta, tb));
+            if self.state.is_full(tb) {
+                c += 1_000;
+            }
+            c
+        };
+        let routed = route_commodities(topology.adjacency(), &commodities, cost);
+
+        // Per-commodity fallback to the full-free shortest path; a mover
+        // with no full-free route is dropped (the active mover aborts the
+        // whole batch — its evictions belong to the solo machinery).
+        let full_free = |path: &[TrapId], to: TrapId| {
+            path.iter()
+                .all(|&t| t == to || t == path[0] || !self.state.is_full(t))
+        };
+        let mut walks: Vec<(IonId, Vec<TrapId>)> = Vec::with_capacity(movers.len());
+        for (k, route) in routed.into_iter().enumerate() {
+            let (ion, from, to) = movers[k];
+            let path = route
+                .map(|p| p.into_iter().map(|t| TrapId(t as u32)).collect::<Vec<_>>())
+                .filter(|p| full_free(p, to))
+                .or_else(|| {
+                    topology.shortest_path_filtered(from, to, |t| t == to || !self.state.is_full(t))
+                });
+            match path {
+                Some(p) => walks.push((ion, p)),
+                None if k == 0 => return Ok(false),
+                None => {}
+            }
+        }
+        if walks.len() < 2 {
+            return Ok(false);
+        }
+
+        // Legalize by replay on a scratch state: sweep layer by layer,
+        // each walk advancing one hop per sweep where capacity allows
+        // (an eviction-shaped interleave resolves itself this way). A
+        // sweep without progress means the rewrite cannot be serialized —
+        // abort with nothing emitted.
+        let mut replay = self.state.clone();
+        let mut cursor = vec![0usize; walks.len()];
+        let mut emitted: Vec<(IonId, TrapId)> = Vec::new();
+        loop {
+            let mut progressed = false;
+            let mut outstanding = false;
+            for (c, (ion, path)) in walks.iter().enumerate() {
+                if cursor[c] + 1 >= path.len() {
+                    continue;
+                }
+                outstanding = true;
+                let to = path[cursor[c] + 1];
+                if replay.shuttle(*ion, to).is_ok() {
+                    emitted.push((*ion, to));
+                    cursor[c] += 1;
+                    progressed = true;
+                }
+            }
+            if !outstanding {
+                break;
+            }
+            if !progressed {
+                return Ok(false);
+            }
+        }
+
+        // Commit through the normal hop path (stats, edge load, fold).
+        self.stats.batched_layers += 1;
+        self.stats.batched_hops += emitted.len();
+        for (ion, to) in emitted {
+            self.hop(ion, to)?;
+        }
+        debug_assert_eq!(self.state.trap_of(decision.ion), decision.to);
+        Ok(true)
     }
 
     /// Moves `decision.ion` hop-by-hop to `decision.to` along planner
@@ -388,12 +630,29 @@ impl Scheduler<'_> {
             // every detour costs more than the eviction.
             // Routes only come back `None` on a disconnected topology
             // (fullness never severs reachability, only prices it).
-            let plan = plan_route(self.config.router, &self.state, cur, dest, &self.edge_load)
-                .ok_or(CompileError::Unreachable {
-                    ion,
-                    from: start,
-                    to: dest,
-                })?;
+            // The clock objective prices segments by timed duration
+            // (junction-aware) instead of unit hops.
+            let plan = match self.clock.as_ref() {
+                Some(clock) => {
+                    let model = clock.model();
+                    let topology = self.state.spec().topology();
+                    let weight = |a: TrapId, b: TrapId| edge_weight(&model, topology, a, b);
+                    plan_route_weighted(
+                        self.config.router,
+                        &self.state,
+                        cur,
+                        dest,
+                        &self.edge_load,
+                        Some(&weight),
+                    )
+                }
+                None => plan_route(self.config.router, &self.state, cur, dest, &self.edge_load),
+            }
+            .ok_or(CompileError::Unreachable {
+                ion,
+                from: start,
+                to: dest,
+            })?;
             let next = plan.path[1];
             let mut attempts = 0u32;
             while self.state.is_full(next) {
@@ -420,7 +679,9 @@ impl Scheduler<'_> {
         let from = self.state.trap_of(ion);
         self.state.shuttle(ion, to)?;
         self.edge_load.record(from, to);
-        self.ops.push(Operation::Shuttle { ion, from, to });
+        let op = Operation::Shuttle { ion, from, to };
+        self.ops.push(op);
+        self.commit_clock(op)?;
         self.stats.shuttles += 1;
         if self.in_rebalance {
             self.stats.rebalance_shuttles += 1;
@@ -454,25 +715,40 @@ impl Scheduler<'_> {
         avoid: &[TrapId],
     ) -> Result<(), CompileError> {
         self.stats.rebalances += 1;
+        // Clock objective: when several destinations are equally near —
+        // the paper's hash-table argmin is order-dependent there, i.e.
+        // the choice is open — break the tie on projected makespan by
+        // speculatively lowering each candidate's eviction walk from the
+        // live fold. `None` (no tie, or no scorable candidate) falls
+        // through to the standard machinery.
+        let clock_pick = self.clock_eviction(blocked, keep, avoid);
         // The avoid list is a preference (keep space in the active move's
         // endpoints); when it excludes every candidate — easy on 2-3-trap
         // machines — relax it rather than deadlock.
         let priced = match (self.config.router, self.config.rebalance) {
+            _ if clock_pick.is_some() => clock_pick,
             (RouterPolicy::Congestion { full_trap_penalty }, RebalancePolicy::NearestNeighbor) => {
-                plan_eviction(
+                let weight_hook = self.clock.as_ref().map(ClockScorer::model);
+                let topology = self.state.spec().topology();
+                let weight = weight_hook
+                    .map(|model| move |a: TrapId, b: TrapId| edge_weight(&model, topology, a, b));
+                let weight = weight.as_ref().map(|w| w as &dyn Fn(TrapId, TrapId) -> u32);
+                plan_eviction_weighted(
                     &self.state,
                     blocked,
                     avoid,
                     &self.edge_load,
                     full_trap_penalty,
+                    weight,
                 )
                 .or_else(|| {
-                    plan_eviction(
+                    plan_eviction_weighted(
                         &self.state,
                         blocked,
                         &[],
                         &self.edge_load,
                         full_trap_penalty,
+                        weight,
                     )
                 })
             }
@@ -515,6 +791,52 @@ impl Scheduler<'_> {
         let result = self.walk_eviction(ion, route, keep);
         self.in_rebalance = was_in_rebalance;
         result
+    }
+
+    /// Clock objective's re-balancing destination tie-break: scores every
+    /// destination in the policy's tie set (see [`destination_candidates`])
+    /// by speculatively lowering its eviction walk — the policy-selected
+    /// ion along a full-free (else policy) route — from the live fold, and
+    /// returns the destination+route with the earliest projected clock.
+    /// `None` when there is no open tie, no scorer, or nothing scores (a
+    /// walk needing cascade-clears cannot be priced speculatively): the
+    /// standard machinery then decides exactly as it always has.
+    fn clock_eviction(
+        &mut self,
+        blocked: TrapId,
+        keep: &[IonId],
+        avoid: &[TrapId],
+    ) -> Option<(TrapId, Vec<TrapId>)> {
+        let clock = self.clock.as_ref()?;
+        let candidates = destination_candidates(self.config.rebalance, &self.state, blocked, avoid);
+        if candidates.len() < 2 {
+            return None;
+        }
+        let topology = self.state.spec().topology();
+        let mut best: Option<(f64, TrapId, Vec<TrapId>)> = None;
+        for dest in candidates {
+            let ion = choose_ion(
+                self.config.ion_selection,
+                self.circuit,
+                &self.state,
+                &self.pending,
+                blocked,
+                dest,
+                keep,
+            )?;
+            let route = topology
+                .shortest_path_filtered(blocked, dest, |t| t == dest || !self.state.is_full(t))
+                .or_else(|| eviction_route(self.config.rebalance, topology, blocked, dest))?;
+            let Some(score) = clock.score_walk(ion, &route, self.circuit, self.state.spec()) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|&(b, _, _)| score < b) {
+                best = Some((score, dest, route));
+            }
+        }
+        let (_, dest, route) = best?;
+        self.stats.clock_ties += 1;
+        Some((dest, route))
     }
 
     /// Walks the evicted `ion` along `route` to its destination, cascade-

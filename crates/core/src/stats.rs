@@ -29,6 +29,16 @@ pub struct CompileStats {
     /// under the serial router (one hop per round); lower under the
     /// congestion router whenever independent hops share a round.
     pub transport_depth: usize,
+    /// Open decisions (tied §III-A direction scores, tied re-balancing
+    /// destinations) the clock objective re-arbitrated on projected
+    /// makespan. Always 0 under the shuttle-count objective.
+    pub clock_ties: usize,
+    /// Gate-free layers the clock objective planned as one batched
+    /// multi-commodity flow instead of one move at a time.
+    pub batched_layers: usize,
+    /// Shuttle hops emitted by batched layers (each also counts in
+    /// `shuttles`).
+    pub batched_hops: usize,
 }
 
 impl fmt::Display for CompileStats {
@@ -62,6 +72,9 @@ mod tests {
             rebalances: 2,
             opposite_direction_moves: 0,
             transport_depth: 8,
+            clock_ties: 0,
+            batched_layers: 0,
+            batched_hops: 0,
         };
         let text = s.to_string();
         assert!(text.contains("10 shuttles"));

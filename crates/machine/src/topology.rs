@@ -198,6 +198,13 @@ impl TrapTopology {
     pub fn traps(&self) -> impl Iterator<Item = TrapId> {
         (0..self.num_traps()).map(TrapId)
     }
+
+    /// The topology's interconnect as `qccd-flow`'s [`Adjacency`] graph —
+    /// the substrate the flow routines (multi-commodity routing, filtered
+    /// BFS) consume directly, so callers need not rebuild it edge by edge.
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adj
+    }
 }
 
 impl fmt::Display for TrapTopology {

@@ -99,10 +99,12 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
             "--policy",
             "--proximity",
             "--router",
+            "--objective",
         ],
         "each eval suite fixes its machine and circuits, and always runs \
-         the baseline-vs-optimized policy pair under both routers (use \
-         compile/simulate/sweep for custom setups; --timing composes)",
+         the baseline-vs-optimized policy pair under both routers plus the \
+         packed and clock-objective stacks (use compile/simulate/sweep for \
+         custom setups; --timing composes)",
     )?;
     let suite_name = opts
         .extra_values
@@ -169,6 +171,10 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
         .iter()
         .filter(|r| r.packed_timed_makespan_us < r.lookahead_timed_makespan_us)
         .count();
+    let clock_leq_packed = rows
+        .iter()
+        .all(|r| r.clock_timed_makespan_us <= r.packed_timed_makespan_us);
+    let clock_strict_wins = rows.iter().filter(|r| r.clock_stats.improved).count();
     let checks = EvalChecks {
         all_leq,
         congestion_leq,
@@ -176,6 +182,8 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
         timed_makespan_wins,
         packed_leq_lookahead,
         packed_strict_wins,
+        clock_leq_packed,
+        clock_strict_wins,
     };
 
     let report = match opts.format.as_str() {
@@ -203,6 +211,12 @@ struct EvalChecks {
     packed_leq_lookahead: bool,
     /// Benchmarks where packing *strictly* beat lookahead on the clock.
     packed_strict_wins: usize,
+    /// Clock-objective timed makespan ≤ packed on every benchmark (the
+    /// clock pipeline's never-regress guarantee, re-checked end to end).
+    clock_leq_packed: bool,
+    /// Benchmarks where the clock objective *strictly* beat the packed
+    /// stack on the device clock.
+    clock_strict_wins: usize,
 }
 
 fn render_text(
@@ -222,7 +236,7 @@ fn render_text(
         fig4.baseline_shuttles, fig4.optimized_shuttles
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>6} {:>12}\n",
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>12}\n",
         "Benchmark",
         "Qubits",
         "2Q gates",
@@ -234,13 +248,14 @@ fn render_text(
         "PkDep",
         "TMkspn(us)",
         "PkMkspn(us)",
+        "CkMkspn(us)",
         "SMkspn(us)",
         "Junc",
         "Fidelity gain"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>11.2}X\n",
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>11.2}X\n",
             r.name,
             r.qubits,
             r.two_qubit_gates,
@@ -252,6 +267,7 @@ fn render_text(
             r.packed_depth,
             r.transport_sim.timed_makespan_us,
             r.packed_sim.timed_makespan_us,
+            r.clock_sim.timed_makespan_us,
             r.optimized_sim.timed_makespan_us,
             r.transport_sim.junction_crossings,
             r.fidelity_improvement()
@@ -296,6 +312,19 @@ fn render_text(
         checks.packed_strict_wins,
         rows.len()
     ));
+    out.push_str(&format!(
+        "clock objective <= packed on every benchmark: {}\n",
+        if checks.clock_leq_packed {
+            "yes"
+        } else {
+            "NO — regression!"
+        }
+    ));
+    out.push_str(&format!(
+        "benchmarks where the clock objective strictly beat packed: {} of {}\n",
+        checks.clock_strict_wins,
+        rows.len()
+    ));
     out
 }
 
@@ -305,8 +334,8 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
          delta_percent,congestion_shuttles,transport_depth,packed_shuttles,packed_depth,\
          timing,serial_makespan_us,transport_makespan_us,serial_timed_makespan_us,\
          transport_timed_makespan_us,lookahead_timed_makespan_us,packed_timed_makespan_us,\
-         zone_moves,junction_crossings,fidelity_improvement,baseline_compile_s,\
-         optimized_compile_s\n",
+         clock_timed_makespan_us,zone_moves,junction_crossings,fidelity_improvement,\
+         baseline_compile_s,optimized_compile_s\n",
     );
     for r in rows {
         out.push_str(&csv_row(&[
@@ -328,6 +357,7 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
             format!("{:.3}", r.transport_sim.timed_makespan_us),
             format!("{:.3}", r.lookahead_timed_makespan_us),
             format!("{:.3}", r.packed_timed_makespan_us),
+            format!("{:.3}", r.clock_timed_makespan_us),
             r.transport_sim.zone_moves.to_string(),
             r.transport_sim.junction_crossings.to_string(),
             format!("{:.4}", r.fidelity_improvement()),
@@ -428,6 +458,24 @@ fn render_json(
                         ("program_fidelity", Json::Num(r.packed_sim.program_fidelity)),
                     ]),
                 ),
+                (
+                    "clock",
+                    Json::obj(vec![
+                        (
+                            "clock_timed_makespan_us",
+                            Json::Num(r.clock_timed_makespan_us),
+                        ),
+                        (
+                            "candidate_makespan_us",
+                            Json::Num(r.clock_stats.clock_makespan_us),
+                        ),
+                        ("clock_ties", Json::int(r.clock_stats.clock_ties)),
+                        ("batched_layers", Json::int(r.clock_stats.batched_layers)),
+                        ("batched_hops", Json::int(r.clock_stats.batched_hops)),
+                        ("improved", Json::Bool(r.clock_stats.improved)),
+                        ("program_fidelity", Json::Num(r.clock_sim.program_fidelity)),
+                    ]),
+                ),
             ])
         })
         .collect();
@@ -460,6 +508,11 @@ fn render_json(
         (
             "packed_strict_win_count",
             Json::int(checks.packed_strict_wins),
+        ),
+        ("all_clock_leq_packed", Json::Bool(checks.clock_leq_packed)),
+        (
+            "clock_strict_win_count",
+            Json::int(checks.clock_strict_wins),
         ),
     ]);
     let mut text = value.to_string();

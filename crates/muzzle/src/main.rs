@@ -21,8 +21,8 @@ mod spec;
 
 use output::Json;
 use qccd_core::{
-    compile, CompileResult, CompilerConfig, DirectionPolicy, RouterPolicy, ScheduleAnalysis,
-    TimingModel,
+    compile, CompileResult, CompilerConfig, DirectionPolicy, Objective, RouterPolicy,
+    ScheduleAnalysis, TimingModel,
 };
 use qccd_machine::MachineSpec;
 use qccd_sim::{simulate_timed, SimParams, SimReport};
@@ -72,6 +72,13 @@ POLICY OPTIONS:
                         (ideal reproduces the uniform-hop numbers exactly;
                         realistic charges linear-segment speed, junction
                         corner/swap time, and intra-trap zone moves)
+    --objective O       shuttles | clock           [default: shuttles]
+                        (shuttles is the paper's objective; clock scores
+                        direction/rebalance/layer decisions inside the
+                        compile loop on projected makespan under --timing,
+                        runs the packed transport stack on the result, and
+                        keeps it only when it beats the default-objective
+                        packed stack on the device clock — never regresses)
 
 OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
@@ -126,6 +133,7 @@ pub struct CommonOptions {
     pub proximity: Option<u32>,
     pub router: String,
     pub timing: String,
+    pub objective: String,
     pub format: String,
     pub out: Option<String>,
     /// Flags the subcommand recognises beyond the common set.
@@ -165,6 +173,7 @@ pub fn parse_common(
         proximity: None,
         router: "serial".to_owned(),
         timing: "ideal".to_owned(),
+        objective: "shuttles".to_owned(),
         format: "text".to_owned(),
         out: None,
         extra_flags: Vec::new(),
@@ -217,6 +226,13 @@ pub fn parse_common(
                 }
                 opts.timing = t;
             }
+            "--objective" => {
+                let o = next(&mut i, arg)?;
+                if o != "shuttles" && o != "clock" {
+                    return Err(format!("--objective must be shuttles or clock, got `{o}`"));
+                }
+                opts.objective = o;
+            }
             "--format" => {
                 let f = next(&mut i, arg)?;
                 if !["text", "json", "csv"].contains(&f.as_str()) {
@@ -254,12 +270,15 @@ pub fn parse_timing_model(timing: &str) -> TimingModel {
 ///
 /// `--proximity` tunes the future-ops scan and is meaningless for the
 /// baseline's excess-capacity rule, so that combination is rejected.
-/// `--router` and `--timing` compose with either policy.
+/// `--router`, `--timing` and `--objective` compose with either policy
+/// (`--objective clock` runs the full packed stack either way — see
+/// [`timed`]).
 pub fn build_config(
     policy: &str,
     proximity: Option<u32>,
     router: &str,
     timing: &str,
+    objective: &str,
 ) -> Result<CompilerConfig, String> {
     let (router, lookahead) = match router {
         "congestion" => (RouterPolicy::congestion(), false),
@@ -269,6 +288,10 @@ pub fn build_config(
         _ => (RouterPolicy::Serial, false),
     };
     let timing = parse_timing_model(timing);
+    let objective = match objective {
+        "clock" => Objective::Clock,
+        _ => Objective::Shuttles,
+    };
     if policy == "baseline" {
         if proximity.is_some() {
             return Err(
@@ -280,12 +303,14 @@ pub fn build_config(
         return Ok(CompilerConfig::baseline()
             .with_router(router)
             .with_lookahead(lookahead)
-            .with_timing(timing));
+            .with_timing(timing)
+            .with_objective(objective));
     }
     let mut config = CompilerConfig::optimized()
         .with_router(router)
         .with_lookahead(lookahead)
-        .with_timing(timing);
+        .with_timing(timing)
+        .with_objective(objective);
     if let Some(p) = proximity {
         config.direction = DirectionPolicy::FutureOps { proximity: p };
     }
@@ -359,6 +384,18 @@ fn compile_stats_json(result: &CompileResult, compile_s: f64) -> Json {
     ])
 }
 
+fn clock_stats_json(c: &qccd_pack::ClockStats) -> Json {
+    Json::obj(vec![
+        ("packed_makespan_us", Json::Num(c.packed_makespan_us)),
+        ("clock_makespan_us", Json::Num(c.clock_makespan_us)),
+        ("chosen_makespan_us", Json::Num(c.chosen_makespan_us)),
+        ("clock_ties", Json::int(c.clock_ties)),
+        ("batched_layers", Json::int(c.batched_layers)),
+        ("batched_hops", Json::int(c.batched_hops)),
+        ("improved", Json::Bool(c.improved)),
+    ])
+}
+
 fn pack_stats_json(p: &qccd_pack::PackStats) -> Json {
     Json::obj(vec![
         ("input_depth", Json::int(p.input_depth)),
@@ -372,23 +409,38 @@ fn pack_stats_json(p: &qccd_pack::PackStats) -> Json {
     ])
 }
 
-/// Compiles (and, for `--router packed`, runs the qccd-pack passes under
-/// the configured timing model via [`qccd_pack::compile_packed`]),
-/// measuring total wall-clock time.
+/// One compile through the selected stack, with wall-clock time:
+/// `--objective clock` runs the clock pipeline
+/// ([`qccd_pack::compile_clock`] — timed compile loop raced against the
+/// default packed stack), `--router packed` runs the qccd-pack passes
+/// ([`qccd_pack::compile_packed`]), anything else the plain compiler.
 fn timed(
     circuit: &qccd_circuit::Circuit,
     machine: &MachineSpec,
     config: &CompilerConfig,
     pack: bool,
-) -> Result<(CompileResult, Option<qccd_pack::PackStats>, f64), String> {
+) -> Result<
+    (
+        CompileResult,
+        Option<qccd_pack::PackStats>,
+        Option<qccd_pack::ClockStats>,
+        f64,
+    ),
+    String,
+> {
     let start = Instant::now();
+    if config.objective == Objective::Clock {
+        let (result, stats) =
+            qccd_pack::compile_clock(circuit, machine, config).map_err(|e| e.to_string())?;
+        return Ok((result, None, Some(stats), start.elapsed().as_secs_f64()));
+    }
     if pack {
         let (result, stats) =
             qccd_pack::compile_packed(circuit, machine, config).map_err(|e| e.to_string())?;
-        return Ok((result, Some(stats), start.elapsed().as_secs_f64()));
+        return Ok((result, Some(stats), None, start.elapsed().as_secs_f64()));
     }
     let result = compile(circuit, machine, config).map_err(|e| e.to_string())?;
-    Ok((result, None, start.elapsed().as_secs_f64()))
+    Ok((result, None, None, start.elapsed().as_secs_f64()))
 }
 
 // ---------------------------------------------------------------- compile
@@ -397,8 +449,14 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     let opts = parse_common(args, &[], &["--show-schedule", "--analyze"])?;
     let circuit = require_circuit(&opts)?;
     let machine = opts.machine.build()?;
-    let config = build_config(&opts.policy, opts.proximity, &opts.router, &opts.timing)?;
-    let (result, pack_stats, compile_s) =
+    let config = build_config(
+        &opts.policy,
+        opts.proximity,
+        &opts.router,
+        &opts.timing,
+        &opts.objective,
+    )?;
+    let (result, pack_stats, clock_stats, compile_s) =
         timed(&circuit.circuit, &machine, &config, opts.router == "packed")?;
 
     let mut report = String::new();
@@ -418,6 +476,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             ]);
             let value = match pack_stats {
                 Some(p) => value.with_field("pack", pack_stats_json(&p)),
+                None => value,
+            };
+            let value = match clock_stats {
+                Some(c) => value.with_field("clock", clock_stats_json(&c)),
                 None => value,
             };
             report.push_str(&value.to_string());
@@ -473,6 +535,17 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                     if p.improved { "" } else { "; no gain — kept lookahead" }
                 ));
             }
+            if let Some(c) = &clock_stats {
+                report.push_str(&format!(
+                    "clock    timed makespan {:.1} us packed -> {:.1} us ({} ties on the clock, {} batched layers / {} hops{})\n",
+                    c.packed_makespan_us,
+                    c.chosen_makespan_us,
+                    c.clock_ties,
+                    c.batched_layers,
+                    c.batched_hops,
+                    if c.improved { "" } else { "; no gain — kept packed" }
+                ));
+            }
             report.push_str(&format!("time     {compile_s:.4} s\n"));
         }
     }
@@ -514,7 +587,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let model = parse_timing_model(&opts.timing);
     let pack = opts.router == "packed";
     let run = |config: &CompilerConfig| -> Result<(CompileResult, SimReport), String> {
-        let (result, _, _) = timed(&circuit.circuit, &machine, config, pack)?;
+        let (result, _, _, _) = timed(&circuit.circuit, &machine, config, pack)?;
         let report = simulate_timed(
             &result.schedule,
             &result.transport,
@@ -533,12 +606,19 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &["--policy"],
             "--compare always runs both the baseline and optimized policies",
         )?;
-        let (_, base) = run(&build_config("baseline", None, &opts.router, &opts.timing)?)?;
+        let (_, base) = run(&build_config(
+            "baseline",
+            None,
+            &opts.router,
+            &opts.timing,
+            &opts.objective,
+        )?)?;
         let (_, opt) = run(&build_config(
             "optimized",
             opts.proximity,
             &opts.router,
             &opts.timing,
+            &opts.objective,
         )?)?;
         match opts.format.as_str() {
             "json" => {
@@ -587,7 +667,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
         }
     } else {
-        let config = build_config(&opts.policy, opts.proximity, &opts.router, &opts.timing)?;
+        let config = build_config(
+            &opts.policy,
+            opts.proximity,
+            &opts.router,
+            &opts.timing,
+            &opts.objective,
+        )?;
         let (_, sim) = run(&config)?;
         match opts.format.as_str() {
             "json" => {
@@ -680,8 +766,20 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         let (machine, base_cfg, opt_cfg) = match param.as_str() {
             "proximity" => (
                 opts.machine.build()?,
-                build_config("baseline", None, &opts.router, &opts.timing)?,
-                build_config("optimized", Some(value), &opts.router, &opts.timing)?,
+                build_config(
+                    "baseline",
+                    None,
+                    &opts.router,
+                    &opts.timing,
+                    &opts.objective,
+                )?,
+                build_config(
+                    "optimized",
+                    Some(value),
+                    &opts.router,
+                    &opts.timing,
+                    &opts.objective,
+                )?,
             ),
             "traps" => {
                 let mut m = MachineOptions {
@@ -693,8 +791,20 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 m.topology = opts.machine.topology.clone();
                 (
                     m.build()?,
-                    build_config("baseline", None, &opts.router, &opts.timing)?,
-                    build_config("optimized", opts.proximity, &opts.router, &opts.timing)?,
+                    build_config(
+                        "baseline",
+                        None,
+                        &opts.router,
+                        &opts.timing,
+                        &opts.objective,
+                    )?,
+                    build_config(
+                        "optimized",
+                        opts.proximity,
+                        &opts.router,
+                        &opts.timing,
+                        &opts.objective,
+                    )?,
                 )
             }
             other => {
@@ -703,13 +813,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 ))
             }
         };
-        let (base, _, _) = timed(
+        let (base, _, _, _) = timed(
             &circuit.circuit,
             &machine,
             &base_cfg,
             opts.router == "packed",
         )?;
-        let (opt, _, _) = timed(
+        let (opt, _, _, _) = timed(
             &circuit.circuit,
             &machine,
             &opt_cfg,

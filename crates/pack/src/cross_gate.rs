@@ -8,30 +8,33 @@
 //! gate-dense programs (QAOA's alternating gate/rebalance traffic) that is
 //! where almost all of the remaining transport depth lives.
 //!
-//! This packer rebuilds the round structure globally. Every hop first-fits
-//! into the earliest existing round that can *prove* the hoist safe:
+//! This packer rebuilds the round structure globally on the shared
+//! [`RoundBackfill`] core (`qccd-route`), instantiated with the rules that
+//! make cross-gate hoisting safe. Every hop first-fits into the earliest
+//! existing round that can *prove* the hoist legal:
 //!
 //! * **trap-disjointness** — for every gate between the candidate round
 //!   and the hop's original position, neither hop endpoint is the gate's
-//!   trap (`min_join` per trap). This simultaneously guarantees the gate's
-//!   operands are untouched (an operand ion's hop always touches the gate
-//!   trap) and that every gate still runs over an identical chain length;
+//!   trap (the core's `note_gate` fences). This simultaneously guarantees
+//!   the gate's operands are untouched (an operand ion's hop always
+//!   touches the gate trap) and that every gate still runs over an
+//!   identical chain length;
 //! * **per-ion order** — a hop joins a round strictly after its ion's
 //!   previous hop;
 //! * **machine round rules** — fresh segment, one split and one merge per
 //!   trap per round;
-//! * **no-credit capacity** — an arrival is only placed where the
-//!   destination has room *before* the round (`occ < cap`), never relying
-//!   on a same-round departure. This keeps every round's moves serially
-//!   replayable in any order, so the emitted flat schedule stays valid
-//!   under the strict serial validator and downstream consumers.
+//! * **no-credit capacity** ([`CreditRule::NoCredit`]) — an arrival is
+//!   only placed where the destination has room *before* the round, never
+//!   relying on a same-round departure. This keeps every round's moves
+//!   serially replayable in any order, so the emitted flat schedule stays
+//!   valid under the strict serial validator and downstream consumers.
 //!
 //! The result is a rewritten flat schedule plus a strict-validating
 //! transport schedule with the same gates in the same traps, the same
 //! per-ion hop sequences, and an identical final mapping.
 
-use qccd_machine::{Operation, Schedule, ShuttleMove, TrapId};
-use qccd_route::{TransportRound, TransportSchedule};
+use qccd_machine::{Operation, Schedule, ShuttleMove};
+use qccd_route::{BackfillRules, CreditRule, RoundBackfill, TransportRound, TransportSchedule};
 
 /// One rebuilt schedule + transport pair from the cross-gate packer.
 pub(crate) struct CrossGatePacked {
@@ -41,18 +44,6 @@ pub(crate) struct CrossGatePacked {
     pub transport: TransportSchedule,
     /// Hops that crossed at least one gate on their way into a round.
     pub hoisted_hops: usize,
-}
-
-/// One round under construction.
-struct RoundBuild {
-    moves: Vec<ShuttleMove>,
-    segments: Vec<(TrapId, TrapId)>,
-    /// Per-trap arrival (merge) count, 0 or 1.
-    arrivals: Vec<u8>,
-    /// Per-trap departure (split) count, 0 or 1.
-    departures: Vec<u8>,
-    /// Gates emitted when this round was opened (hoist accounting).
-    gates_at_creation: usize,
 }
 
 /// Event stream of the packed program: gates in original order, rounds at
@@ -77,106 +68,38 @@ pub(crate) fn pack_cross_gate(
     window: usize,
     share_only: bool,
 ) -> CrossGatePacked {
-    let num_ions = schedule.initial_mapping.num_ions() as usize;
     let mut occ0 = vec![0u32; num_traps];
     for t in schedule.initial_mapping.as_slice() {
         occ0[t.index()] += 1;
     }
 
-    let mut rounds: Vec<RoundBuild> = Vec::new();
-    // occ_before[r] = trap occupancies entering round r; one extra entry
-    // for "after the last round" (gates never change occupancy).
-    let mut occ_before: Vec<Vec<u32>> = vec![occ0];
-    // Rounds with an arrival at each trap, ascending (downstream capacity
-    // re-checks only visit these).
-    let mut arrival_rounds: Vec<Vec<usize>> = vec![Vec::new(); num_traps];
-    // A hop touching trap t may not join a round older than min_join[t]
-    // (set by every gate executed in t).
-    let mut min_join: Vec<usize> = vec![0; num_traps];
-    let mut last_round_of_ion: Vec<Option<usize>> = vec![None; num_ions];
+    let mut bf = RoundBackfill::new(
+        num_traps,
+        cap,
+        occ0,
+        BackfillRules {
+            credit: CreditRule::NoCredit,
+            share_only,
+            window,
+        },
+    );
     let mut events: Vec<Ev> = Vec::new();
-    let mut gates_emitted = 0usize;
     let mut hoisted_hops = 0usize;
 
     for op in &schedule.operations {
         match *op {
             Operation::Gate { trap, .. } => {
                 events.push(Ev::Gate { op: *op });
-                gates_emitted += 1;
-                min_join[trap.index()] = rounds.len();
+                bf.note_gate(trap);
             }
             Operation::Shuttle { ion, from, to } => {
-                let m = ShuttleMove { ion, from, to };
-                let seg = m.segment();
-                let (fi, ti) = (from.index(), to.index());
-                let lo = min_join[fi]
-                    .max(min_join[ti])
-                    .max(last_round_of_ion[ion.index()].map_or(0, |r| r + 1))
-                    .max(rounds.len().saturating_sub(window));
-                let mut chosen = None;
-                for r in lo..rounds.len() {
-                    let rb = &rounds[r];
-                    if rb.segments.contains(&seg)
-                        || rb.departures[fi] > 0
-                        || rb.arrivals[ti] > 0
-                        || occ_before[r][ti] >= cap
-                    {
-                        continue;
-                    }
-                    if share_only
-                        && rb.arrivals[fi] == 0
-                        && rb.departures[ti] == 0
-                        && !rb.moves.iter().any(|c| {
-                            let (cf, ct) = (c.from.index(), c.to.index());
-                            cf == fi || cf == ti || ct == fi || ct == ti
-                        })
-                    {
-                        continue;
-                    }
-                    // Downstream: the ion occupies `to` from round r on;
-                    // later rounds with an arrival there must keep room
-                    // under the no-credit rule (their single arrival needs
-                    // occ + 1 ≤ cap after our +1).
-                    let downstream_ok = arrival_rounds[ti]
-                        .iter()
-                        .filter(|&&s| s > r)
-                        .all(|&s| occ_before[s][ti] + 2 <= cap);
-                    if downstream_ok {
-                        chosen = Some(r);
-                        break;
-                    }
+                let placement = bf.place(ShuttleMove { ion, from, to });
+                if placement.opened {
+                    events.push(Ev::Round(placement.round));
                 }
-                let chosen = match chosen {
-                    Some(r) => r,
-                    None => {
-                        rounds.push(RoundBuild {
-                            moves: Vec::new(),
-                            segments: Vec::new(),
-                            arrivals: vec![0; num_traps],
-                            departures: vec![0; num_traps],
-                            gates_at_creation: gates_emitted,
-                        });
-                        occ_before.push(occ_before.last().expect("seeded").clone());
-                        events.push(Ev::Round(rounds.len() - 1));
-                        rounds.len() - 1
-                    }
-                };
-                if rounds[chosen].gates_at_creation < gates_emitted {
+                if placement.hoisted {
                     hoisted_hops += 1;
                 }
-                let rb = &mut rounds[chosen];
-                rb.moves.push(m);
-                rb.segments.push(seg);
-                rb.departures[fi] += 1;
-                rb.arrivals[ti] += 1;
-                let list = &mut arrival_rounds[ti];
-                let pos = list.partition_point(|&s| s < chosen);
-                list.insert(pos, chosen);
-                for occ in &mut occ_before[chosen + 1..] {
-                    occ[fi] -= 1;
-                    occ[ti] += 1;
-                }
-                last_round_of_ion[ion.index()] = Some(chosen);
             }
         }
     }
@@ -185,14 +108,15 @@ pub(crate) fn pack_cross_gate(
     // creation point. Under the no-credit rule any within-round order
     // replays serially, so insertion order is kept (it matches the strict
     // transport validator's in-order expectation by construction).
+    let rounds = bf.into_rounds();
     let mut ops = Vec::with_capacity(schedule.operations.len());
     let mut transport_rounds = Vec::with_capacity(rounds.len());
     for ev in events {
         match ev {
             Ev::Gate { op } => ops.push(op),
             Ev::Round(idx) => {
-                let rb = &rounds[idx];
-                for m in &rb.moves {
+                let moves = &rounds[idx];
+                for m in moves {
                     ops.push(Operation::Shuttle {
                         ion: m.ion,
                         from: m.from,
@@ -200,7 +124,7 @@ pub(crate) fn pack_cross_gate(
                     });
                 }
                 transport_rounds.push(TransportRound {
-                    moves: rb.moves.clone(),
+                    moves: moves.clone(),
                 });
             }
         }
@@ -218,7 +142,7 @@ pub(crate) fn pack_cross_gate(
 mod tests {
     use super::*;
     use qccd_circuit::GateId;
-    use qccd_machine::{InitialMapping, IonId, MachineSpec};
+    use qccd_machine::{InitialMapping, IonId, MachineSpec, TrapId};
 
     fn sh(ion: u32, from: u32, to: u32) -> Operation {
         Operation::Shuttle {

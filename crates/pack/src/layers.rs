@@ -21,7 +21,7 @@
 
 use crate::PackError;
 use qccd_circuit::Circuit;
-use qccd_flow::{route_commodities, Adjacency, Commodity};
+use qccd_flow::{route_commodities, Commodity};
 use qccd_machine::{IonId, MachineSpec, MachineState, Operation, Schedule, TrapId};
 use qccd_route::TransportSchedule;
 use qccd_timing::{LowerState, TimelineEvent, TimingModel};
@@ -52,17 +52,6 @@ pub(crate) fn plan_layers(
     spec: &MachineSpec,
     model: &TimingModel,
 ) -> Result<LayerPlanned, PackError> {
-    let topology = spec.topology();
-    let n = topology.num_traps() as usize;
-    let mut graph = Adjacency::new(n);
-    for t in topology.traps() {
-        for nb in topology.neighbors(t) {
-            if t.index() < nb.index() {
-                graph.add_edge(t.index(), nb.index());
-            }
-        }
-    }
-
     let mut lower = LowerState::new(&schedule.initial_mapping, spec, model)?;
     let mut scratch: Vec<TimelineEvent> = Vec::new();
     let mut ops: Vec<Operation> = Vec::with_capacity(schedule.operations.len());
@@ -103,7 +92,7 @@ pub(crate) fn plan_layers(
         }
         let run_rounds = &rounds[rounds_start..round_cursor];
 
-        let rewrite = rewrite_run(run_ops, lower.machine(), &graph, spec);
+        let rewrite = rewrite_run(run_ops, lower.machine(), spec);
         let chosen = match rewrite {
             Some(new_ops) if new_ops.len() <= run_ops.len() => {
                 // Score both variants from the same checkpoint; the
@@ -146,7 +135,6 @@ pub(crate) fn plan_layers(
 fn rewrite_run(
     run_ops: &[Operation],
     machine: &MachineState,
-    graph: &Adjacency,
     spec: &MachineSpec,
 ) -> Option<Vec<Operation>> {
     // Net displacement per ion, in first-touch order.
@@ -193,7 +181,7 @@ fn rewrite_run(
                 0
             }
     };
-    let routed = route_commodities(graph, &commodities, cost);
+    let routed = route_commodities(spec.topology().adjacency(), &commodities, cost);
 
     // Conflicting commodities fall back to the raw shortest path — they
     // simply pack opportunistically instead of deliberately.

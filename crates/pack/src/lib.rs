@@ -55,7 +55,7 @@ mod validate;
 use cross_gate::pack_cross_gate;
 use layers::plan_layers;
 use qccd_circuit::Circuit;
-use qccd_core::{compile, CompileError, CompileResult, CompilerConfig, RouterPolicy};
+use qccd_core::{compile, CompileError, CompileResult, CompilerConfig, Objective, RouterPolicy};
 use qccd_machine::{IonId, MachineSpec, Schedule};
 use qccd_route::{TransportError, TransportSchedule};
 use qccd_timing::{lower, LowerError, Timeline, TimingModel};
@@ -369,6 +369,93 @@ pub fn compile_packed(
     Ok((result, stats))
 }
 
+/// What the clock-objective pipeline did, and what it was worth.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClockStats {
+    /// Timed makespan of the default-objective packed stack (the bar the
+    /// clock objective has to beat), µs.
+    pub packed_makespan_us: f64,
+    /// Timed makespan of the clock-objective candidate after the same
+    /// packing passes, µs.
+    pub clock_makespan_us: f64,
+    /// Timed makespan of the chosen result
+    /// (`min(packed, clock)` — the pipeline never regresses), µs.
+    pub chosen_makespan_us: f64,
+    /// Open decisions the clock compile re-arbitrated on projected
+    /// makespan (direction-score ties + re-balancing destination ties).
+    pub clock_ties: usize,
+    /// Gate-free layers the clock compile planned as batched
+    /// multi-commodity flows.
+    pub batched_layers: usize,
+    /// Shuttle hops emitted by those batched layers.
+    pub batched_hops: usize,
+    /// `true` when the clock candidate strictly beat the packed stack on
+    /// the timed makespan and was adopted.
+    pub improved: bool,
+}
+
+/// Compiles `circuit` with the **clock objective** end to end: the
+/// timed compile loop (incremental [`LowerState`](qccd_timing::LowerState)
+/// scoring of direction ties, re-balancing destination ties, and batched
+/// multi-commodity layers — `qccd-core`'s [`Objective::Clock`]) on the
+/// packed transport stack, raced against the default-objective packed
+/// stack ([`compile_packed`]) under the same timing model. The result
+/// with the lower timed makespan wins; on a dead heat the
+/// default-objective result is kept, so the pipeline provably **never
+/// regresses** the packed stack (`--objective clock` in the CLI).
+///
+/// Both candidates are fully validated by their own pipelines (replay
+/// equivalence, strict transport rounds, timeline resources).
+///
+/// # Errors
+///
+/// As [`compile_packed`], for either candidate — a clock-objective
+/// compile or validation failure is a typed error, never a silent
+/// fallback.
+pub fn compile_clock(
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+) -> Result<(CompileResult, ClockStats), PackCompileError> {
+    let (base, _) = compile_packed(circuit, spec, &config.with_objective(Objective::Shuttles))?;
+    race_clock(base, circuit, spec, config)
+}
+
+/// [`compile_clock`] with the default-objective packed `base` supplied by
+/// the caller — for harnesses that already compiled the packed stack
+/// under the same `config`/timing model and should not pay for it twice.
+/// Only the clock-objective candidate is compiled here; the race and the
+/// never-regress guarantee are identical.
+///
+/// # Errors
+///
+/// As [`compile_packed`], for the clock candidate.
+pub fn race_clock(
+    base: CompileResult,
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+) -> Result<(CompileResult, ClockStats), PackCompileError> {
+    let (cand, _) = compile_packed(circuit, spec, &config.with_objective(Objective::Clock))?;
+    let (packed_makespan_us, clock_makespan_us) =
+        (base.timeline.makespan_us, cand.timeline.makespan_us);
+    let improved = clock_makespan_us < packed_makespan_us;
+    let stats = ClockStats {
+        packed_makespan_us,
+        clock_makespan_us,
+        chosen_makespan_us: if improved {
+            clock_makespan_us
+        } else {
+            packed_makespan_us
+        },
+        clock_ties: cand.stats.clock_ties,
+        batched_layers: cand.stats.batched_layers,
+        batched_hops: cand.stats.batched_hops,
+        improved,
+    };
+    Ok((if improved { cand } else { base }, stats))
+}
+
 /// A violated packing invariant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PackError {
@@ -510,6 +597,34 @@ mod tests {
             .transport
             .validate_relaxed(&result.schedule, &spec)
             .unwrap();
+    }
+
+    #[test]
+    fn compile_clock_never_regresses_the_packed_stack() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        for seed in [2u64, 11, 29] {
+            let circuit = random_circuit(14, 90, seed);
+            let config = CompilerConfig::optimized().with_timing(TimingModel::realistic());
+            let (result, stats) = compile_clock(&circuit, &spec, &config).unwrap();
+            assert!(
+                stats.chosen_makespan_us <= stats.packed_makespan_us,
+                "seed {seed}: chosen {} > packed {}",
+                stats.chosen_makespan_us,
+                stats.packed_makespan_us
+            );
+            assert_eq!(result.timeline.makespan_us, stats.chosen_makespan_us);
+            assert_eq!(
+                stats.improved,
+                stats.clock_makespan_us < stats.packed_makespan_us
+            );
+            // Whichever candidate won, it carries a fully validated
+            // transport (relaxed: lookahead may reorder within runs).
+            result
+                .transport
+                .validate_relaxed(&result.schedule, &spec)
+                .unwrap();
+            result.timeline.validate().unwrap();
+        }
     }
 
     #[test]

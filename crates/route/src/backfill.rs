@@ -1,0 +1,307 @@
+//! The shared round-backfill core behind both first-fit packers.
+//!
+//! `pack_lookahead_inner` (this crate: per gate-free run, capacity with
+//! same-round departure credit) and `pack_cross_gate` (`qccd-pack`:
+//! global, no-credit capacity, gate fences, bounded window, optional
+//! share-only joins) used to carry near-identical RoundBuild /
+//! occupancy-snapshot / arrival-index bookkeeping. [`RoundBackfill`] is
+//! that bookkeeping extracted once, parameterized by the
+//! [`CreditRule`] and the join fences, so the two packers stay in
+//! lockstep by construction.
+//!
+//! The invariants the core maintains per placed hop:
+//!
+//! * **first-fit** — a hop joins the earliest round `r ≥` its fence
+//!   (per-ion order, per-trap gate fences, scan window) that accepts it;
+//! * **machine round rules** — fresh segment, at most one split and one
+//!   merge per trap per round;
+//! * **capacity** — the destination has room entering the round; under
+//!   [`CreditRule::DepartureCredit`] a same-round departure out of the
+//!   destination extends that room (the in-run packers replay rounds
+//!   atomically), under [`CreditRule::NoCredit`] it never does (so the
+//!   flat emission stays serially valid in any within-round order);
+//! * **downstream re-check** — placing an arrival at trap `t` in round
+//!   `r` raises `t`'s occupancy in every later round; the rounds indexed
+//!   by the per-trap arrival lists are re-checked so their own single
+//!   arrival still fits.
+
+use qccd_machine::{IonId, ShuttleMove, TrapId};
+use std::collections::HashMap;
+
+/// Whether a same-round departure out of a trap frees capacity for a
+/// same-round arrival into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditRule {
+    /// Arrivals may use the room opened by this round's departures — the
+    /// in-run packers' rule, matching `MachineState::apply_round`'s
+    /// departures-first replay.
+    DepartureCredit,
+    /// Arrivals only fit where the trap has room *before* the round — the
+    /// cross-gate packer's rule, which keeps every round's moves serially
+    /// replayable in any order.
+    NoCredit,
+}
+
+/// The join rules one packer instantiates the core with.
+#[derive(Debug, Clone, Copy)]
+pub struct BackfillRules {
+    /// Capacity-credit rule for same-round departures.
+    pub credit: CreditRule,
+    /// When set, a hop joins an existing round only if it shares an
+    /// endpoint trap with a member move (the pipeline/corridor case).
+    pub share_only: bool,
+    /// How many rounds back the first-fit scan looks (`usize::MAX` for
+    /// unbounded).
+    pub window: usize,
+}
+
+/// One round under construction.
+#[derive(Debug, Clone)]
+pub struct RoundSlot {
+    /// Member moves, in placement order.
+    pub moves: Vec<ShuttleMove>,
+    segments: Vec<(TrapId, TrapId)>,
+    arrivals: Vec<u32>,
+    departures: Vec<u32>,
+    /// Gates noted when this round was opened (hoist accounting).
+    gates_at_creation: usize,
+}
+
+/// Where [`RoundBackfill::place`] put a hop.
+#[derive(Debug, Clone, Copy)]
+pub struct Placement {
+    /// Index of the chosen round.
+    pub round: usize,
+    /// `true` when the hop opened a new round (no existing one accepted).
+    pub opened: bool,
+    /// `true` when the chosen round predates at least one gate noted
+    /// after it was opened — the hop was hoisted across that gate.
+    pub hoisted: bool,
+}
+
+/// The shared first-fit backfill state: rounds, the per-round trap
+/// occupancy snapshots, the per-trap arrival indexes, the per-trap gate
+/// fences, and the per-ion order fences.
+#[derive(Debug, Clone)]
+pub struct RoundBackfill {
+    rules: BackfillRules,
+    cap: u32,
+    rounds: Vec<RoundSlot>,
+    /// `occ_before[r]` = trap occupancies entering round `r`, with one
+    /// extra entry for "after the last round".
+    occ_before: Vec<Vec<u32>>,
+    /// Rounds with an arrival at each trap, ascending.
+    arrival_rounds: Vec<Vec<usize>>,
+    /// A hop touching trap `t` may not join a round older than
+    /// `min_join[t]` (set by every gate noted in `t`).
+    min_join: Vec<usize>,
+    last_round_of_ion: HashMap<IonId, usize>,
+    gates_noted: usize,
+}
+
+impl RoundBackfill {
+    /// Starts an empty backfill over `num_traps` traps of capacity `cap`,
+    /// seeded with the occupancies `occ0` the first round will see.
+    pub fn new(num_traps: usize, cap: u32, occ0: Vec<u32>, rules: BackfillRules) -> Self {
+        debug_assert_eq!(occ0.len(), num_traps);
+        RoundBackfill {
+            rules,
+            cap,
+            rounds: Vec::new(),
+            occ_before: vec![occ0],
+            arrival_rounds: vec![Vec::new(); num_traps],
+            min_join: vec![0; num_traps],
+            last_round_of_ion: HashMap::new(),
+            gates_noted: 0,
+        }
+    }
+
+    /// Notes a gate executing in `trap`: hops touching it may no longer
+    /// join any currently-open round, and rounds opened from here on count
+    /// as "after this gate" for hoist accounting.
+    pub fn note_gate(&mut self, trap: TrapId) {
+        self.min_join[trap.index()] = self.rounds.len();
+        self.gates_noted += 1;
+    }
+
+    /// Capacity credit a same-round departure out of trap `t` grants an
+    /// arrival joining round `r`.
+    fn credit(&self, r: usize, t: usize) -> u32 {
+        match self.rules.credit {
+            CreditRule::DepartureCredit => self.rounds[r].departures[t],
+            CreditRule::NoCredit => 0,
+        }
+    }
+
+    /// First-fit places `m` into the earliest legal round, opening a new
+    /// one when nothing accepts, and maintains every snapshot and index.
+    pub fn place(&mut self, m: ShuttleMove) -> Placement {
+        let seg = m.segment();
+        let (fi, ti) = (m.from.index(), m.to.index());
+        let lo = self.min_join[fi]
+            .max(self.min_join[ti])
+            .max(self.last_round_of_ion.get(&m.ion).map_or(0, |&r| r + 1))
+            .max(self.rounds.len().saturating_sub(self.rules.window));
+        let mut chosen = None;
+        for r in lo..self.rounds.len() {
+            let rb = &self.rounds[r];
+            if rb.segments.contains(&seg)
+                || rb.departures[fi] > 0
+                || rb.arrivals[ti] > 0
+                || self.occ_before[r][ti] + 1 > self.cap + self.credit(r, ti)
+            {
+                continue;
+            }
+            if self.rules.share_only
+                && rb.arrivals[fi] == 0
+                && rb.departures[ti] == 0
+                && !rb.moves.iter().any(|c| {
+                    let (cf, ct) = (c.from.index(), c.to.index());
+                    cf == fi || cf == ti || ct == fi || ct == ti
+                })
+            {
+                continue;
+            }
+            // Downstream: the ion occupies `to` from round r on; later
+            // rounds with an arrival there must keep room for their own
+            // single arrival (one merge per trap per round) under the
+            // credit rule.
+            let downstream_ok = self.arrival_rounds[ti]
+                .iter()
+                .filter(|&&s| s > r)
+                .all(|&s| self.occ_before[s][ti] + 2 <= self.cap + self.credit(s, ti));
+            if downstream_ok {
+                chosen = Some(r);
+                break;
+            }
+        }
+        let (chosen, opened) = match chosen {
+            Some(r) => (r, false),
+            None => {
+                let num_traps = self.arrival_rounds.len();
+                self.rounds.push(RoundSlot {
+                    moves: Vec::new(),
+                    segments: Vec::new(),
+                    arrivals: vec![0; num_traps],
+                    departures: vec![0; num_traps],
+                    gates_at_creation: self.gates_noted,
+                });
+                self.occ_before
+                    .push(self.occ_before.last().expect("seeded at new").clone());
+                (self.rounds.len() - 1, true)
+            }
+        };
+        let hoisted = self.rounds[chosen].gates_at_creation < self.gates_noted;
+        let rb = &mut self.rounds[chosen];
+        rb.moves.push(m);
+        rb.segments.push(seg);
+        rb.departures[fi] += 1;
+        rb.arrivals[ti] += 1;
+        let list = &mut self.arrival_rounds[ti];
+        let pos = list.partition_point(|&s| s < chosen);
+        list.insert(pos, chosen);
+        for occ in &mut self.occ_before[chosen + 1..] {
+            occ[fi] -= 1;
+            occ[ti] += 1;
+        }
+        self.last_round_of_ion.insert(m.ion, chosen);
+        Placement {
+            round: chosen,
+            opened,
+            hoisted,
+        }
+    }
+
+    /// The rounds built so far, in order.
+    pub fn rounds(&self) -> impl Iterator<Item = &[ShuttleMove]> {
+        self.rounds.iter().map(|r| r.moves.as_slice())
+    }
+
+    /// Consumes the backfill, returning each round's moves in order.
+    pub fn into_rounds(self) -> Vec<Vec<ShuttleMove>> {
+        self.rounds.into_iter().map(|r| r.moves).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(ion: u32, from: u32, to: u32) -> ShuttleMove {
+        ShuttleMove {
+            ion: IonId(ion),
+            from: TrapId(from),
+            to: TrapId(to),
+        }
+    }
+
+    fn rules(credit: CreditRule) -> BackfillRules {
+        BackfillRules {
+            credit,
+            share_only: false,
+            window: usize::MAX,
+        }
+    }
+
+    #[test]
+    fn credit_rule_splits_full_trap_pipelines() {
+        // Trap 1 full (cap 2): ion 1 leaves it while ion 0 enters. With
+        // departure credit both share round 0; without, the arrival must
+        // wait for round 1.
+        for (credit, expect_rounds) in [(CreditRule::DepartureCredit, 1), (CreditRule::NoCredit, 2)]
+        {
+            let mut bf = RoundBackfill::new(3, 2, vec![1, 2, 1], rules(credit));
+            bf.place(mv(1, 1, 2));
+            bf.place(mv(0, 0, 1));
+            assert_eq!(bf.into_rounds().len(), expect_rounds, "{credit:?}");
+        }
+    }
+
+    #[test]
+    fn gate_fence_blocks_joins_and_marks_hoists() {
+        let mut bf = RoundBackfill::new(4, 4, vec![1; 4], rules(CreditRule::NoCredit));
+        let p0 = bf.place(mv(0, 0, 1));
+        assert!(p0.opened && !p0.hoisted);
+        // A gate in trap 3 fences trap 3 but not the 1→2 corridor...
+        bf.note_gate(TrapId(3));
+        let p1 = bf.place(mv(1, 1, 2));
+        assert_eq!(p1.round, 0, "trap-disjoint hop still joins round 0");
+        assert!(p1.hoisted, "and counts as hoisted across the gate");
+        // ...while a hop touching trap 3 must open a new round.
+        let p2 = bf.place(mv(2, 3, 2));
+        assert!(p2.opened && !p2.hoisted);
+        assert_eq!(p2.round, 1);
+    }
+
+    #[test]
+    fn per_ion_order_and_segments_are_respected() {
+        // Trap 0 holds both ions 0 and 3.
+        let mut bf = RoundBackfill::new(4, 4, vec![2, 1, 1, 1], rules(CreditRule::DepartureCredit));
+        assert_eq!(bf.place(mv(0, 0, 1)).round, 0);
+        // Same ion again: strictly after its previous round.
+        assert_eq!(bf.place(mv(0, 1, 2)).round, 1);
+        // Same segment as round 0: also pushed later.
+        assert_eq!(bf.place(mv(3, 0, 1)).round, 1);
+        assert_eq!(bf.rounds().count(), 2);
+    }
+
+    #[test]
+    fn window_bounds_the_scan() {
+        let mut bf = RoundBackfill::new(
+            4,
+            4,
+            vec![1; 4],
+            BackfillRules {
+                credit: CreditRule::NoCredit,
+                share_only: false,
+                window: 1,
+            },
+        );
+        bf.place(mv(0, 0, 1));
+        bf.place(mv(0, 1, 0)); // round 1 (per-ion order)
+                               // 2→3 would fit round 0, but the window only reaches round 1,
+                               // where it also fits.
+        let p = bf.place(mv(2, 2, 3));
+        assert_eq!(p.round, 1);
+    }
+}

@@ -49,10 +49,15 @@
 //! # }
 //! ```
 
+mod backfill;
 mod planner;
 mod policy;
 mod transport;
 
-pub use planner::{plan_eviction, plan_route, route_budget, EdgeLoad, PlannedRoute};
+pub use backfill::{BackfillRules, CreditRule, Placement, RoundBackfill};
+pub use planner::{
+    plan_eviction, plan_eviction_weighted, plan_route, plan_route_weighted, route_budget, EdgeLoad,
+    EdgeWeightFn, PlannedRoute,
+};
 pub use policy::RouterPolicy;
 pub use transport::{TransportError, TransportRound, TransportSchedule};

@@ -130,6 +130,31 @@ pub fn plan_route(
     dest: TrapId,
     load: &EdgeLoad,
 ) -> Option<PlannedRoute> {
+    plan_route_weighted(policy, state, from, dest, load, None)
+}
+
+/// Per-segment weight hook for the priced planner: the relative cost of
+/// traversing `from → to`, in abstract units (≥ 1). `None` (or returning
+/// 1 everywhere) reproduces unit-hop pricing exactly; a timed-objective
+/// compiler passes the timing model's relative hop durations here so
+/// junction-heavy segments price by what the hardware actually pays.
+/// Weights are scaled above the congestion surcharge, so the cost order
+/// is: cheapest weighted distance (+ eviction penalties) first, colder
+/// edges second.
+pub type EdgeWeightFn<'a> = dyn Fn(TrapId, TrapId) -> u32 + 'a;
+
+/// [`plan_route`] with an optional per-segment [`EdgeWeightFn`] pricing
+/// edges by (relative) timed duration rather than unit hops. Only the
+/// congestion policy consumes the weights — the serial policy is the
+/// paper's executor and stays BFS-shortest by hop count.
+pub fn plan_route_weighted(
+    policy: RouterPolicy,
+    state: &MachineState,
+    from: TrapId,
+    dest: TrapId,
+    load: &EdgeLoad,
+    weight: Option<&EdgeWeightFn>,
+) -> Option<PlannedRoute> {
     let topology = state.spec().topology();
     if from == dest {
         return Some(PlannedRoute {
@@ -150,7 +175,7 @@ pub fn plan_route(
                     .shortest_path(from, dest)
                     .map(|p| PlannedRoute::from_path(state, p));
             };
-            match priced_route(state, from, dest, full_trap_penalty, load) {
+            match priced_route(state, from, dest, full_trap_penalty, load, weight) {
                 Some(priced) => Some(priced),
                 // MCMF found no route (cannot happen while BFS did; be
                 // safe): fall back to the full-free detour.
@@ -182,12 +207,27 @@ pub fn plan_eviction(
     load: &EdgeLoad,
     full_trap_penalty: u32,
 ) -> Option<(TrapId, Vec<TrapId>)> {
+    plan_eviction_weighted(state, blocked, avoid, load, full_trap_penalty, None)
+}
+
+/// [`plan_eviction`] with an optional [`EdgeWeightFn`] pricing segments by
+/// relative timed duration — the clock-objective compiler's eviction
+/// planner, steering re-balancing traffic away from junction-heavy
+/// corridors that cost more device time than their hop count suggests.
+pub fn plan_eviction_weighted(
+    state: &MachineState,
+    blocked: TrapId,
+    avoid: &[TrapId],
+    load: &EdgeLoad,
+    full_trap_penalty: u32,
+    weight: Option<&EdgeWeightFn>,
+) -> Option<(TrapId, Vec<TrapId>)> {
     let topology = state.spec().topology();
     let n = topology.num_traps() as usize;
     // One extra node past the trap halves and the source: the super-sink
     // gathering every candidate destination.
     let sink = 2 * n + 1;
-    let mut net = priced_network(state, load, full_trap_penalty, |t| t != blocked, 1);
+    let mut net = priced_network(state, load, full_trap_penalty, |t| t != blocked, 1, weight);
     let mut candidates = 0usize;
     for t in topology.traps() {
         if t != blocked && !avoid.contains(&t) && !state.is_full(t) {
@@ -237,6 +277,7 @@ fn priced_network(
     full_trap_penalty: u32,
     penalized: impl Fn(TrapId) -> bool,
     extra: usize,
+    weight: Option<&EdgeWeightFn>,
 ) -> FlowNetwork {
     let topology = state.spec().topology();
     let n = topology.num_traps() as usize;
@@ -251,7 +292,8 @@ fn priced_network(
         };
         net.add_edge(2 * t.index(), 2 * t.index() + 1, 1, cost);
         for nb in topology.neighbors(t) {
-            let cost = hop_scale + i64::from(load.load(t, nb));
+            let units = weight.map_or(1, |w| i64::from(w(t, nb).max(1)));
+            let cost = units * hop_scale + i64::from(load.load(t, nb));
             net.add_edge(2 * t.index() + 1, 2 * nb.index(), 1, cost);
         }
     }
@@ -276,6 +318,7 @@ fn priced_route(
     dest: TrapId,
     full_trap_penalty: u32,
     load: &EdgeLoad,
+    weight: Option<&EdgeWeightFn>,
 ) -> Option<PlannedRoute> {
     let n = state.spec().topology().num_traps() as usize;
     let mut net = priced_network(
@@ -284,6 +327,7 @@ fn priced_route(
         full_trap_penalty,
         |t| t != from && t != dest,
         0,
+        weight,
     );
     net.add_edge(2 * n, 2 * from.index(), 1, 0);
     let result = min_cost_max_flow(&mut net, 2 * n, 2 * dest.index() + 1);
@@ -426,6 +470,51 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.hops(), 2, "hot 2-hop route still beats a 4-hop one");
+    }
+
+    #[test]
+    fn edge_weights_reroute_around_expensive_segments() {
+        // Ring of 6, 0 → 3: two 3-hop routes. Weighting the clockwise
+        // first segment 4x (a junction-priced corridor) must push the
+        // planner counter-clockwise even with zero congestion — and a
+        // unit-weight hook must reproduce the unweighted choice exactly.
+        let state = ring_state(6, &[1, 1, 1, 1, 1, 1]);
+        let load = EdgeLoad::new(6);
+        let heavy = |a: TrapId, b: TrapId| -> u32 {
+            if (a, b) == (TrapId(0), TrapId(1)) || (a, b) == (TrapId(1), TrapId(0)) {
+                4
+            } else {
+                1
+            }
+        };
+        let r = plan_route_weighted(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(3),
+            &load,
+            Some(&heavy),
+        )
+        .unwrap();
+        assert_eq!(r.hops(), 3);
+        assert_eq!(r.path[1], TrapId(5), "weighted route avoids the 4x edge");
+        let unit = |_: TrapId, _: TrapId| 1u32;
+        let plain = plan_route(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(3),
+            &load,
+        );
+        let unitized = plan_route_weighted(
+            RouterPolicy::congestion(),
+            &state,
+            TrapId(0),
+            TrapId(3),
+            &load,
+            Some(&unit),
+        );
+        assert_eq!(plain, unitized, "unit weights reproduce unweighted pricing");
     }
 
     #[test]

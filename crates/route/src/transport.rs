@@ -5,7 +5,6 @@ use qccd_machine::{
     IonId, MachineError, MachineSpec, MachineState, Operation, Schedule, ShuttleMove, TrapId,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -237,14 +236,7 @@ impl TransportSchedule {
         schedule: &Schedule,
         spec: &MachineSpec,
     ) -> Result<Self, TransportError> {
-        /// One in-progress round of the current gate-free run.
-        #[derive(Default, Clone)]
-        struct RoundBuild {
-            moves: Vec<ShuttleMove>,
-            segments: Vec<(TrapId, TrapId)>,
-            arrivals: Vec<u32>,
-            departures: Vec<u32>,
-        }
+        use crate::backfill::{BackfillRules, CreditRule, RoundBackfill};
 
         let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
             .map_err(TransportError::Machine)?;
@@ -252,121 +244,48 @@ impl TransportSchedule {
         let cap = spec.total_capacity();
         let mut rounds: Vec<TransportRound> = Vec::new();
 
-        // Current run: rounds under construction, plus the trap-occupancy
-        // snapshot before each round (`occ_before[r]`) with one extra entry
-        // for "after the last round". `arrival_rounds[t]` indexes (in
-        // ascending round order) the rounds with an arrival at trap `t`, so
-        // the downstream capacity re-check visits only the handful of
-        // rounds that can actually be affected instead of scanning the
-        // whole tail of the run per backfilled hop.
-        let mut run: Vec<RoundBuild> = Vec::new();
-        let mut occ_before: Vec<Vec<u32>> = Vec::new();
-        let mut arrival_rounds: Vec<Vec<usize>> = vec![Vec::new(); num_traps];
-        let mut last_round_of_ion: HashMap<IonId, usize> = HashMap::new();
-
+        // Current gate-free run, as one shared-core backfill seeded with
+        // the live occupancies: departure-credit capacity (rounds replay
+        // atomically via `apply_round`), no gate fences (the run resets at
+        // every gate), unbounded window.
+        let mut run: Option<RoundBackfill> = None;
         let close_run = |state: &mut MachineState,
                          rounds: &mut Vec<TransportRound>,
-                         run: &mut Vec<RoundBuild>,
-                         occ_before: &mut Vec<Vec<u32>>,
-                         arrival_rounds: &mut Vec<Vec<usize>>,
-                         last_round_of_ion: &mut HashMap<IonId, usize>|
+                         run: &mut Option<RoundBackfill>|
          -> Result<(), TransportError> {
-            for rb in run.drain(..) {
-                state
-                    .apply_round(&rb.moves)
-                    .map_err(TransportError::Machine)?;
-                rounds.push(TransportRound { moves: rb.moves });
+            if let Some(bf) = run.take() {
+                for moves in bf.into_rounds() {
+                    state.apply_round(&moves).map_err(TransportError::Machine)?;
+                    rounds.push(TransportRound { moves });
+                }
             }
-            occ_before.clear();
-            arrival_rounds.iter_mut().for_each(Vec::clear);
-            last_round_of_ion.clear();
             Ok(())
         };
 
         for op in &schedule.operations {
             match *op {
-                Operation::Gate { .. } => close_run(
-                    &mut state,
-                    &mut rounds,
-                    &mut run,
-                    &mut occ_before,
-                    &mut arrival_rounds,
-                    &mut last_round_of_ion,
-                )?,
+                Operation::Gate { .. } => close_run(&mut state, &mut rounds, &mut run)?,
                 Operation::Shuttle { ion, from, to } => {
-                    let m = ShuttleMove { ion, from, to };
-                    let seg = m.segment();
-                    if occ_before.is_empty() {
-                        occ_before.push(
+                    let bf = match run.as_mut() {
+                        Some(bf) => bf,
+                        None => run.insert(RoundBackfill::new(
+                            num_traps,
+                            cap,
                             (0..num_traps)
                                 .map(|t| state.occupancy(TrapId(t as u32)))
                                 .collect(),
-                        );
-                    }
-                    let earliest = last_round_of_ion.get(&ion).map_or(0, |&r| r + 1);
-                    // First-fit: the earliest round that accepts the hop
-                    // and keeps every later round of the run legal.
-                    let mut chosen = None;
-                    for r in earliest..run.len() {
-                        let rb = &run[r];
-                        if rb.segments.contains(&seg)
-                            || rb.departures[from.index()] > 0
-                            || rb.arrivals[to.index()] > 0
-                            || occ_before[r][to.index()] + 1 > cap + rb.departures[to.index()]
-                        {
-                            continue;
-                        }
-                        // Downstream: the ion now occupies `to` from round
-                        // r on; re-check capacity in the later rounds that
-                        // receive an arrival at `to` (each has exactly one
-                        // arrival there, by the one-merge-per-trap rule).
-                        let downstream_ok = arrival_rounds[to.index()]
-                            .iter()
-                            .filter(|&&s| s > r)
-                            .all(|&s| {
-                                occ_before[s][to.index()] + 2 <= cap + run[s].departures[to.index()]
-                            });
-                        if downstream_ok {
-                            chosen = Some(r);
-                            break;
-                        }
-                    }
-                    let chosen = match chosen {
-                        Some(r) => r,
-                        None => {
-                            run.push(RoundBuild {
-                                arrivals: vec![0; num_traps],
-                                departures: vec![0; num_traps],
-                                ..RoundBuild::default()
-                            });
-                            occ_before.push(occ_before.last().expect("seeded above").clone());
-                            run.len() - 1
-                        }
+                            BackfillRules {
+                                credit: CreditRule::DepartureCredit,
+                                share_only: false,
+                                window: usize::MAX,
+                            },
+                        )),
                     };
-                    let rb = &mut run[chosen];
-                    rb.moves.push(m);
-                    rb.segments.push(seg);
-                    rb.departures[from.index()] += 1;
-                    rb.arrivals[to.index()] += 1;
-                    let list = &mut arrival_rounds[to.index()];
-                    let pos = list.partition_point(|&s| s < chosen);
-                    list.insert(pos, chosen);
-                    for occ in &mut occ_before[chosen + 1..] {
-                        occ[from.index()] -= 1;
-                        occ[to.index()] += 1;
-                    }
-                    last_round_of_ion.insert(ion, chosen);
+                    bf.place(ShuttleMove { ion, from, to });
                 }
             }
         }
-        close_run(
-            &mut state,
-            &mut rounds,
-            &mut run,
-            &mut occ_before,
-            &mut arrival_rounds,
-            &mut last_round_of_ion,
-        )?;
+        close_run(&mut state, &mut rounds, &mut run)?;
         Ok(TransportSchedule { rounds })
     }
 

@@ -167,6 +167,41 @@ impl LowerState {
         &self.state
     }
 
+    /// Checkpoints the fold: an independent copy that can advance through
+    /// a *speculative* suffix without disturbing this state. Rolling back
+    /// is dropping the checkpointed copy — the original fold never moved.
+    ///
+    /// This is the accessor pair a compile-loop objective needs: advance
+    /// the real state through committed operations, [`checkpoint`] before
+    /// every open decision, [`score_ops`](LowerState::score_ops) each
+    /// candidate on the copy, commit the winner, drop the rest.
+    ///
+    /// [`checkpoint`]: LowerState::checkpoint
+    pub fn checkpoint(&self) -> LowerState {
+        self.clone()
+    }
+
+    /// Scores a candidate suffix without committing it: advances a
+    /// checkpointed copy through `ops` (each shuttle as a synthetic
+    /// single-hop round, as in transport-less [`lower`]) and returns the
+    /// copy's projected makespan, µs.
+    ///
+    /// Returns `None` when the suffix does not replay legally from here
+    /// (e.g. a speculative hop into a trap that is full at this point of
+    /// the fold) — the candidate is infeasible as priced and the caller
+    /// should score it as unboundedly late or fall back.
+    pub fn score_ops(
+        &self,
+        ops: &[Operation],
+        circuit: &Circuit,
+        spec: &MachineSpec,
+    ) -> Option<f64> {
+        let mut copy = self.checkpoint();
+        let mut scratch = Vec::new();
+        copy.advance(ops, None, circuit, spec, &mut scratch).ok()?;
+        Some(copy.makespan_us())
+    }
+
     /// Transport rounds lowered so far (the fold's shuttle depth).
     pub fn shuttle_depth(&self) -> usize {
         self.shuttle_depth
@@ -574,6 +609,33 @@ mod tests {
         let full = lower(&schedule, None, &c, &spec, &model).unwrap();
         assert_eq!(a.finish(ev_a), full);
         assert_eq!(b.finish(ev_b), full);
+    }
+
+    #[test]
+    fn score_ops_is_speculative_and_side_effect_free() {
+        let (c, spec, schedule) = two_trap_fixture();
+        let model = TimingModel::realistic();
+        let mut state = LowerState::new(&schedule.initial_mapping, &spec, &model).unwrap();
+        let mut events = Vec::new();
+        state
+            .advance(&schedule.operations[..2], None, &c, &spec, &mut events)
+            .unwrap();
+        let before = state.checkpoint();
+        // Scoring the real suffix matches committing it on a copy...
+        let scored = state
+            .score_ops(&schedule.operations[2..], &c, &spec)
+            .expect("legal suffix scores");
+        let full = lower(&schedule, None, &c, &spec, &model).unwrap();
+        assert_eq!(scored, full.makespan_us);
+        // ...and leaves the original fold untouched, bit-for-bit.
+        assert_eq!(state.trap_clocks(), before.trap_clocks());
+        assert_eq!(state.ion_avail(), before.ion_avail());
+        assert_eq!(state.makespan_us(), before.makespan_us());
+        // An illegal speculative hop (ion 0 into its own trap's twin with
+        // a bogus source) scores as None instead of corrupting the fold.
+        let bogus = [sh(0, 1, 0)];
+        assert_eq!(state.score_ops(&bogus, &c, &spec), None);
+        assert_eq!(state.trap_clocks(), before.trap_clocks());
     }
 
     #[test]
