@@ -6,12 +6,12 @@
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
 //! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `objective`,
-//! `all`.
+//! `delta`, `all`.
 
 use qccd_bench::{
-    aggregate_random, lookahead_packing_gains, objective_gains, pack_gains, run_nisq_suite,
-    run_random_suite, run_timing_sweep, run_topology_router_sweep, standard_topologies,
-    timed_compile, ComparisonRow, RANDOM_SUITE_SEED,
+    aggregate_random, delta_parity, lookahead_packing_gains, objective_gains, pack_gains,
+    run_nisq_suite, run_random_suite, run_timing_sweep, run_topology_router_sweep,
+    standard_topologies, timed_compile, ComparisonRow, RANDOM_SUITE_SEED,
 };
 use qccd_circuit::generators::{paper_suite, random_suite};
 use qccd_core::{
@@ -35,7 +35,7 @@ fn main() {
                 i += 2;
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
-            | "timing" | "lookahead" | "pack" | "objective" | "all" => {
+            | "timing" | "lookahead" | "pack" | "objective" | "delta" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -74,6 +74,7 @@ fn main() {
         "lookahead" => lookahead(&spec),
         "pack" => pack(&spec),
         "objective" => objective(&spec),
+        "delta" => delta(&spec),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -86,6 +87,7 @@ fn main() {
             lookahead(&spec);
             pack(&spec);
             objective(&spec);
+            delta(&spec);
         }
         _ => unreachable!("validated above"),
     }
@@ -94,7 +96,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|all] [--per-size N]"
     );
     std::process::exit(2);
 }
@@ -252,6 +254,62 @@ fn objective(spec: &MachineSpec) {
         rows.iter().any(|r| r.improved),
         "the clock objective must strictly beat the packed stack on at least one benchmark"
     );
+    println!();
+}
+
+/// Score-mode parity: the clock pipeline under the delta scorer against
+/// the same pipeline under the O(suffix) re-lower oracle. This is the
+/// PR 6 acceptance gate — every quality figure must match bit-for-bit on
+/// every paper benchmark; the compile-second columns show what the delta
+/// scorer buys.
+fn delta(spec: &MachineSpec) {
+    println!("## Score-mode parity — delta scorer vs full re-lower oracle (realistic timing)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>6} {:>7} {:>9} {:>9} {:>8} {:>7}",
+        "Benchmark",
+        "DeltaMk(us)",
+        "FullMk(us)",
+        "Ties",
+        "Batch",
+        "Delta(s)",
+        "Full(s)",
+        "Speedup",
+        "Match"
+    );
+    eprintln!("score-mode parity...");
+    let rows = delta_parity(&paper_suite(), spec);
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>6} {:>7} {:>9.3} {:>9.3} {:>7.1}x {:>7}",
+            r.name,
+            r.delta_makespan_us,
+            r.full_makespan_us,
+            r.delta_ties,
+            r.delta_batched_layers,
+            r.delta_compile_s,
+            r.full_compile_s,
+            r.speedup(),
+            r.matches()
+        );
+        assert!(
+            r.matches(),
+            "{}: delta and full scoring diverged (delta {:?} vs full {:?} makespan, \
+             {}/{} shuttles, {}/{} depth, {}/{} ties, {}/{} layers, {}/{} hops)",
+            r.name,
+            r.delta_makespan_us,
+            r.full_makespan_us,
+            r.delta_shuttles,
+            r.full_shuttles,
+            r.delta_depth,
+            r.full_depth,
+            r.delta_ties,
+            r.full_ties,
+            r.delta_batched_layers,
+            r.full_batched_layers,
+            r.delta_batched_hops,
+            r.full_batched_hops
+        );
+    }
     println!();
 }
 

@@ -20,7 +20,7 @@
 
 use qccd_circuit::generators::{paper_suite, random_suite, BenchmarkCircuit};
 use qccd_circuit::Circuit;
-use qccd_core::{compile, CompileResult, CompilerConfig, RouterPolicy};
+use qccd_core::{compile, CompileResult, CompilerConfig, Objective, RouterPolicy, ScoreMode};
 use qccd_machine::{MachineSpec, TrapTopology};
 use qccd_route::TransportSchedule;
 use qccd_sim::{simulate_timed, SimParams, SimReport};
@@ -29,6 +29,9 @@ use std::time::Instant;
 
 /// Seed used for the random benchmark suite, fixed for reproducibility.
 pub const RANDOM_SUITE_SEED: u64 = 0xDA7E_2022;
+
+/// Samples per compile-seconds measurement (see [`min_compile_seconds`]).
+pub const TIMING_RUNS: usize = 3;
 
 /// One benchmark compiled under both configurations.
 #[derive(Debug, Clone)]
@@ -83,6 +86,17 @@ pub struct ComparisonRow {
     pub clock_stats: qccd_pack::ClockStats,
     /// Simulation of the clock pipeline's chosen schedule.
     pub clock_sim: SimReport,
+    /// Wall-clock seconds of the clock-objective compile loop under the
+    /// default delta scorer (`--score-mode delta`). Like
+    /// `baseline_compile_s`/`optimized_compile_s` this times
+    /// [`qccd_core::compile`] — the loop where candidate scoring lives —
+    /// not the mode-independent post-compile pack passes.
+    pub clock_compile_s: f64,
+    /// Wall-clock seconds of the same compile loop under the full
+    /// re-lower oracle (`--score-mode full`, which replays the whole
+    /// committed schedule per candidate) — the figure the delta scorer's
+    /// speed-up is measured against.
+    pub clock_full_compile_s: f64,
 }
 
 impl ComparisonRow {
@@ -133,6 +147,25 @@ pub fn timed_compile(
     (result, start.elapsed().as_secs_f64())
 }
 
+/// Minimum wall-clock seconds over `runs` compiles of `circuit` under
+/// `config`. The compile is deterministic, so the minimum is the
+/// noise-resistant point estimate: any sample above it is scheduler
+/// interference, not work.
+///
+/// # Panics
+///
+/// As [`timed_compile`].
+pub fn min_compile_seconds(
+    circuit: &Circuit,
+    spec: &MachineSpec,
+    config: &CompilerConfig,
+    runs: usize,
+) -> f64 {
+    (0..runs.max(1))
+        .map(|_| timed_compile(circuit, spec, config).1)
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// Runs one benchmark under baseline and optimized configurations and
 /// simulates both schedules under the uniform-hop (ideal) timing model —
 /// the paper-parity comparison.
@@ -178,6 +211,21 @@ pub fn compare_timed(
         &CompilerConfig::optimized().with_timing(*model),
     )
     .expect("benchmark circuits compile under the clock objective");
+    // Time the clock-objective *compile loop* under both score modes —
+    // the same section `baseline_compile_s`/`optimized_compile_s` time,
+    // and the one candidate scoring runs in. Bit-for-bit result parity
+    // between the modes is asserted by `delta_parity` / `paper_eval
+    // delta`, not here.
+    let clock_config = CompilerConfig::optimized()
+        .with_timing(*model)
+        .with_objective(Objective::Clock);
+    let clock_compile_s = min_compile_seconds(&bench.circuit, spec, &clock_config, TIMING_RUNS);
+    let clock_full_compile_s = min_compile_seconds(
+        &bench.circuit,
+        spec,
+        &clock_config.with_score_mode(ScoreMode::Full),
+        TIMING_RUNS,
+    );
     let baseline_sim = simulate_timed(
         &base.schedule,
         &base.transport,
@@ -244,6 +292,8 @@ pub fn compare_timed(
         clock_timed_makespan_us: clock_stats.chosen_makespan_us,
         clock_stats,
         clock_sim,
+        clock_compile_s,
+        clock_full_compile_s,
     }
 }
 
@@ -599,6 +649,123 @@ pub fn objective_gains(benches: &[BenchmarkCircuit], spec: &MachineSpec) -> Vec<
                 chosen_shuttles: chosen.stats.shuttles,
                 chosen_depth: chosen.stats.transport_depth,
                 improved: stats.improved,
+            }
+        })
+        .collect()
+}
+
+/// One benchmark's clock pipeline run under both scoring modes — the
+/// delta scorer and the O(suffix) re-lower oracle — with every quality
+/// figure carried so parity can be asserted bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct DeltaParityRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Chosen timed makespan under `--score-mode delta`, µs.
+    pub delta_makespan_us: f64,
+    /// Chosen timed makespan under `--score-mode full`, µs.
+    pub full_makespan_us: f64,
+    /// Chosen shuttle hops under each mode.
+    pub delta_shuttles: usize,
+    /// See `delta_shuttles`.
+    pub full_shuttles: usize,
+    /// Chosen transport depth under each mode.
+    pub delta_depth: usize,
+    /// See `delta_depth`.
+    pub full_depth: usize,
+    /// Open decisions re-arbitrated on the clock under each mode.
+    pub delta_ties: usize,
+    /// See `delta_ties`.
+    pub full_ties: usize,
+    /// Batched gate-free layers planned under each mode.
+    pub delta_batched_layers: usize,
+    /// See `delta_batched_layers`.
+    pub full_batched_layers: usize,
+    /// Hops emitted by batched layers under each mode.
+    pub delta_batched_hops: usize,
+    /// See `delta_batched_hops`.
+    pub full_batched_hops: usize,
+    /// Wall-clock seconds of the clock-objective *compile loop*
+    /// ([`qccd_core::compile`], where candidate scoring runs) under each
+    /// mode — the post-compile pack passes are mode-independent and are
+    /// excluded so the ratio measures the scorer, not shared work.
+    pub delta_compile_s: f64,
+    /// See `delta_compile_s`.
+    pub full_compile_s: f64,
+}
+
+impl DeltaParityRow {
+    /// `true` when the two modes produced bit-for-bit identical results
+    /// (makespan compared by exact equality — the modes share every
+    /// floating-point operation, so any drift is a scorer bug).
+    pub fn matches(&self) -> bool {
+        self.delta_makespan_us == self.full_makespan_us
+            && self.delta_shuttles == self.full_shuttles
+            && self.delta_depth == self.full_depth
+            && self.delta_ties == self.full_ties
+            && self.delta_batched_layers == self.full_batched_layers
+            && self.delta_batched_hops == self.full_batched_hops
+    }
+
+    /// Compile-time speed-up of the delta scorer over the full oracle.
+    pub fn speedup(&self) -> f64 {
+        if self.delta_compile_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.full_compile_s / self.delta_compile_s
+    }
+}
+
+/// Runs the clock pipeline on every benchmark under both scoring modes
+/// (optimized policy stack, realistic timing — the objective acceptance
+/// configuration) and returns the paired rows. `paper_eval delta` gates
+/// CI on every row's [`DeltaParityRow::matches`].
+///
+/// # Panics
+///
+/// Panics if a benchmark does not fit `spec` or a pipeline fails its
+/// validators (never silent).
+pub fn delta_parity(benches: &[BenchmarkCircuit], spec: &MachineSpec) -> Vec<DeltaParityRow> {
+    let model = TimingModel::realistic();
+    benches
+        .iter()
+        .map(|bench| {
+            let run = |mode: ScoreMode| {
+                let config = CompilerConfig::optimized()
+                    .with_timing(model)
+                    .with_score_mode(mode);
+                let (chosen, stats) = qccd_pack::compile_clock(&bench.circuit, spec, &config)
+                    .expect("benchmark circuits compile under the clock objective");
+                // Time the compile loop itself (the section score-mode
+                // affects); the race/pack plumbing above is shared
+                // verbatim between the modes. Min-of-N to reject
+                // scheduler noise on millisecond-scale sections.
+                let secs = min_compile_seconds(
+                    &bench.circuit,
+                    spec,
+                    &config.with_objective(Objective::Clock),
+                    TIMING_RUNS,
+                );
+                (chosen, stats, secs)
+            };
+            let (d, d_stats, d_t) = run(ScoreMode::Delta);
+            let (f, f_stats, f_t) = run(ScoreMode::Full);
+            DeltaParityRow {
+                name: bench.name.clone(),
+                delta_makespan_us: d.timeline.makespan_us,
+                full_makespan_us: f.timeline.makespan_us,
+                delta_shuttles: d.stats.shuttles,
+                full_shuttles: f.stats.shuttles,
+                delta_depth: d.stats.transport_depth,
+                full_depth: f.stats.transport_depth,
+                delta_ties: d_stats.clock_ties,
+                full_ties: f_stats.clock_ties,
+                delta_batched_layers: d_stats.batched_layers,
+                full_batched_layers: f_stats.batched_layers,
+                delta_batched_hops: d_stats.batched_hops,
+                full_batched_hops: f_stats.batched_hops,
+                delta_compile_s: d_t,
+                full_compile_s: f_t,
             }
         })
         .collect()

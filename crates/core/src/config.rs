@@ -95,6 +95,26 @@ pub enum Objective {
     Clock,
 }
 
+/// How the clock objective prices speculative candidates.
+///
+/// Both modes are **bit-for-bit identical** in what they compute — the
+/// `delta_properties` differential harness and the `paper_eval delta` CI
+/// gate pin the equality — so the choice is purely a speed/oracle knob.
+/// Meaningless under [`Objective::Shuttles`] (nothing is speculated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreMode {
+    /// Full re-lower oracle: replay the entire committed schedule plus
+    /// the candidate from the initial mapping — O(n) per candidate,
+    /// quadratic over the compile loop. Kept as the differential
+    /// reference the delta path is validated against.
+    Full,
+    /// O(delta): price the candidate by touching only the trap clocks and
+    /// ion availability it uses, with undo records instead of a cloned
+    /// fold ([`DeltaScorer`](qccd_timing::DeltaScorer)). The default.
+    #[default]
+    Delta,
+}
+
 /// How ions are initially placed into traps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MappingPolicy {
@@ -152,6 +172,12 @@ pub struct CompilerConfig {
     /// [`Objective::Clock`] scores direction/rebalance/layer decisions on
     /// the projected device clock under [`timing`](CompilerConfig::timing)).
     pub objective: Objective,
+    /// How [`Objective::Clock`] prices speculative candidates: the O(delta)
+    /// scorer (default) or the O(suffix) clone-and-re-lower oracle. The
+    /// two are bit-for-bit identical; `Full` exists as the differential
+    /// reference. Ignored under [`Objective::Shuttles`].
+    #[serde(default)]
+    pub score_mode: ScoreMode,
 }
 
 impl CompilerConfig {
@@ -171,6 +197,7 @@ impl CompilerConfig {
             lookahead: false,
             timing: TimingModel::ideal(),
             objective: Objective::Shuttles,
+            score_mode: ScoreMode::Delta,
         }
     }
 
@@ -189,6 +216,7 @@ impl CompilerConfig {
             lookahead: false,
             timing: TimingModel::ideal(),
             objective: Objective::Shuttles,
+            score_mode: ScoreMode::Delta,
         }
     }
 
@@ -220,6 +248,12 @@ impl CompilerConfig {
     /// The given configuration with a different compile-loop objective.
     pub fn with_objective(self, objective: Objective) -> Self {
         CompilerConfig { objective, ..self }
+    }
+
+    /// The given configuration with a different speculative scoring mode
+    /// (clock objective only; see [`ScoreMode`]).
+    pub fn with_score_mode(self, score_mode: ScoreMode) -> Self {
+        CompilerConfig { score_mode, ..self }
     }
 }
 
@@ -259,6 +293,9 @@ impl fmt::Display for CompilerConfig {
         }
         if self.objective == Objective::Clock {
             write!(f, " objective=clock")?;
+        }
+        if self.score_mode == ScoreMode::Full {
+            write!(f, " score=full")?;
         }
         Ok(())
     }
@@ -315,6 +352,19 @@ mod tests {
             .with_timing(TimingModel::realistic());
         assert!(c.to_string().contains("+lookahead"));
         assert!(c.to_string().contains("timing=realistic"));
+    }
+
+    #[test]
+    fn score_mode_defaults_to_delta_and_full_is_displayed() {
+        let c = CompilerConfig::optimized();
+        assert_eq!(c.score_mode, ScoreMode::Delta);
+        assert!(!c.to_string().contains("score="));
+        let c = c
+            .with_objective(Objective::Clock)
+            .with_score_mode(ScoreMode::Full);
+        assert!(c.to_string().contains("objective=clock"));
+        assert!(c.to_string().contains("score=full"));
+        assert_eq!(ScoreMode::default(), ScoreMode::Delta);
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod stats;
 pub use analysis::ScheduleAnalysis;
 pub use config::{
     CompilerConfig, DirectionPolicy, IonSelection, MappingPolicy, Objective, RebalancePolicy,
+    ScoreMode,
 };
 pub use error::CompileError;
 pub use mapping::initial_mapping;

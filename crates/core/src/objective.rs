@@ -1,27 +1,38 @@
 //! The clock objective's scoring harness: an incremental
-//! [`LowerState`] threaded through the compile loop.
+//! [`DeltaScorer`] threaded through the compile loop.
 //!
 //! Under [`Objective::Clock`](crate::config::Objective::Clock) the
 //! scheduler commits every emitted operation into this fold (each shuttle
 //! as a synthetic single-hop round, exactly the transport-less
 //! [`lower`](qccd_timing::lower) fold), so at every open decision the
-//! *projected* makespan of each candidate is an O(candidate) speculative
-//! advance from the live checkpoint — never an O(n) re-lower. Chunked
-//! advancing is bit-for-bit equal to one whole-schedule `lower` call
-//! (property-tested in `qccd-timing`), so the fold's final makespan is
-//! exactly what a fresh `lower(schedule, None, ..)` of the committed
-//! schedule reports — the invariant the objective property tests pin.
+//! *projected* makespan of each candidate is a speculative advance from
+//! the live checkpoint — never an O(n) re-lower. Chunked advancing is
+//! bit-for-bit equal to one whole-schedule `lower` call (property-tested
+//! in `qccd-timing`), so the fold's final makespan is exactly what a fresh
+//! `lower(schedule, None, ..)` of the committed schedule reports — the
+//! invariant the objective property tests pin.
+//!
+//! Speculation itself runs in one of two bit-for-bit identical modes
+//! ([`ScoreMode`]): the O(delta) path that touches only the candidate's
+//! resources with undo records, or the full re-lower oracle
+//! (`--score-mode full`) that replays the whole committed schedule plus
+//! the candidate from the initial mapping — O(n) per candidate, the
+//! naive baseline the delta engine replaces, kept as the differential
+//! reference. The `delta_properties` harness and the `paper_eval delta`
+//! CI gate pin the two modes to each other on every decision of every
+//! paper benchmark.
 
+use crate::config::ScoreMode;
 use qccd_circuit::Circuit;
 use qccd_machine::{InitialMapping, IonId, MachineSpec, Operation, TrapId, TrapTopology};
-use qccd_timing::{LowerError, LowerState, TimelineEvent, TimingModel};
+use qccd_timing::{DeltaScorer, LowerError, TimingModel};
 
-/// The threaded fold plus the timing model it scores under.
+/// The threaded fold plus the timing model and scoring mode it runs under.
 #[derive(Debug, Clone)]
 pub(crate) struct ClockScorer {
-    state: LowerState,
+    delta: DeltaScorer,
     model: TimingModel,
-    scratch: Vec<TimelineEvent>,
+    mode: ScoreMode,
 }
 
 impl ClockScorer {
@@ -30,17 +41,23 @@ impl ClockScorer {
         mapping: &InitialMapping,
         spec: &MachineSpec,
         model: &TimingModel,
+        mode: ScoreMode,
     ) -> Result<Self, LowerError> {
         Ok(ClockScorer {
-            state: LowerState::new(mapping, spec, model)?,
+            delta: DeltaScorer::new(mapping, spec, model)?,
             model: *model,
-            scratch: Vec::new(),
+            mode,
         })
     }
 
     /// The scoring model (the compiler config's timing model).
     pub fn model(&self) -> TimingModel {
         self.model
+    }
+
+    /// Candidates scored so far (for the `clock_speculations` counter).
+    pub fn speculations(&self) -> usize {
+        self.delta.speculations()
     }
 
     /// Advances the fold through one committed operation. Errors are
@@ -52,19 +69,12 @@ impl ClockScorer {
         circuit: &Circuit,
         spec: &MachineSpec,
     ) -> Result<(), LowerError> {
-        self.scratch.clear();
-        self.state.advance(
-            std::slice::from_ref(op),
-            None,
-            circuit,
-            spec,
-            &mut self.scratch,
-        )
+        self.delta.commit(op, circuit, spec)
     }
 
     /// The fold's makespan so far, µs.
     pub fn makespan_us(&self) -> f64 {
-        self.state.makespan_us()
+        self.delta.makespan_us()
     }
 
     /// Projected makespan after speculatively walking `ion` along the
@@ -72,7 +82,7 @@ impl ClockScorer {
     /// the walk is illegal from here (e.g. a full trap on the way) — the
     /// candidate needs evictions this score cannot price.
     pub fn score_walk(
-        &self,
+        &mut self,
         ion: IonId,
         path: &[TrapId],
         circuit: &Circuit,
@@ -86,7 +96,10 @@ impl ClockScorer {
                 to: w[1],
             })
             .collect();
-        self.state.score_ops(&ops, circuit, spec)
+        match self.mode {
+            ScoreMode::Full => self.delta.score_ops_full(&ops, circuit, spec),
+            ScoreMode::Delta => self.delta.score_ops(&ops, circuit, spec),
+        }
     }
 }
 
@@ -138,31 +151,70 @@ mod tests {
         let mapping = InitialMapping::round_robin(&spec, 6).unwrap();
         let circuit = Circuit::new(6);
         let model = TimingModel::realistic();
-        let mut scorer = ClockScorer::new(&mapping, &spec, &model).unwrap();
-        assert_eq!(scorer.makespan_us(), 0.0);
+        for mode in [ScoreMode::Delta, ScoreMode::Full] {
+            let mut scorer = ClockScorer::new(&mapping, &spec, &model, mode).unwrap();
+            assert_eq!(scorer.makespan_us(), 0.0);
 
-        // Speculate a 2-hop walk, twice: identical projections, no drift.
-        let ion = IonId(0);
-        let path = [TrapId(0), TrapId(1), TrapId(2)];
-        let a = scorer.score_walk(ion, &path, &circuit, &spec).unwrap();
-        let b = scorer.score_walk(ion, &path, &circuit, &spec).unwrap();
-        assert_eq!(a, b);
-        assert_eq!(scorer.makespan_us(), 0.0, "speculation never commits");
+            // Speculate a 2-hop walk, twice: identical projections, no
+            // drift.
+            let ion = IonId(0);
+            let path = [TrapId(0), TrapId(1), TrapId(2)];
+            let a = scorer.score_walk(ion, &path, &circuit, &spec).unwrap();
+            let b = scorer.score_walk(ion, &path, &circuit, &spec).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(scorer.makespan_us(), 0.0, "speculation never commits");
 
-        // Committing the walk lands exactly on the projection.
-        for w in path.windows(2) {
-            scorer
-                .commit(
-                    &Operation::Shuttle {
-                        ion,
-                        from: w[0],
-                        to: w[1],
-                    },
-                    &circuit,
-                    &spec,
-                )
-                .unwrap();
+            // Committing the walk lands exactly on the projection.
+            for w in path.windows(2) {
+                scorer
+                    .commit(
+                        &Operation::Shuttle {
+                            ion,
+                            from: w[0],
+                            to: w[1],
+                        },
+                        &circuit,
+                        &spec,
+                    )
+                    .unwrap();
+            }
+            assert_eq!(scorer.makespan_us(), a);
         }
-        assert_eq!(scorer.makespan_us(), a);
+    }
+
+    /// The two scoring modes are interchangeable: identical projections
+    /// for identical walks from identical folds.
+    #[test]
+    fn delta_and_full_modes_project_identically() {
+        use qccd_circuit::Circuit;
+        use qccd_machine::MachineSpec;
+
+        let spec = MachineSpec::new(TrapTopology::grid(2, 3), 4, 1).unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 10).unwrap();
+        let circuit = Circuit::new(10);
+        let model = TimingModel::realistic();
+        let mut delta = ClockScorer::new(&mapping, &spec, &model, ScoreMode::Delta).unwrap();
+        let mut full = ClockScorer::new(&mapping, &spec, &model, ScoreMode::Full).unwrap();
+        // round_robin fills sequentially (3 per trap): ions 0-2 in T0,
+        // 3-5 in T1, 6-8 in T2, 9 in T3.
+        let walks: Vec<(IonId, Vec<TrapId>)> = vec![
+            (IonId(0), vec![TrapId(0), TrapId(1), TrapId(2)]),
+            (IonId(9), vec![TrapId(3), TrapId(4)]),
+            (IonId(3), vec![TrapId(1), TrapId(4), TrapId(5)]),
+        ];
+        for (ion, path) in &walks {
+            let d = delta.score_walk(*ion, path, &circuit, &spec);
+            let f = full.score_walk(*ion, path, &circuit, &spec);
+            assert_eq!(d, f, "walk of ion {ion:?} along {path:?}");
+            // Commit the first hop so later walks price from a moved fold.
+            let op = Operation::Shuttle {
+                ion: *ion,
+                from: path[0],
+                to: path[1],
+            };
+            delta.commit(&op, &circuit, &spec).unwrap();
+            full.commit(&op, &circuit, &spec).unwrap();
+            assert_eq!(delta.makespan_us(), full.makespan_us());
+        }
     }
 }

@@ -55,7 +55,12 @@ pub(crate) enum ProximityMetric {
 /// needs: when the move scores tie, *both* orientations are genuinely open
 /// — the paper's text does not specify one — and `alternative` carries the
 /// orientation the excess-capacity fallback rejected, so a clock-driven
-/// compiler can re-arbitrate the tie on projected makespan instead.
+/// compiler can re-arbitrate the tie on projected makespan instead. The
+/// re-arbitration prices each orientation's planned walk speculatively
+/// (O(delta) by default, the full re-lower oracle under
+/// `--score-mode full`; the two are pinned bit-for-bit identical), so
+/// surfacing the alternative never changes what the configured policy
+/// alone would decide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DirectionChoice {
     /// The decision the configured policy arrives at (ties broken by the

@@ -140,9 +140,10 @@ pub fn compile_with_mapping(
         Objective::Shuttles => None,
         // The clock objective threads the transport-less lowering fold
         // through the loop; every candidate at an open decision is scored
-        // by an O(candidate) speculative advance from this state.
+        // by a speculative advance from this state — O(delta) by default,
+        // O(suffix) under the `ScoreMode::Full` differential oracle.
         Objective::Clock => Some(
-            ClockScorer::new(&mapping, spec, &config.timing)
+            ClockScorer::new(&mapping, spec, &config.timing, config.score_mode)
                 .map_err(CompileError::InternalTimeline)?,
         ),
     };
@@ -161,6 +162,10 @@ pub fn compile_with_mapping(
     };
     scheduler.run()?;
     let clock_serial_makespan_us = scheduler.clock.as_ref().map(ClockScorer::makespan_us);
+    scheduler.stats.clock_speculations = scheduler
+        .clock
+        .as_ref()
+        .map_or(0, ClockScorer::speculations);
     let schedule = Schedule::new(mapping, scheduler.ops);
     schedule
         .validate(circuit, spec)
@@ -402,11 +407,11 @@ impl Scheduler<'_> {
             &self.pending,
             pos,
         );
-        let (Some(alt), Some(clock)) = (choice.alternative, self.clock.as_ref()) else {
+        let (Some(alt), Some(clock)) = (choice.alternative, self.clock.as_mut()) else {
             return choice.decision;
         };
         let model = clock.model();
-        let score = |d: &MoveDecision| -> Option<f64> {
+        let mut score = |d: &MoveDecision| -> Option<f64> {
             let topology = self.state.spec().topology();
             let weight = |a: TrapId, b: TrapId| edge_weight(&model, topology, a, b);
             let plan = plan_route_weighted(
@@ -469,6 +474,30 @@ impl Scheduler<'_> {
             vec![(decision.ion, decision.from, decision.to)];
         let mut claimed: Vec<IonId> = vec![decision.ion, stationary];
         let end = (pos + 1 + Self::REORDER_WINDOW).min(self.pending.len());
+        // Cheap feasibility precheck before any §III-A window arbitration:
+        // a gate can only join the batch if it is ready, cross-trap, and
+        // claims no already-claimed ion, and the loop below only ever
+        // *grows* `claimed` — so counting window gates that pass these
+        // filters against the initial claim set upper-bounds the movers
+        // the loop can accept. Zero such gates means the batch stays a
+        // solo move; skip the per-gate direction scoring entirely (the
+        // dominant cost of probing unbatchable windows).
+        let joinable = (pos + 1..end).any(|p| {
+            let gid = self.pending[p];
+            if !self.ready.is_ready(gid) {
+                return false;
+            }
+            let Some((xa, xb)) = self.circuit.gate(gid).two_qubit_operands() else {
+                return false;
+            };
+            let (ja, jb) = (IonId::from(xa), IonId::from(xb));
+            self.state.trap_of(ja) != self.state.trap_of(jb)
+                && !claimed.contains(&ja)
+                && !claimed.contains(&jb)
+        });
+        if !joinable {
+            return Ok(false);
+        }
         for p in (pos + 1)..end {
             if movers.len() >= Self::BATCH_LIMIT {
                 break;
@@ -807,7 +836,7 @@ impl Scheduler<'_> {
         keep: &[IonId],
         avoid: &[TrapId],
     ) -> Option<(TrapId, Vec<TrapId>)> {
-        let clock = self.clock.as_ref()?;
+        let clock = self.clock.as_mut()?;
         let candidates = destination_candidates(self.config.rebalance, &self.state, blocked, avoid);
         if candidates.len() < 2 {
             return None;

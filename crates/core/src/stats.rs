@@ -39,6 +39,11 @@ pub struct CompileStats {
     /// Shuttle hops emitted by batched layers (each also counts in
     /// `shuttles`).
     pub batched_hops: usize,
+    /// Speculative candidates the clock objective priced (via the delta
+    /// scorer or the full re-lower oracle, per
+    /// [`ScoreMode`](crate::config::ScoreMode)). Always 0 under the
+    /// shuttle-count objective.
+    pub clock_speculations: usize,
 }
 
 impl fmt::Display for CompileStats {
@@ -75,6 +80,7 @@ mod tests {
             clock_ties: 0,
             batched_layers: 0,
             batched_hops: 0,
+            clock_speculations: 0,
         };
         let text = s.to_string();
         assert!(text.contains("10 shuttles"));

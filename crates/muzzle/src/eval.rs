@@ -100,6 +100,7 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
             "--proximity",
             "--router",
             "--objective",
+            "--score-mode",
         ],
         "each eval suite fixes its machine and circuits, and always runs \
          the baseline-vs-optimized policy pair under both routers plus the \
@@ -335,7 +336,7 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
          timing,serial_makespan_us,transport_makespan_us,serial_timed_makespan_us,\
          transport_timed_makespan_us,lookahead_timed_makespan_us,packed_timed_makespan_us,\
          clock_timed_makespan_us,zone_moves,junction_crossings,fidelity_improvement,\
-         baseline_compile_s,optimized_compile_s\n",
+         baseline_compile_s,optimized_compile_s,clock_compile_s,clock_full_compile_s\n",
     );
     for r in rows {
         out.push_str(&csv_row(&[
@@ -363,6 +364,8 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
             format!("{:.4}", r.fidelity_improvement()),
             format!("{:.6}", r.baseline_compile_s),
             format!("{:.6}", r.optimized_compile_s),
+            format!("{:.6}", r.clock_compile_s),
+            format!("{:.6}", r.clock_full_compile_s),
         ]));
         out.push('\n');
     }
@@ -473,6 +476,8 @@ fn render_json(
                         ("batched_layers", Json::int(r.clock_stats.batched_layers)),
                         ("batched_hops", Json::int(r.clock_stats.batched_hops)),
                         ("improved", Json::Bool(r.clock_stats.improved)),
+                        ("compile_seconds", Json::Num(r.clock_compile_s)),
+                        ("compile_seconds_full", Json::Num(r.clock_full_compile_s)),
                         ("program_fidelity", Json::Num(r.clock_sim.program_fidelity)),
                     ]),
                 ),

@@ -22,7 +22,7 @@ mod spec;
 use output::Json;
 use qccd_core::{
     compile, CompileResult, CompilerConfig, DirectionPolicy, Objective, RouterPolicy,
-    ScheduleAnalysis, TimingModel,
+    ScheduleAnalysis, ScoreMode, TimingModel,
 };
 use qccd_machine::MachineSpec;
 use qccd_sim::{simulate_timed, SimParams, SimReport};
@@ -79,6 +79,11 @@ POLICY OPTIONS:
                         runs the packed transport stack on the result, and
                         keeps it only when it beats the default-objective
                         packed stack on the device clock — never regresses)
+    --score-mode M      delta | full               [default: delta]
+                        (how --objective clock prices speculative
+                        candidates: delta touches only the candidate's
+                        resources with O(1) undo; full clones and re-lowers
+                        the suffix — the bit-for-bit differential oracle)
 
 OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
@@ -134,6 +139,7 @@ pub struct CommonOptions {
     pub router: String,
     pub timing: String,
     pub objective: String,
+    pub score_mode: String,
     pub format: String,
     pub out: Option<String>,
     /// Flags the subcommand recognises beyond the common set.
@@ -174,6 +180,7 @@ pub fn parse_common(
         router: "serial".to_owned(),
         timing: "ideal".to_owned(),
         objective: "shuttles".to_owned(),
+        score_mode: "delta".to_owned(),
         format: "text".to_owned(),
         out: None,
         extra_flags: Vec::new(),
@@ -233,6 +240,13 @@ pub fn parse_common(
                 }
                 opts.objective = o;
             }
+            "--score-mode" => {
+                let m = next(&mut i, arg)?;
+                if m != "delta" && m != "full" {
+                    return Err(format!("--score-mode must be delta or full, got `{m}`"));
+                }
+                opts.score_mode = m;
+            }
             "--format" => {
                 let f = next(&mut i, arg)?;
                 if !["text", "json", "csv"].contains(&f.as_str()) {
@@ -279,6 +293,7 @@ pub fn build_config(
     router: &str,
     timing: &str,
     objective: &str,
+    score_mode: &str,
 ) -> Result<CompilerConfig, String> {
     let (router, lookahead) = match router {
         "congestion" => (RouterPolicy::congestion(), false),
@@ -292,6 +307,10 @@ pub fn build_config(
         "clock" => Objective::Clock,
         _ => Objective::Shuttles,
     };
+    let score_mode = match score_mode {
+        "full" => ScoreMode::Full,
+        _ => ScoreMode::Delta,
+    };
     if policy == "baseline" {
         if proximity.is_some() {
             return Err(
@@ -304,13 +323,15 @@ pub fn build_config(
             .with_router(router)
             .with_lookahead(lookahead)
             .with_timing(timing)
-            .with_objective(objective));
+            .with_objective(objective)
+            .with_score_mode(score_mode));
     }
     let mut config = CompilerConfig::optimized()
         .with_router(router)
         .with_lookahead(lookahead)
         .with_timing(timing)
-        .with_objective(objective);
+        .with_objective(objective)
+        .with_score_mode(score_mode);
     if let Some(p) = proximity {
         config.direction = DirectionPolicy::FutureOps { proximity: p };
     }
@@ -455,6 +476,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         &opts.router,
         &opts.timing,
         &opts.objective,
+        &opts.score_mode,
     )?;
     let (result, pack_stats, clock_stats, compile_s) =
         timed(&circuit.circuit, &machine, &config, opts.router == "packed")?;
@@ -612,6 +634,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.router,
             &opts.timing,
             &opts.objective,
+            &opts.score_mode,
         )?)?;
         let (_, opt) = run(&build_config(
             "optimized",
@@ -619,6 +642,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.router,
             &opts.timing,
             &opts.objective,
+            &opts.score_mode,
         )?)?;
         match opts.format.as_str() {
             "json" => {
@@ -673,6 +697,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.router,
             &opts.timing,
             &opts.objective,
+            &opts.score_mode,
         )?;
         let (_, sim) = run(&config)?;
         match opts.format.as_str() {
@@ -772,6 +797,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     &opts.router,
                     &opts.timing,
                     &opts.objective,
+                    &opts.score_mode,
                 )?,
                 build_config(
                     "optimized",
@@ -779,6 +805,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     &opts.router,
                     &opts.timing,
                     &opts.objective,
+                    &opts.score_mode,
                 )?,
             ),
             "traps" => {
@@ -797,6 +824,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                         &opts.router,
                         &opts.timing,
                         &opts.objective,
+                        &opts.score_mode,
                     )?,
                     build_config(
                         "optimized",
@@ -804,6 +832,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                         &opts.router,
                         &opts.timing,
                         &opts.objective,
+                        &opts.score_mode,
                     )?,
                 )
             }

@@ -37,6 +37,7 @@ use qccd_machine::{Operation, Schedule, ShuttleMove};
 use qccd_route::{BackfillRules, CreditRule, RoundBackfill, TransportRound, TransportSchedule};
 
 /// One rebuilt schedule + transport pair from the cross-gate packer.
+#[derive(Clone, PartialEq)]
 pub(crate) struct CrossGatePacked {
     /// The rewritten flat operation stream (round-ordered hops).
     pub ops: Vec<Operation>,

@@ -92,35 +92,33 @@ pub(crate) fn plan_layers(
         }
         let run_rounds = &rounds[rounds_start..round_cursor];
 
-        let rewrite = rewrite_run(run_ops, lower.machine(), spec);
-        let chosen = match rewrite {
-            Some(new_ops) if new_ops.len() <= run_ops.len() => {
-                // Score both variants from the same checkpoint; the
-                // rewrite must strictly win on the clock to be kept.
-                let mut orig = lower.clone();
-                scratch.clear();
-                orig.advance(run_ops, Some(run_rounds), circuit, spec, &mut scratch)?;
-                let scored = score_rewrite(&lower, &new_ops, circuit, spec);
-                match scored {
-                    Some(new_state) if beats(&new_state, &orig) => {
-                        replanned_runs += 1;
-                        dropped_hops += run_ops.len() - new_ops.len();
-                        lower = new_state;
-                        ops.extend_from_slice(&new_ops);
-                        continue;
-                    }
-                    _ => orig,
+        let rewrite =
+            rewrite_run(run_ops, lower.machine(), spec).filter(|n| n.len() <= run_ops.len());
+        if let Some(new_ops) = rewrite {
+            // Score both variants from the same checkpoint; the
+            // rewrite must strictly win on the clock to be kept.
+            let mut orig = lower.clone();
+            scratch.clear();
+            orig.advance(run_ops, Some(run_rounds), circuit, spec, &mut scratch)?;
+            match score_rewrite(&lower, &new_ops, circuit, spec) {
+                Some(new_state) if beats(&new_state, &orig) => {
+                    replanned_runs += 1;
+                    dropped_hops += run_ops.len() - new_ops.len();
+                    lower = new_state;
+                    ops.extend_from_slice(&new_ops);
+                }
+                _ => {
+                    lower = orig;
+                    ops.extend_from_slice(run_ops);
                 }
             }
-            _ => {
-                let mut orig = lower.clone();
-                scratch.clear();
-                orig.advance(run_ops, Some(run_rounds), circuit, spec, &mut scratch)?;
-                orig
-            }
-        };
-        lower = chosen;
-        ops.extend_from_slice(run_ops);
+        } else {
+            // No candidate rewrite: the committed fold just advances in
+            // place — no checkpoint clone needed.
+            scratch.clear();
+            lower.advance(run_ops, Some(run_rounds), circuit, spec, &mut scratch)?;
+            ops.extend_from_slice(run_ops);
+        }
     }
     Ok(LayerPlanned {
         ops,

@@ -52,7 +52,7 @@ mod cross_gate;
 mod layers;
 mod validate;
 
-use cross_gate::pack_cross_gate;
+use cross_gate::{pack_cross_gate, CrossGatePacked};
 use layers::plan_layers;
 use qccd_circuit::Circuit;
 use qccd_core::{compile, CompileError, CompileResult, CompilerConfig, Objective, RouterPolicy};
@@ -190,8 +190,18 @@ pub fn pack(
                           dropped_hops: usize,
                           candidates: &mut Vec<Candidate>|
      -> Result<(), PackError> {
+        let mut prev: Option<CrossGatePacked> = None;
         for share_only in [true, false] {
             let packed = pack_cross_gate(base, cap, num_traps, config.window, share_only);
+            // The share-only and full passes frequently emit the same
+            // program; comparing ops+rounds is O(n) while re-lowering and
+            // carrying a duplicate candidate costs several O(n) passes.
+            // Identical candidates also tie on every selection key, so
+            // dropping the copy cannot change which result `best` picks.
+            if prev.as_ref() == Some(&packed) {
+                continue;
+            }
+            prev = Some(packed.clone());
             let schedule = Schedule::new(base.initial_mapping.clone(), packed.ops);
             let timeline = lower(
                 &schedule,

@@ -22,6 +22,12 @@
 //!   state at a chunk boundary and re-lower only a perturbed suffix, so a
 //!   transport optimizer scoring many candidate rewrites pays O(suffix)
 //!   per candidate instead of a full O(n) `lower` each time.
+//! * [`DeltaScorer`] — the fold with O(delta) speculative scoring on top:
+//!   a candidate shuttle walk is priced by touching only the clocks of the
+//!   traps it visits and the one moved ion's availability, with a small
+//!   undo log instead of a cloned state — bit-for-bit equal to the
+//!   checkpoint-and-re-lower oracle (the `delta_properties` differential
+//!   harness pins the equality).
 //! * [`Timeline`] — the result: timed events with resource intervals and a
 //!   [`validate`](Timeline::validate) pass proving no trap or shuttle-path
 //!   segment is ever double-booked.
@@ -62,10 +68,12 @@
 //! # }
 //! ```
 
+mod delta;
 mod model;
 mod scheduler;
 mod timeline;
 
+pub use delta::DeltaScorer;
 pub use model::TimingModel;
 pub use scheduler::{lower, LowerError, LowerState};
 pub use timeline::{TimedMove, Timeline, TimelineError, TimelineEvent};

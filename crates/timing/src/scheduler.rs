@@ -95,12 +95,12 @@ pub fn lower(
 /// fold, and the chunk boundary carries its entire state.
 #[derive(Debug, Clone)]
 pub struct LowerState {
-    model: TimingModel,
-    state: MachineState,
+    pub(crate) model: TimingModel,
+    pub(crate) state: MachineState,
     /// Per-trap device clock, µs.
-    clock: Vec<f64>,
+    pub(crate) clock: Vec<f64>,
     /// Per-qubit availability time, µs.
-    avail: Vec<f64>,
+    pub(crate) avail: Vec<f64>,
     gates: usize,
     shuttles: usize,
     shuttle_depth: usize,
@@ -509,7 +509,7 @@ impl Error for LowerError {
 mod tests {
     use super::*;
     use qccd_circuit::{GateId, Opcode, Qubit};
-    use qccd_machine::{InitialMapping, ZoneLayout};
+    use qccd_machine::{InitialMapping, TrapTopology, ZoneLayout};
     use qccd_route::{TransportRound, TransportSchedule};
 
     fn sh(ion: u32, from: u32, to: u32) -> Operation {
@@ -860,5 +860,98 @@ mod tests {
             lower(&schedule, None, &c, &spec, &model),
             Err(LowerError::InvalidModel)
         );
+    }
+
+    #[test]
+    fn score_ops_empty_and_single_op_suffixes() {
+        // Empty suffix: the projection is the fold's own makespan, and
+        // scoring never disturbs the state.
+        let (c, spec, schedule) = two_trap_fixture();
+        let model = TimingModel::realistic();
+        let mut state = LowerState::new(&schedule.initial_mapping, &spec, &model).unwrap();
+        assert_eq!(state.score_ops(&[], &c, &spec), Some(0.0));
+        let mut events = Vec::new();
+        state
+            .advance(&schedule.operations, None, &c, &spec, &mut events)
+            .unwrap();
+        let committed = state.makespan_us();
+        assert_eq!(state.score_ops(&[], &c, &spec), Some(committed));
+        // Single-op suffixes: one hop projects exactly one round past the
+        // fold (ion 1 sits in T1 after the replay); one repeated gate
+        // projects one more gate on T1's clock.
+        let hop = state.score_ops(&[sh(1, 1, 0)], &c, &spec).unwrap();
+        assert!((hop - (committed + model.hop_us(0))).abs() < 1e-9);
+        let gate = state
+            .score_ops(
+                &[Operation::Gate {
+                    gate: GateId(2),
+                    trap: TrapId(1),
+                }],
+                &c,
+                &spec,
+            )
+            .unwrap();
+        assert!(gate > committed);
+        // Speculation left the committed fold untouched.
+        assert_eq!(state.makespan_us(), committed);
+        assert_eq!(state.score_ops(&[], &c, &spec), Some(committed));
+    }
+
+    #[test]
+    fn score_ops_prices_zone_reorder_only_suffixes() {
+        // A gate whose operands are already co-located but outside the
+        // 2-slot gate zone: the suffix emits no shuttles, only timed zone
+        // reorders ahead of the gate — the checkpoint copy must charge
+        // them exactly as `lower` does.
+        let spec = MachineSpec::linear(1, 6, 1)
+            .unwrap()
+            .with_zone_layout(ZoneLayout::new(2, 3, 1).unwrap())
+            .unwrap();
+        let mapping = InitialMapping::round_robin(&spec, 4).unwrap();
+        let mut c = Circuit::new(4);
+        c.push_two_qubit(Opcode::Ms, Qubit(2), Qubit(3)).unwrap();
+        let ops = [Operation::Gate {
+            gate: GateId(0),
+            trap: TrapId(0),
+        }];
+        let model = TimingModel::realistic();
+        let state = LowerState::new(&mapping, &spec, &model).unwrap();
+        let scored = state.score_ops(&ops, &c, &spec).unwrap();
+        let expect = 2.0 * model.zone_move_us() + model.two_qubit_gate_us(4);
+        assert!((scored - expect).abs() < 1e-9);
+        // The fold itself never moved: re-scoring reproduces the figure.
+        assert_eq!(state.score_ops(&ops, &c, &spec), Some(scored));
+        assert_eq!(state.makespan_us(), 0.0);
+    }
+
+    #[test]
+    fn score_ops_candidates_through_a_junction_trap() {
+        // 3×3 grid, centre trap T4 has degree 4: a candidate crossing it
+        // pays junction corner/swap time under the realistic model and
+        // nothing under the ideal model — checkpoint scoring must price
+        // both exactly.
+        let spec = MachineSpec::new(TrapTopology::grid(3, 3), 4, 1).unwrap();
+        let mapping = InitialMapping::from_traps(&spec, vec![TrapId(1)]).unwrap();
+        let c = Circuit::new(1);
+        let walk = [sh(0, 1, 4), sh(0, 4, 7)];
+        for model in [TimingModel::ideal(), TimingModel::realistic()] {
+            let state = LowerState::new(&mapping, &spec, &model).unwrap();
+            let scored = state.score_ops(&walk, &c, &spec).unwrap();
+            // T1, T4 and T7 all have degree ≥ 3: each hop crosses two
+            // junction endpoints — exactly what the full lower charges.
+            let schedule = Schedule::new(mapping.clone(), walk.to_vec());
+            let full = lower(&schedule, None, &c, &spec, &model).unwrap();
+            assert_eq!(scored.to_bits(), full.makespan_us.to_bits());
+            assert_eq!(full.junction_crossings, 4);
+        }
+        // Realistic junction crossings are strictly costlier than the
+        // junction-free two-hop walk from the same state.
+        let model = TimingModel::realistic();
+        let state = LowerState::new(&mapping, &spec, &model).unwrap();
+        let through_junction = state.score_ops(&walk, &c, &spec).unwrap();
+        let along_edge = state
+            .score_ops(&[sh(0, 1, 0), sh(0, 0, 3)], &c, &spec)
+            .unwrap();
+        assert!(through_junction > along_edge);
     }
 }

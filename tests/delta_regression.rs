@@ -1,0 +1,117 @@
+//! Regression pins for the delta scorer: the clock-objective pipeline
+//! under the default `--score-mode delta` must reproduce the
+//! `BENCH_pr5.json` clock rows *exactly* — timed makespans, ties broken,
+//! batched layers/hops and the strict-win flags were all produced by the
+//! O(suffix) clone-and-re-lower scorer, so matching them bit-for-bit
+//! proves the O(delta) rewrite changed the cost of scoring and nothing
+//! else. The same pipeline under `--score-mode full` must match too (the
+//! oracle path survives the refactor unchanged).
+
+use muzzle_shuttle::compiler::{CompilerConfig, ScoreMode};
+use muzzle_shuttle::machine::MachineSpec;
+use muzzle_shuttle::pack::compile_clock;
+use muzzle_shuttle::timing::TimingModel;
+use qccd_circuit::generators::paper_suite;
+
+/// One benchmark's pinned `BENCH_pr5.json` clock row (realistic timing).
+struct Pin {
+    name: &'static str,
+    clock_timed_makespan_us: f64,
+    clock_ties: usize,
+    batched_layers: usize,
+    batched_hops: usize,
+}
+
+/// The `BENCH_pr5.json` clock rows, verbatim (every benchmark improved,
+/// so `candidate == chosen` makespan throughout).
+const PINS: [Pin; 5] = [
+    Pin {
+        name: "Supremacy",
+        clock_timed_makespan_us: 73620.0,
+        clock_ties: 0,
+        batched_layers: 26,
+        batched_hops: 361,
+    },
+    Pin {
+        name: "QAOA",
+        clock_timed_makespan_us: 220800.0,
+        clock_ties: 11,
+        batched_layers: 74,
+        batched_hops: 1432,
+    },
+    Pin {
+        name: "SquareRoot",
+        clock_timed_makespan_us: 185810.0,
+        clock_ties: 7,
+        batched_layers: 24,
+        batched_hops: 271,
+    },
+    Pin {
+        name: "QFT",
+        clock_timed_makespan_us: 426835.0,
+        clock_ties: 9,
+        batched_layers: 42,
+        batched_hops: 94,
+    },
+    Pin {
+        name: "QuadraticForm",
+        clock_timed_makespan_us: 511550.0,
+        clock_ties: 1,
+        batched_layers: 63,
+        batched_hops: 194,
+    },
+];
+
+/// Runs the clock pipeline (the same `compile_clock` path `muzzle eval`
+/// uses) under `mode` and pins every row against `BENCH_pr5.json`.
+fn assert_pr5_clock_rows(mode: ScoreMode) {
+    let spec = MachineSpec::paper_l6();
+    let config = CompilerConfig::optimized()
+        .with_timing(TimingModel::realistic())
+        .with_score_mode(mode);
+    for (bench, pin) in paper_suite().iter().zip(&PINS) {
+        assert_eq!(bench.name, pin.name, "suite order changed");
+        let (chosen, stats) = compile_clock(&bench.circuit, &spec, &config)
+            .expect("paper benchmarks compile under the clock objective");
+        assert_eq!(
+            chosen.timeline.makespan_us, pin.clock_timed_makespan_us,
+            "{} ({mode:?}): clock timed makespan drifted",
+            pin.name
+        );
+        assert_eq!(
+            stats.clock_makespan_us, pin.clock_timed_makespan_us,
+            "{} ({mode:?}): candidate makespan drifted",
+            pin.name
+        );
+        assert_eq!(
+            stats.clock_ties, pin.clock_ties,
+            "{} ({mode:?}): tie decisions drifted",
+            pin.name
+        );
+        assert_eq!(
+            stats.batched_layers, pin.batched_layers,
+            "{} ({mode:?}): batched layer count drifted",
+            pin.name
+        );
+        assert_eq!(
+            stats.batched_hops, pin.batched_hops,
+            "{} ({mode:?}): batched hop count drifted",
+            pin.name
+        );
+        assert!(
+            stats.improved,
+            "{} ({mode:?}): the clock candidate stopped beating the packed stack",
+            pin.name
+        );
+    }
+}
+
+#[test]
+fn delta_scoring_reproduces_bench_pr5_clock_rows_exactly() {
+    assert_pr5_clock_rows(ScoreMode::Delta);
+}
+
+#[test]
+fn full_scoring_reproduces_bench_pr5_clock_rows_exactly() {
+    assert_pr5_clock_rows(ScoreMode::Full);
+}
