@@ -35,7 +35,7 @@ fn main() {
                 i += 2;
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
-            | "timing" | "lookahead" | "pack" | "objective" | "delta" | "all" => {
+            | "timing" | "lookahead" | "pack" | "objective" | "delta" | "profile" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -53,9 +53,11 @@ fn main() {
 
     let needs_suite = matches!(command.as_str(), "table2" | "fig8" | "table3" | "all");
     let (nisq, random) = if needs_suite {
-        eprintln!("compiling NISQ suite...");
+        qccd_obs::info("paper_eval", || "compiling NISQ suite...".to_owned());
         let nisq = run_nisq_suite(&spec, &params);
-        eprintln!("compiling random suite ({} circuits)...", per_size * 4);
+        qccd_obs::info("paper_eval", || {
+            format!("compiling random suite ({} circuits)...", per_size * 4)
+        });
         let random = run_random_suite(&spec, &params, per_size);
         (nisq, random)
     } else {
@@ -75,6 +77,7 @@ fn main() {
         "pack" => pack(&spec),
         "objective" => objective(&spec),
         "delta" => delta(&spec),
+        "profile" => profile(&spec, &params),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -96,7 +99,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|all] [--per-size N]"
     );
     std::process::exit(2);
 }
@@ -110,7 +113,7 @@ fn routers(params: &SimParams) {
         "{:<16} {:>6} {:>24} {:>8} {:>6} {:>12}",
         "Benchmark", "Topo", "Router", "Shuttle", "Depth", "Makespan(us)"
     );
-    eprintln!("topology x router sweep...");
+    qccd_obs::info("paper_eval", || "topology x router sweep...".to_owned());
     let rows = run_topology_router_sweep(&paper_suite(), &standard_topologies(6), 17, 2, params);
     for r in &rows {
         println!(
@@ -130,7 +133,7 @@ fn timing(spec: &MachineSpec, params: &SimParams) {
         "{:<16} {:>24} {:>10} {:>6} {:>14} {:>6}",
         "Benchmark", "Router", "Timing", "Depth", "TMakespan(us)", "Junc"
     );
-    eprintln!("timing-model sweep...");
+    qccd_obs::info("paper_eval", || "timing-model sweep...".to_owned());
     let rows = run_timing_sweep(&paper_suite(), spec, params);
     for r in &rows {
         println!(
@@ -148,7 +151,7 @@ fn lookahead(spec: &MachineSpec) {
         "{:<16} {:>8} {:>10} {:>6}",
         "Benchmark", "Greedy", "Lookahead", "Gain"
     );
-    eprintln!("lookahead packing...");
+    qccd_obs::info("paper_eval", || "lookahead packing...".to_owned());
     let rows = lookahead_packing_gains(&paper_suite(), spec);
     let mut regressions = 0usize;
     for r in &rows {
@@ -190,7 +193,7 @@ fn pack(spec: &MachineSpec) {
         "Hoist",
         "Replan"
     );
-    eprintln!("pack gains...");
+    qccd_obs::info("paper_eval", || "pack gains...".to_owned());
     let rows = pack_gains(&paper_suite(), spec);
     for r in &rows {
         println!(
@@ -230,7 +233,7 @@ fn objective(spec: &MachineSpec) {
         "{:<16} {:>12} {:>12} {:>9} {:>6} {:>7} {:>7} {:>9}",
         "Benchmark", "PackMk(us)", "ClockMk(us)", "Gain(us)", "Ties", "Batch", "BHops", "Improved"
     );
-    eprintln!("objective gains...");
+    qccd_obs::info("paper_eval", || "objective gains...".to_owned());
     let rows = objective_gains(&paper_suite(), spec);
     for r in &rows {
         println!(
@@ -276,7 +279,7 @@ fn delta(spec: &MachineSpec) {
         "Speedup",
         "Match"
     );
-    eprintln!("score-mode parity...");
+    qccd_obs::info("paper_eval", || "score-mode parity...".to_owned());
     let rows = delta_parity(&paper_suite(), spec);
     for r in &rows {
         println!(
@@ -310,6 +313,52 @@ fn delta(spec: &MachineSpec) {
             r.full_batched_hops
         );
     }
+    println!();
+}
+
+/// Profiled BENCH trajectory: runs the paper suite under the realistic
+/// timing model with the `qccd-obs` recorder on, asserts every quality
+/// figure is bit-for-bit equal to an uninstrumented reference run, and
+/// snapshots the rows plus per-phase breakdowns and hot-path counters
+/// into `BENCH_pr7.json`.
+fn profile(spec: &MachineSpec, params: &SimParams) {
+    println!("## Profiled compile trajectory (paper suite, realistic timing)");
+    qccd_obs::info("paper_eval", || "profiling paper suite...".to_owned());
+    let model = qccd_core::TimingModel::realistic();
+    let profiles = qccd_bench::profile::profile_paper_suite(spec, params, &model);
+    println!(
+        "{:<16} {:>12} {:>14} {:>16} {:>10} {:>10}",
+        "Benchmark", "Wall(ms)", "Hottest phase", "Cand. scored", "DeltaHit%", "Backfills"
+    );
+    for p in &profiles {
+        let hottest = p
+            .phases
+            .first()
+            .map_or("-", |ph| ph.name.as_str())
+            .to_owned();
+        let scored = p
+            .counters
+            .iter()
+            .find(|(n, _)| n == "core.candidates_scored")
+            .map_or(0, |&(_, v)| v);
+        let backfills = p
+            .counters
+            .iter()
+            .find(|(n, _)| n == "route.backfill_attempts")
+            .map_or(0, |&(_, v)| v);
+        println!(
+            "{:<16} {:>12.1} {:>14} {:>16} {:>9.1}% {:>10}",
+            p.row.name,
+            p.wall_us / 1_000.0,
+            hottest,
+            scored,
+            100.0 * p.delta_hit_rate,
+            backfills
+        );
+    }
+    let snapshot = qccd_bench::profile::render_snapshot(spec, "realistic", &profiles);
+    std::fs::write("BENCH_pr7.json", &snapshot).expect("can write BENCH_pr7.json");
+    println!("\nwrote BENCH_pr7.json ({} bytes)", snapshot.len());
     println!();
 }
 

@@ -18,6 +18,9 @@
 //! Random-suite size defaults to the paper's 30 circuits per qubit count
 //! (120 total); pass `--per-size N` to shrink it for quick runs.
 
+pub mod json;
+pub mod profile;
+
 use qccd_circuit::generators::{paper_suite, random_suite, BenchmarkCircuit};
 use qccd_circuit::Circuit;
 use qccd_core::{compile, CompileResult, CompilerConfig, Objective, RouterPolicy, ScoreMode};

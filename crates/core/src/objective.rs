@@ -27,6 +27,10 @@ use qccd_circuit::Circuit;
 use qccd_machine::{InitialMapping, IonId, MachineSpec, Operation, TrapId, TrapTopology};
 use qccd_timing::{DeltaScorer, LowerError, TimingModel};
 
+/// Candidate walks priced by [`ClockScorer::score_walk`] across all
+/// compiles (every speculative advance, both score modes).
+static CANDIDATES_SCORED: qccd_obs::Counter = qccd_obs::Counter::new("core.candidates_scored");
+
 /// The threaded fold plus the timing model and scoring mode it runs under.
 #[derive(Debug, Clone)]
 pub(crate) struct ClockScorer {
@@ -88,6 +92,8 @@ impl ClockScorer {
         circuit: &Circuit,
         spec: &MachineSpec,
     ) -> Option<f64> {
+        let _phase = qccd_obs::span("scoring");
+        CANDIDATES_SCORED.incr();
         let ops: Vec<Operation> = path
             .windows(2)
             .map(|w| Operation::Shuttle {

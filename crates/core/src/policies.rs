@@ -143,6 +143,15 @@ pub fn decide_direction_open(
             // surface the rejected orientation as an open alternative.
             let decision = excess_capacity_direction(state, ion_a, ion_b, trap_a, trap_b);
             let other = if decision.ion == ion_a { ion_b } else { ion_a };
+            qccd_obs::debug("core.direction", || {
+                format!(
+                    "open tie: ion {} {}->{} (alt ion {}), excess-capacity rule decided",
+                    decision.ion.index(),
+                    decision.from.index(),
+                    decision.to.index(),
+                    other.index(),
+                )
+            });
             DirectionChoice {
                 decision,
                 alternative: Some(decision.opposite(other)),

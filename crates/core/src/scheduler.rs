@@ -18,6 +18,10 @@ use qccd_route::{
 use qccd_timing::Timeline;
 use std::collections::VecDeque;
 
+/// Open decisions the clock objective re-decided on projected makespan
+/// (both [`decide`](Scheduler::decide) and eviction-side ties).
+static CLOCK_TIES: qccd_obs::Counter = qccd_obs::Counter::new("core.clock_ties");
+
 /// A compiled program plus its compile-time statistics.
 #[derive(Debug, Clone)]
 pub struct CompileResult {
@@ -132,6 +136,7 @@ pub fn compile_with_mapping(
     config: &CompilerConfig,
     mapping: InitialMapping,
 ) -> Result<CompileResult, CompileError> {
+    let _phase = qccd_obs::span("compile");
     let state = MachineState::with_mapping(spec, &mapping)?;
     let dag = circuit.dependency_dag();
     let ready = dag.ready_set();
@@ -399,6 +404,7 @@ impl Scheduler<'_> {
     /// dead heat keeps the excess-capacity choice, so the tie-break is
     /// deterministic.
     fn decide(&mut self, pos: usize) -> MoveDecision {
+        let _phase = qccd_obs::span("direction-scan");
         let choice = decide_direction_open(
             self.config.direction,
             self.circuit,
@@ -435,6 +441,7 @@ impl Scheduler<'_> {
         match decided {
             Some(alt) => {
                 self.stats.clock_ties += 1;
+                CLOCK_TIES.incr();
                 alt
             }
             None => choice.decision,
@@ -463,6 +470,7 @@ impl Scheduler<'_> {
         let Some(clock) = self.clock.as_ref() else {
             return Ok(false);
         };
+        let _phase = qccd_obs::span("batching");
         let model = clock.model();
         let topology = self.state.spec().topology();
 
@@ -743,6 +751,7 @@ impl Scheduler<'_> {
         keep: &[IonId],
         avoid: &[TrapId],
     ) -> Result<(), CompileError> {
+        let _phase = qccd_obs::span("rebalance");
         self.stats.rebalances += 1;
         // Clock objective: when several destinations are equally near —
         // the paper's hash-table argmin is order-dependent there, i.e.
@@ -865,6 +874,7 @@ impl Scheduler<'_> {
         }
         let (_, dest, route) = best?;
         self.stats.clock_ties += 1;
+        CLOCK_TIES.incr();
         Some((dest, route))
     }
 

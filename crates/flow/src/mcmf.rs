@@ -7,6 +7,11 @@
 //! with Bellman–Ford path selection (costs here are small and non-negative,
 //! so SPFA-style relaxation is plenty fast for ≤ dozens of traps).
 
+/// MCMF solves started (one per [`min_cost_max_flow`] call).
+static FLOW_SOLVES: qccd_obs::Counter = qccd_obs::Counter::new("flow.solves");
+/// Augmenting paths found and applied across all solves.
+static FLOW_AUGMENTING_PATHS: qccd_obs::Counter = qccd_obs::Counter::new("flow.augmenting_paths");
+
 /// One directed edge in a [`FlowNetwork`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowEdge {
@@ -129,6 +134,7 @@ pub struct FlowResult {
 /// Panics if `source` or `sink` is out of range.
 pub fn min_cost_max_flow(net: &mut FlowNetwork, source: usize, sink: usize) -> FlowResult {
     assert!(source < net.len() && sink < net.len(), "node out of range");
+    FLOW_SOLVES.incr();
     let n = net.len();
     let mut total_flow = 0i64;
     let mut total_cost = 0i64;
@@ -159,6 +165,7 @@ pub fn min_cost_max_flow(net: &mut FlowNetwork, source: usize, sink: usize) -> F
         if dist[sink] == i64::MAX {
             break; // no augmenting path remains
         }
+        FLOW_AUGMENTING_PATHS.incr();
         // Find bottleneck along the path.
         let mut bottleneck = i64::MAX;
         let mut v = sink;

@@ -17,6 +17,13 @@
 use crate::adjacency::Adjacency;
 use crate::mcmf::{min_cost_max_flow, FlowNetwork};
 
+/// Commodities handed to [`route_commodities`] across all calls.
+static FLOW_COMMODITIES: qccd_obs::Counter = qccd_obs::Counter::new("flow.commodities_routed");
+/// Commodities the shared network had no path left for (`None` entries
+/// the caller must route alone).
+static FLOW_COMMODITY_FALLBACKS: qccd_obs::Counter =
+    qccd_obs::Counter::new("flow.commodity_fallbacks");
+
 /// One unit of demand: route an ion from `source` to `sink`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Commodity {
@@ -49,6 +56,7 @@ pub fn route_commodities(
     commodities: &[Commodity],
     mut edge_cost: impl FnMut(usize, usize) -> i64,
 ) -> Vec<Option<Vec<usize>>> {
+    let _phase = qccd_obs::span("flow");
     let n = graph.len();
     // Remaining undirected capacity per (low, high) edge.
     let mut used: Vec<(usize, usize)> = Vec::new();
@@ -61,6 +69,7 @@ pub fn route_commodities(
                 c.source < n && c.sink < n,
                 "commodity endpoint out of range"
             );
+            FLOW_COMMODITIES.incr();
             if c.source == c.sink {
                 return Some(vec![c.source]);
             }
@@ -80,6 +89,7 @@ pub fn route_commodities(
             net.add_edge(source, 2 * c.source, 1, 0);
             let result = min_cost_max_flow(&mut net, source, 2 * c.sink + 1);
             if result.flow != 1 {
+                FLOW_COMMODITY_FALLBACKS.incr();
                 return None;
             }
             // Follow the unit of flow through the out-halves.

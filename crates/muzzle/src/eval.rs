@@ -87,7 +87,8 @@ fn mini_suite() -> Vec<BenchmarkCircuit> {
 
 /// Entry point for `muzzle eval`.
 pub fn cmd_eval(args: &[String]) -> Result<(), String> {
-    let opts = parse_common(args, &["--suite", "--per-size"], &[])?;
+    let opts = parse_common(args, &["--suite", "--per-size"], &["--verbose", "--quiet"])?;
+    crate::apply_verbosity(&opts);
     opts.reject_flags(
         &[
             "--circuit",
@@ -140,14 +141,16 @@ pub fn cmd_eval(args: &[String]) -> Result<(), String> {
     };
 
     let fig4 = fig4_worked_example()?;
-    eprintln!(
-        "evaluating {} benchmarks on {machine} (policy comparison)...",
-        suite.len()
-    );
+    qccd_obs::info("eval", || {
+        format!(
+            "evaluating {} benchmarks on {machine} (policy comparison)...",
+            suite.len()
+        )
+    });
     let rows: Vec<ComparisonRow> = suite
         .iter()
         .map(|bench| {
-            eprintln!("  {}", bench.name);
+            qccd_obs::info("eval", || format!("  {}", bench.name));
             compare_timed(bench, &machine, &params, &model)
         })
         .collect();

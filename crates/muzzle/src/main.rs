@@ -89,6 +89,15 @@ OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
     --out PATH          write the report to PATH instead of stdout
 
+OBSERVABILITY OPTIONS (compile, eval):
+    --trace PATH        write a Chrome-trace JSON of the compile's phase
+                        spans and events to PATH (open in about:tracing
+                        or ui.perfetto.dev); compile only
+    --profile           append a per-phase wall-time breakdown and the
+                        hot-path counters to the report; compile only
+    --verbose           emit debug-level structured events to stderr
+    --quiet             suppress structured progress/info events
+
 COMMAND-SPECIFIC:
     compile   --show-schedule     print the compiled operation listing
               --analyze           print trap-flow / ion-travel analysis
@@ -338,6 +347,49 @@ pub fn build_config(
     Ok(config)
 }
 
+/// Applies `--verbose` / `--quiet` to the structured-event verbosity
+/// (default: info-level progress on stderr).
+pub fn apply_verbosity(opts: &CommonOptions) {
+    if opts.extra_flags.iter().any(|f| f == "--quiet") {
+        qccd_obs::set_verbosity(qccd_obs::Verbosity::Quiet);
+    } else if opts.extra_flags.iter().any(|f| f == "--verbose") {
+        qccd_obs::set_verbosity(qccd_obs::Verbosity::Debug);
+    }
+}
+
+/// The `--profile` report block: per-phase wall-time breakdown (inclusive
+/// and self time) plus every hot-path counter, as JSON.
+fn profile_json() -> Json {
+    Json::obj(vec![
+        (
+            "phases",
+            Json::Arr(
+                qccd_obs::phase_stats()
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("name", Json::str(p.name.as_str())),
+                            ("count", Json::int(p.count)),
+                            ("total_us", Json::Num(p.total_us)),
+                            ("self_us", Json::Num(p.self_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters",
+            Json::Obj(
+                qccd_obs::counters()
+                    .into_iter()
+                    .map(|(name, value)| (name, Json::int(value as usize)))
+                    .collect(),
+            ),
+        ),
+        ("wall_us", Json::Num(qccd_obs::wall_us())),
+    ])
+}
+
 /// Writes `report` to `--out` or stdout.
 pub fn emit(report: &str, out: &Option<String>) -> Result<(), String> {
     match out {
@@ -467,7 +519,18 @@ fn timed(
 // ---------------------------------------------------------------- compile
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
-    let opts = parse_common(args, &[], &["--show-schedule", "--analyze"])?;
+    let opts = parse_common(
+        args,
+        &["--trace"],
+        &[
+            "--show-schedule",
+            "--analyze",
+            "--profile",
+            "--verbose",
+            "--quiet",
+        ],
+    )?;
+    apply_verbosity(&opts);
     let circuit = require_circuit(&opts)?;
     let machine = opts.machine.build()?;
     let config = build_config(
@@ -478,8 +541,27 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         &opts.objective,
         &opts.score_mode,
     )?;
+    let trace = opts
+        .extra_values
+        .iter()
+        .find(|(k, _)| k == "--trace")
+        .map(|(_, v)| v.clone());
+    let profile = opts.extra_flags.iter().any(|f| f == "--profile");
+    // Instrumentation observes, never decides: the compile below is
+    // bit-for-bit identical with or without the recorder enabled.
+    if trace.is_some() || profile {
+        qccd_obs::reset();
+        qccd_obs::enable();
+    }
     let (result, pack_stats, clock_stats, compile_s) =
         timed(&circuit.circuit, &machine, &config, opts.router == "packed")?;
+    if trace.is_some() || profile {
+        qccd_obs::disable();
+    }
+    if let Some(path) = &trace {
+        std::fs::write(path, qccd_obs::chrome_trace())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
 
     let mut report = String::new();
     match opts.format.as_str() {
@@ -503,6 +585,11 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
             let value = match clock_stats {
                 Some(c) => value.with_field("clock", clock_stats_json(&c)),
                 None => value,
+            };
+            let value = if profile {
+                value.with_field("profile", profile_json())
+            } else {
+                value
             };
             report.push_str(&value.to_string());
             report.push('\n');
@@ -569,6 +656,9 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
                 ));
             }
             report.push_str(&format!("time     {compile_s:.4} s\n"));
+            if profile {
+                report.push_str(&qccd_obs::summary_table());
+            }
         }
     }
 

@@ -69,6 +69,7 @@ pub(crate) fn pack_cross_gate(
     window: usize,
     share_only: bool,
 ) -> CrossGatePacked {
+    let _phase = qccd_obs::span("backfill");
     let mut occ0 = vec![0u32; num_traps];
     for t in schedule.initial_mapping.as_slice() {
         occ0[t.index()] += 1;

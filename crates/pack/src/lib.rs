@@ -58,6 +58,11 @@ use qccd_circuit::Circuit;
 use qccd_core::{compile, CompileError, CompileResult, CompilerConfig, Objective, RouterPolicy};
 use qccd_machine::{IonId, MachineSpec, Schedule};
 use qccd_route::{TransportError, TransportSchedule};
+
+/// Rewrite candidates the packer lowered and scored against the input.
+static PACK_CANDIDATES: qccd_obs::Counter = qccd_obs::Counter::new("pack.candidates_tried");
+/// Candidates that strictly beat the input on the clock and were adopted.
+static PACK_ADOPTED: qccd_obs::Counter = qccd_obs::Counter::new("pack.candidates_adopted");
 use qccd_timing::{lower, LowerError, Timeline, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -160,6 +165,7 @@ pub fn pack(
     spec: &MachineSpec,
     config: &PackConfig,
 ) -> Result<Packed, PackError> {
+    let _phase = qccd_obs::span("pack");
     // When the compile was lowered under the scoring model, its attached
     // timeline *is* the input lowering — skip the redundant O(n) re-lower.
     let input_timeline = if result.timing == config.model {
@@ -281,6 +287,7 @@ pub fn pack(
         }
     }
 
+    PACK_CANDIDATES.add(candidates.len() as u64);
     let best = candidates
         .into_iter()
         .min_by(|a, b| {
@@ -293,6 +300,7 @@ pub fn pack(
 
     match best {
         Some(c) => {
+            PACK_ADOPTED.incr();
             validate_equivalent(&result.schedule, &c.schedule, circuit, spec)?;
             c.transport
                 .validate(&c.schedule, spec)

@@ -28,6 +28,13 @@
 use qccd_machine::{IonId, ShuttleMove, TrapId};
 use std::collections::HashMap;
 
+/// Hops offered to [`RoundBackfill::place`] (backfill attempts).
+static BACKFILL_PLACEMENTS: qccd_obs::Counter = qccd_obs::Counter::new("route.backfill_attempts");
+/// Hops accepted into an already-open round (first-fit joins).
+static BACKFILL_JOINS: qccd_obs::Counter = qccd_obs::Counter::new("route.backfill_accepts");
+/// Accepted hops hoisted across at least one later-noted gate.
+static BACKFILL_HOISTS: qccd_obs::Counter = qccd_obs::Counter::new("route.backfill_hoists");
+
 /// Whether a same-round departure out of a trap frees capacity for a
 /// same-round arrival into it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +212,13 @@ impl RoundBackfill {
             occ[ti] += 1;
         }
         self.last_round_of_ion.insert(m.ion, chosen);
+        BACKFILL_PLACEMENTS.incr();
+        if !opened {
+            BACKFILL_JOINS.incr();
+        }
+        if hoisted {
+            BACKFILL_HOISTS.incr();
+        }
         Placement {
             round: chosen,
             opened,

@@ -238,6 +238,7 @@ impl TransportSchedule {
     ) -> Result<Self, TransportError> {
         use crate::backfill::{BackfillRules, CreditRule, RoundBackfill};
 
+        let _phase = qccd_obs::span("backfill");
         let mut state = MachineState::with_mapping(spec, &schedule.initial_mapping)
             .map_err(TransportError::Machine)?;
         let num_traps = spec.num_traps() as usize;

@@ -54,6 +54,18 @@ use crate::timeline::TimelineEvent;
 use qccd_circuit::Circuit;
 use qccd_machine::{InitialMapping, IonId, MachineSpec, Operation, Schedule, TrapId};
 
+/// Shuttle-only candidates priced on the O(delta) overlay.
+static DELTA_HITS: qccd_obs::Counter = qccd_obs::Counter::new("timing.delta_hits");
+/// Gate-bearing candidates priced on the clone-based oracle instead —
+/// never the compile loop's hot path (its candidates are pure walks).
+static CLONE_FALLBACKS: qccd_obs::Counter = qccd_obs::Counter::new("timing.clone_fallbacks");
+/// Full re-lower oracle invocations (`--score-mode full`).
+static FULL_SCORES: qccd_obs::Counter = qccd_obs::Counter::new("timing.full_scores");
+/// Speculative shuttle applications to the live frontiers.
+static DELTA_APPLIES: qccd_obs::Counter = qccd_obs::Counter::new("timing.delta_applies");
+/// Speculation unwinds (one per delta-scored candidate).
+static DELTA_UNDOS: qccd_obs::Counter = qccd_obs::Counter::new("timing.delta_undos");
+
 /// The lowering fold plus the overlay machinery for O(delta) speculative
 /// scoring with cheap undo.
 #[derive(Debug, Clone)]
@@ -169,8 +181,10 @@ impl DeltaScorer {
             // Gate candidates need the zone-promotion fixpoint over chain
             // *order*, which the occupancy overlay does not shadow: price
             // them on the clone-based oracle.
+            CLONE_FALLBACKS.incr();
             return self.state.score_ops(ops, circuit, spec);
         }
+        DELTA_HITS.incr();
         let score = self.apply_speculative(ops, spec);
         self.undo();
         score
@@ -195,6 +209,7 @@ impl DeltaScorer {
         spec: &MachineSpec,
     ) -> Option<f64> {
         self.speculations += 1;
+        FULL_SCORES.incr();
         let mut all = Vec::with_capacity(self.committed.len() + ops.len());
         all.extend_from_slice(&self.committed);
         all.extend_from_slice(ops);
@@ -208,6 +223,7 @@ impl DeltaScorer {
     /// undo records, and returns its projected makespan (`None` on the
     /// first illegal op — the caller unwinds either way).
     fn apply_speculative(&mut self, ops: &[Operation], spec: &MachineSpec) -> Option<f64> {
+        DELTA_APPLIES.add(ops.len() as u64);
         // `advance` takes junction counts from the *passed* spec's
         // topology but shuttle legality from the machine's own spec —
         // mirror the split even though callers pass the same spec.
@@ -274,6 +290,7 @@ impl DeltaScorer {
     /// availabilities in reverse log order (an index logged twice gets its
     /// original value back last) and clears the shadow overlays.
     fn undo(&mut self) {
+        DELTA_UNDOS.incr();
         while let Some((t, v)) = self.undo_clock.pop() {
             self.state.clock[t] = v;
         }

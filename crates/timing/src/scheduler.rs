@@ -61,6 +61,7 @@ pub fn lower(
     spec: &MachineSpec,
     model: &TimingModel,
 ) -> Result<Timeline, LowerError> {
+    let _phase = qccd_obs::span("lowering");
     let mut state = LowerState::new(&schedule.initial_mapping, spec, model)?;
     let mut events: Vec<TimelineEvent> = Vec::with_capacity(schedule.operations.len());
     state.advance(

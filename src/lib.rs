@@ -23,6 +23,9 @@
 //!   makespan.
 //! * [`sim`] — fidelity/timing simulator replaying compiled schedules on
 //!   their timed event timelines.
+//! * [`obs`] — structured compile telemetry: hierarchical phase spans,
+//!   process-wide hot-path counters, and Chrome-trace export. Disabled by
+//!   default at zero cost; instrumentation observes, never decides.
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use qccd_circuit as circuit;
 pub use qccd_core as compiler;
 pub use qccd_flow as flow;
 pub use qccd_machine as machine;
+pub use qccd_obs as obs;
 pub use qccd_pack as pack;
 pub use qccd_route as route;
 pub use qccd_sim as sim;

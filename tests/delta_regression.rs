@@ -9,9 +9,16 @@
 
 use muzzle_shuttle::compiler::{CompilerConfig, ScoreMode};
 use muzzle_shuttle::machine::MachineSpec;
+use muzzle_shuttle::obs;
 use muzzle_shuttle::pack::compile_clock;
 use muzzle_shuttle::timing::TimingModel;
 use qccd_circuit::generators::paper_suite;
+use std::sync::Mutex;
+
+/// The `qccd-obs` recorder and counters are process-global; tests in this
+/// binary run on parallel threads, so every test that compiles (and would
+/// bump the counters the instrumented test measures) serializes here.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 /// One benchmark's pinned `BENCH_pr5.json` clock row (realistic timing).
 struct Pin {
@@ -65,6 +72,7 @@ const PINS: [Pin; 5] = [
 /// Runs the clock pipeline (the same `compile_clock` path `muzzle eval`
 /// uses) under `mode` and pins every row against `BENCH_pr5.json`.
 fn assert_pr5_clock_rows(mode: ScoreMode) {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let spec = MachineSpec::paper_l6();
     let config = CompilerConfig::optimized()
         .with_timing(TimingModel::realistic())
@@ -114,4 +122,46 @@ fn delta_scoring_reproduces_bench_pr5_clock_rows_exactly() {
 #[test]
 fn full_scoring_reproduces_bench_pr5_clock_rows_exactly() {
     assert_pr5_clock_rows(ScoreMode::Full);
+}
+
+/// Candidate walks are shuttle-only, so under the default delta mode every
+/// speculative candidate must be priced by the O(delta) path — zero clone
+/// -oracle fallbacks, a 100% delta-hit rate on every paper benchmark —
+/// proved by the `qccd-obs` hot-path counters rather than inferred from
+/// timing.
+#[test]
+fn delta_scorer_serves_every_candidate_without_clone_fallbacks() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = MachineSpec::paper_l6();
+    let config = CompilerConfig::optimized()
+        .with_timing(TimingModel::realistic())
+        .with_score_mode(ScoreMode::Delta);
+    for bench in &paper_suite() {
+        obs::reset();
+        obs::enable();
+        compile_clock(&bench.circuit, &spec, &config)
+            .expect("paper benchmarks compile under the clock objective");
+        obs::disable();
+        let scored = obs::counter_value("core.candidates_scored");
+        let hits = obs::counter_value("timing.delta_hits");
+        let fallbacks = obs::counter_value("timing.clone_fallbacks");
+        assert!(scored > 0, "{}: no candidates were scored", bench.name);
+        assert_eq!(
+            fallbacks, 0,
+            "{}: shuttle-only candidates must never hit the clone oracle",
+            bench.name
+        );
+        assert_eq!(
+            hits, scored,
+            "{}: every scored candidate must be priced by the delta path",
+            bench.name
+        );
+        let rate = hits as f64 / (hits + fallbacks) as f64;
+        eprintln!(
+            "{}: delta-hit rate {hits}/{} = {:.1}%",
+            bench.name,
+            hits + fallbacks,
+            100.0 * rate
+        );
+    }
 }
