@@ -6,7 +6,9 @@
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
 //! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `objective`,
-//! `delta`, `all`.
+//! `delta`, `profile`, `explain`, `all`, plus the snapshot differ
+//! `diff OLD.json NEW.json [--rel-tol X] [--json]` (exits 1 on any
+//! quality regression).
 
 use qccd_bench::{
     aggregate_random, delta_parity, lookahead_packing_gains, objective_gains, pack_gains,
@@ -22,6 +24,12 @@ use qccd_sim::SimParams;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `diff` is a pure file-to-file comparison — no compiles, no header
+    // (its `--json` output must be a clean document).
+    if args.first().map(String::as_str) == Some("diff") {
+        diff_cmd(&args[1..]);
+        return;
+    }
     let mut command = String::from("all");
     let mut per_size = 30usize;
     let mut i = 0;
@@ -35,7 +43,8 @@ fn main() {
                 i += 2;
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
-            | "timing" | "lookahead" | "pack" | "objective" | "delta" | "profile" | "all" => {
+            | "timing" | "lookahead" | "pack" | "objective" | "delta" | "profile" | "explain"
+            | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -78,6 +87,7 @@ fn main() {
         "objective" => objective(&spec),
         "delta" => delta(&spec),
         "profile" => profile(&spec, &params),
+        "explain" => explain(&spec, &params),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -99,9 +109,213 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|all] [--per-size N]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|explain|all] [--per-size N]\n       paper_eval diff OLD.json NEW.json [--rel-tol X] [--json]"
     );
     std::process::exit(2);
+}
+
+/// `paper_eval diff OLD.json NEW.json`: schema-aware comparison of two
+/// BENCH snapshots. Quality metrics are classified by direction
+/// (regression / improvement / unchanged); wall-clock and `profile` /
+/// `explain` data is informational. Exits 1 iff the diff contains at
+/// least one quality regression.
+fn diff_cmd(args: &[String]) {
+    let mut files: Vec<String> = Vec::new();
+    let mut rel_tol = 0.0f64;
+    let mut json_out = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rel-tol" => {
+                rel_tol = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| usage("--rel-tol needs a non-negative number"));
+                i += 2;
+            }
+            "--json" => {
+                json_out = true;
+                i += 1;
+            }
+            other if !other.starts_with('-') => {
+                files.push(other.to_owned());
+                i += 1;
+            }
+            other => usage(&format!("unknown diff argument `{other}`")),
+        }
+    }
+    if files.len() != 2 {
+        usage("diff needs exactly two snapshot files: OLD.json NEW.json");
+    }
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        });
+        qccd_bench::json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: `{path}` is not valid JSON: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(&files[0]);
+    let new = load(&files[1]);
+    let report = qccd_bench::diff::diff_snapshots(&old, &new, rel_tol);
+    if json_out {
+        println!("{}", report.to_json(&files[0], &files[1]));
+    } else {
+        print!("{}", report.to_markdown(&files[0], &files[1]));
+    }
+    let regressions = report.regressions();
+    if !regressions.is_empty() {
+        eprintln!(
+            "error: {} quality regression(s) between `{}` and `{}`",
+            regressions.len(),
+            files[0],
+            files[1]
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Schedule explanation over the paper suite: profiles every benchmark
+/// (asserting the observes-never-decides parity `profile` asserts),
+/// recompiles the clock pipeline's chosen schedule, attributes its
+/// makespan along the critical path, and snapshots everything into
+/// `BENCH_pr8.json`. Two identities gate the write: the attribution
+/// segments must sum bit-for-bit to the timeline's makespan on every
+/// benchmark, and the snapshot's quality rows (everything outside
+/// `profile` / `explain` / `compile_seconds*`) must be bit-for-bit equal
+/// to the committed `BENCH_pr7.json`.
+fn explain(spec: &MachineSpec, params: &SimParams) {
+    use qccd_bench::json::{parse, strip_keys, Json};
+    use qccd_timing::{attribute_path, critical_path};
+
+    println!("## Schedule explanation (paper suite, realistic timing)");
+    qccd_obs::info("paper_eval", || "profiling paper suite...".to_owned());
+    let model = qccd_core::TimingModel::realistic();
+    let profiles = qccd_bench::profile::profile_paper_suite(spec, params, &model);
+    println!(
+        "{:<16} {:>13} {:>11} {:>11} {:>11} {:>10} {:>10} {:>10} {:>6}",
+        "Benchmark",
+        "Makespan(us)",
+        "Gate(us)",
+        "Flight(us)",
+        "SplitM(us)",
+        "Junc(us)",
+        "Zone(us)",
+        "Idle(us)",
+        "Steps"
+    );
+    let mut explains: Vec<Json> = Vec::new();
+    for (bench, p) in paper_suite().iter().zip(&profiles) {
+        // Reproduce the clock pipeline's chosen schedule exactly as
+        // `compare_timed` built it (same configs, same race), so the
+        // timeline we explain is the one the snapshot's quality row
+        // describes.
+        let (packed, _) = qccd_pack::compile_packed(
+            &bench.circuit,
+            spec,
+            &CompilerConfig::optimized()
+                .with_router(qccd_core::RouterPolicy::congestion())
+                .with_timing(model),
+        )
+        .expect("benchmark circuits compile and pack on the paper machine");
+        let (chosen, _) = qccd_pack::race_clock(
+            packed.clone(),
+            &bench.circuit,
+            spec,
+            &CompilerConfig::optimized().with_timing(model),
+        )
+        .expect("benchmark circuits compile under the clock objective");
+        assert!(
+            chosen.timeline.makespan_us.to_bits() == p.row.clock_timed_makespan_us.to_bits(),
+            "{}: recompiled clock timeline diverged from the profiled row \
+             ({} vs {})",
+            bench.name,
+            chosen.timeline.makespan_us,
+            p.row.clock_timed_makespan_us
+        );
+        let path = critical_path(&chosen.timeline, &bench.circuit);
+        let attribution = attribute_path(&chosen.timeline, &model, &path);
+        assert!(
+            attribution.total_us().to_bits() == chosen.timeline.makespan_us.to_bits(),
+            "{}: attribution identity violated ({} vs {})",
+            bench.name,
+            attribution.total_us(),
+            chosen.timeline.makespan_us
+        );
+        assert!(
+            path.is_contiguous(),
+            "{}: critical path is not contiguous",
+            bench.name
+        );
+        println!(
+            "{:<16} {:>13.1} {:>11.1} {:>11.1} {:>11.1} {:>10.1} {:>10.1} {:>10.1} {:>6}",
+            bench.name,
+            attribution.makespan_us,
+            attribution.gate_us,
+            attribution.flight_us,
+            attribution.split_merge_us,
+            attribution.junction_us,
+            attribution.zone_move_us,
+            attribution.idle_wait_us,
+            path.steps.len()
+        );
+        explains.push(Json::obj(vec![
+            ("makespan_us", Json::Num(attribution.makespan_us)),
+            ("critical_path_steps", Json::int(path.steps.len())),
+            (
+                "blame_counts",
+                Json::Obj(
+                    path.blame_counts()
+                        .iter()
+                        .map(|(b, n)| (b.label().to_owned(), Json::int(*n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "attribution",
+                Json::obj(vec![
+                    ("gate_us", Json::Num(attribution.gate_us)),
+                    ("flight_us", Json::Num(attribution.flight_us)),
+                    ("split_merge_us", Json::Num(attribution.split_merge_us)),
+                    ("junction_us", Json::Num(attribution.junction_us)),
+                    ("zone_move_us", Json::Num(attribution.zone_move_us)),
+                    ("idle_wait_us", Json::Num(attribution.idle_wait_us)),
+                    ("total_us", Json::Num(attribution.total_us())),
+                    (
+                        "identity",
+                        Json::Bool(
+                            attribution.total_us().to_bits() == attribution.makespan_us.to_bits(),
+                        ),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+
+    let snapshot =
+        qccd_bench::profile::render_snapshot_with(spec, "realistic", &profiles, &explains);
+    // Parity gate: the explain snapshot only *adds* — its quality rows
+    // must be bit-for-bit what the committed PR 7 trajectory pinned.
+    let committed = std::fs::read_to_string("BENCH_pr7.json")
+        .expect("BENCH_pr7.json is committed at the repo root (run from there)");
+    let drop = |k: &str| k == "profile" || k == "explain" || k.starts_with("compile_seconds");
+    let old = strip_keys(
+        &parse(&committed).expect("committed BENCH_pr7.json parses"),
+        &drop,
+    );
+    let new = strip_keys(&parse(&snapshot).expect("the fresh snapshot parses"), &drop);
+    assert!(
+        old == new,
+        "BENCH_pr8.json quality rows diverged from the committed BENCH_pr7.json \
+         (explain observes, never decides — this is a regression)"
+    );
+    std::fs::write("BENCH_pr8.json", &snapshot).expect("can write BENCH_pr8.json");
+    println!("\nquality rows bit-for-bit equal to BENCH_pr7.json: yes");
+    println!("wrote BENCH_pr8.json ({} bytes)", snapshot.len());
+    println!();
 }
 
 /// Topology × router sweep: the paper benchmarks on the L6-class machine

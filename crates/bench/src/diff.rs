@@ -1,0 +1,518 @@
+//! `paper_eval diff` — schema-aware comparison of two BENCH snapshots.
+//!
+//! The BENCH trajectory (`BENCH_pr2.json` … `BENCH_pr8.json`) carries
+//! three kinds of leaves, and a useful differ must not treat them alike:
+//!
+//! * **quality metrics** (shuttle counts, makespans, fidelities, the
+//!   suite-level acceptance flags) — the values this repo pins
+//!   bit-for-bit; any drift in the *bad* direction is a regression.
+//! * **wall-clock figures** (`compile_seconds*`, the `profile` subtree's
+//!   phase times and counters, `wall_us`) — machine-dependent noise;
+//!   reported but never gating.
+//! * **structure** (names, key sets) — a key present on one side only is
+//!   surfaced so schema evolution is visible instead of silently skipped.
+//!
+//! [`diff_snapshots`] walks two parsed documents in parallel, classifies
+//! every shared numeric/boolean leaf by the direction inferred from its
+//! key name, and returns a [`DiffReport`] renderable as markdown or JSON.
+//! `paper_eval diff OLD NEW` exits non-zero iff the report contains a
+//! quality regression — the structured replacement for the hand-written
+//! per-PR CI asserts.
+
+use crate::json::Json;
+
+/// How a changed metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffClass {
+    /// A quality metric moved in the bad direction.
+    Regression,
+    /// A quality metric moved in the good direction.
+    Improvement,
+    /// Equal within the tolerance.
+    Unchanged,
+    /// Wall-clock / instrumentation data: reported, never gating.
+    Informational,
+}
+
+impl DiffClass {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffClass::Regression => "regression",
+            DiffClass::Improvement => "improvement",
+            DiffClass::Unchanged => "unchanged",
+            DiffClass::Informational => "informational",
+        }
+    }
+}
+
+/// One numeric/boolean leaf present in both snapshots.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// Dotted path, benchmarks keyed by name (e.g.
+    /// `benchmarks[QAOA].clock.clock_timed_makespan_us`).
+    pub path: String,
+    /// Value in the old snapshot (booleans as 0/1).
+    pub old: f64,
+    /// Value in the new snapshot.
+    pub new: f64,
+    /// The judgement.
+    pub class: DiffClass,
+}
+
+impl MetricDiff {
+    /// Relative change in percent (0 when both sides are 0).
+    pub fn percent(&self) -> f64 {
+        if self.old == self.new {
+            return 0.0;
+        }
+        let base = self.old.abs().max(self.new.abs());
+        if base == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.new - self.old) / base
+        }
+    }
+}
+
+/// The full comparison of two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every shared numeric/boolean leaf, in document order.
+    pub metrics: Vec<MetricDiff>,
+    /// Paths present only in the new snapshot.
+    pub added: Vec<String>,
+    /// Paths present only in the old snapshot.
+    pub removed: Vec<String>,
+    /// String leaves that changed: `(path, old, new)`.
+    pub strings_changed: Vec<(String, String, String)>,
+}
+
+impl DiffReport {
+    /// Count of metrics with the given class.
+    pub fn count(&self, class: DiffClass) -> usize {
+        self.metrics.iter().filter(|m| m.class == class).count()
+    }
+
+    /// The regression paths — the CI gate's exit condition.
+    pub fn regressions(&self) -> Vec<&MetricDiff> {
+        self.metrics
+            .iter()
+            .filter(|m| m.class == DiffClass::Regression)
+            .collect()
+    }
+
+    /// Markdown rendering: a summary line, a table of every changed
+    /// metric (unchanged rows are counted, not listed), and the
+    /// structural deltas.
+    pub fn to_markdown(&self, old_name: &str, new_name: &str) -> String {
+        let mut out = format!("## BENCH diff — `{old_name}` → `{new_name}`\n\n");
+        out.push_str(&format!(
+            "{} metrics compared: {} unchanged, {} improvements, \
+             {} regressions, {} informational changes\n\n",
+            self.metrics.len(),
+            self.count(DiffClass::Unchanged),
+            self.count(DiffClass::Improvement),
+            self.count(DiffClass::Regression),
+            self.metrics
+                .iter()
+                .filter(|m| m.class == DiffClass::Informational && m.old != m.new)
+                .count(),
+        ));
+        let changed: Vec<&MetricDiff> = self
+            .metrics
+            .iter()
+            .filter(|m| m.class != DiffClass::Unchanged && m.old != m.new)
+            .collect();
+        if changed.is_empty() {
+            out.push_str("no metric changed.\n");
+        } else {
+            out.push_str("| metric | old | new | Δ% | class |\n");
+            out.push_str("|--------|-----|-----|----|-------|\n");
+            for m in &changed {
+                out.push_str(&format!(
+                    "| `{}` | {} | {} | {:+.2}% | {} |\n",
+                    m.path,
+                    m.old,
+                    m.new,
+                    m.percent(),
+                    m.class.label()
+                ));
+            }
+        }
+        for (label, paths) in [("added", &self.added), ("removed", &self.removed)] {
+            if !paths.is_empty() {
+                out.push_str(&format!("\n{label} keys:\n"));
+                for p in paths {
+                    out.push_str(&format!("- `{p}`\n"));
+                }
+            }
+        }
+        if !self.strings_changed.is_empty() {
+            out.push_str("\nchanged strings:\n");
+            for (p, old, new) in &self.strings_changed {
+                out.push_str(&format!("- `{p}`: `{old}` → `{new}`\n"));
+            }
+        }
+        out
+    }
+
+    /// JSON rendering: counts plus every non-unchanged metric.
+    pub fn to_json(&self, old_name: &str, new_name: &str) -> Json {
+        Json::obj(vec![
+            ("old", Json::str(old_name)),
+            ("new", Json::str(new_name)),
+            ("metrics_compared", Json::int(self.metrics.len())),
+            ("unchanged", Json::int(self.count(DiffClass::Unchanged))),
+            (
+                "improvements",
+                Json::int(self.count(DiffClass::Improvement)),
+            ),
+            ("regressions", Json::int(self.count(DiffClass::Regression))),
+            (
+                "changes",
+                Json::Arr(
+                    self.metrics
+                        .iter()
+                        .filter(|m| m.class != DiffClass::Unchanged && m.old != m.new)
+                        .map(|m| {
+                            Json::obj(vec![
+                                ("path", Json::str(&m.path)),
+                                ("old", Json::Num(m.old)),
+                                ("new", Json::Num(m.new)),
+                                ("percent", Json::Num(m.percent())),
+                                ("class", Json::str(m.class.label())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "added_keys",
+                Json::Arr(self.added.iter().map(Json::str).collect()),
+            ),
+            (
+                "removed_keys",
+                Json::Arr(self.removed.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Which direction is "better" for a metric, inferred from its key name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Lower is better (shuttles, makespans, depths, idle).
+    Lower,
+    /// Higher is better (fidelity, reduction deltas, win counts, flags).
+    Higher,
+    /// Identity metric (workload descriptors): any change is a regression.
+    Exact,
+    /// Wall-clock / instrumentation: never gates.
+    Informational,
+}
+
+/// Classifies a leaf path. Checked in priority order: the informational
+/// subtrees first (their members often *contain* quality-looking words
+/// like `total_us`), then higher-is-better names, then lower-is-better
+/// names; anything unrecognised is an identity metric so schema drift
+/// fails loudly instead of passing silently.
+fn direction(path: &str) -> Direction {
+    let last = path.rsplit('.').next().unwrap_or(path);
+    if path.contains(".profile.")
+        || path.ends_with(".profile")
+        || path.contains(".explain.")
+        || path.ends_with(".explain")
+        || last.starts_with("compile_seconds")
+        || last == "wall_us"
+    {
+        return Direction::Informational;
+    }
+    const HIGHER: [&str; 10] = [
+        "fidelity",
+        "improvement",
+        "improved",
+        "delta",
+        "delta_percent",
+        "hit_rate",
+        "win",
+        "leq",
+        "wins",
+        "_count",
+    ];
+    if HIGHER.iter().any(|n| last.contains(n)) || path.starts_with("all_") {
+        return Direction::Higher;
+    }
+    const LOWER: [&str; 9] = [
+        "shuttles",
+        "makespan",
+        "depth",
+        "zone_moves",
+        "junction",
+        "ties",
+        "hops",
+        "idle",
+        "busy",
+    ];
+    if LOWER.iter().any(|n| last.contains(n)) {
+        return Direction::Lower;
+    }
+    Direction::Exact
+}
+
+/// `depth_delta` contains "delta" (higher better) but is genuinely
+/// higher-better (shuttles saved by concurrency), and `batched_layers`/
+/// `batched_hops` contain "hops" yet describe how the result was reached,
+/// not how good it is — the generic table above already classifies the
+/// former correctly and the latter as Lower, which is acceptable: a
+/// batching change shows up as *some* class rather than hiding. What must
+/// not happen is a quality metric landing in Informational; the tests pin
+/// the load-bearing names.
+fn classify(path: &str, old: f64, new: f64, rel_tol: f64) -> DiffClass {
+    let dir = direction(path);
+    if dir == Direction::Informational {
+        return DiffClass::Informational;
+    }
+    let tol = rel_tol * old.abs().max(new.abs());
+    if (new - old).abs() <= tol || new == old {
+        return DiffClass::Unchanged;
+    }
+    match dir {
+        Direction::Lower => {
+            if new < old {
+                DiffClass::Improvement
+            } else {
+                DiffClass::Regression
+            }
+        }
+        Direction::Higher => {
+            if new > old {
+                DiffClass::Improvement
+            } else {
+                DiffClass::Regression
+            }
+        }
+        Direction::Exact => DiffClass::Regression,
+        Direction::Informational => unreachable!("returned above"),
+    }
+}
+
+fn leaf_num(value: &Json) -> Option<f64> {
+    match value {
+        Json::Num(n) => Some(*n),
+        Json::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        _ => None,
+    }
+}
+
+/// Path segment for an array element: benchmark-style objects are keyed
+/// by their `name` field so rows stay addressable when reordered.
+fn element_segment(item: &Json, index: usize) -> String {
+    if let Json::Obj(pairs) = item {
+        if let Some((_, Json::Str(name))) = pairs.iter().find(|(k, _)| k == "name") {
+            return format!("[{name}]");
+        }
+    }
+    format!("[{index}]")
+}
+
+fn join(path: &str, segment: &str) -> String {
+    if path.is_empty() {
+        segment.to_owned()
+    } else if segment.starts_with('[') {
+        format!("{path}{segment}")
+    } else {
+        format!("{path}.{segment}")
+    }
+}
+
+fn walk(path: &str, old: &Json, new: &Json, rel_tol: f64, report: &mut DiffReport) {
+    match (old, new) {
+        (Json::Obj(old_pairs), Json::Obj(new_pairs)) => {
+            for (k, ov) in old_pairs {
+                match new_pairs.iter().find(|(nk, _)| nk == k) {
+                    Some((_, nv)) => walk(&join(path, k), ov, nv, rel_tol, report),
+                    None => report.removed.push(join(path, k)),
+                }
+            }
+            for (k, _) in new_pairs {
+                if !old_pairs.iter().any(|(ok, _)| ok == k) {
+                    report.added.push(join(path, k));
+                }
+            }
+        }
+        (Json::Arr(old_items), Json::Arr(new_items)) => {
+            for (i, ov) in old_items.iter().enumerate() {
+                let seg = element_segment(ov, i);
+                // Match by name when the element carries one, else by
+                // position — snapshots keep stable row order either way.
+                let matched = new_items
+                    .iter()
+                    .enumerate()
+                    .find(|(j, nv)| element_segment(nv, *j) == seg)
+                    .map(|(_, nv)| nv);
+                match matched {
+                    Some(nv) => walk(&join(path, &seg), ov, nv, rel_tol, report),
+                    None => report.removed.push(join(path, &seg)),
+                }
+            }
+            for (j, nv) in new_items.iter().enumerate() {
+                let seg = element_segment(nv, j);
+                if !old_items
+                    .iter()
+                    .enumerate()
+                    .any(|(i, ov)| element_segment(ov, i) == seg)
+                {
+                    report.added.push(join(path, &seg));
+                }
+            }
+        }
+        (Json::Str(o), Json::Str(n)) => {
+            if o != n {
+                report
+                    .strings_changed
+                    .push((path.to_owned(), o.clone(), n.clone()));
+            }
+        }
+        _ => match (leaf_num(old), leaf_num(new)) {
+            (Some(o), Some(n)) => report.metrics.push(MetricDiff {
+                path: path.to_owned(),
+                old: o,
+                new: n,
+                class: classify(path, o, n, rel_tol),
+            }),
+            _ => {
+                // Type changed (e.g. number → object): structural drift.
+                report.removed.push(path.to_owned());
+                report.added.push(path.to_owned());
+            }
+        },
+    }
+}
+
+/// Compares two parsed snapshots. `rel_tol` is the relative tolerance
+/// under which a quality metric counts as unchanged — 0 demands the
+/// repo's usual bit-for-bit equality.
+pub fn diff_snapshots(old: &Json, new: &Json, rel_tol: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk("", old, new, rel_tol, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn snapshot(makespan: f64, fidelity: f64, compile_s: f64) -> Json {
+        Json::obj(vec![
+            ("suite", Json::str("paper")),
+            (
+                "benchmarks",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::str("QAOA")),
+                    ("optimized_shuttles", Json::int(797)),
+                    (
+                        "clock",
+                        Json::obj(vec![
+                            ("clock_timed_makespan_us", Json::Num(makespan)),
+                            ("program_fidelity", Json::Num(fidelity)),
+                            ("compile_seconds", Json::Num(compile_s)),
+                        ]),
+                    ),
+                    (
+                        "profile",
+                        Json::obj(vec![("wall_us", Json::Num(compile_s * 1e6))]),
+                    ),
+                ])]),
+            ),
+            ("all_clock_leq_packed", Json::Bool(true)),
+        ])
+    }
+
+    #[test]
+    fn identical_snapshots_have_no_changes() {
+        let a = snapshot(220800.0, 1e-13, 1.5);
+        let report = diff_snapshots(&a, &a, 0.0);
+        assert_eq!(report.count(DiffClass::Regression), 0);
+        assert_eq!(report.count(DiffClass::Improvement), 0);
+        assert!(report.added.is_empty() && report.removed.is_empty());
+        assert!(report.metrics.len() >= 4);
+        assert!(report.to_markdown("a", "b").contains("no metric changed"));
+    }
+
+    #[test]
+    fn direction_classifies_makespan_up_as_regression_and_fidelity_up_as_improvement() {
+        let old = snapshot(220800.0, 1e-13, 1.5);
+        let new = snapshot(230000.0, 2e-13, 9.0);
+        let report = diff_snapshots(&old, &new, 0.0);
+        let by_path = |needle: &str| {
+            report
+                .metrics
+                .iter()
+                .find(|m| m.path.contains(needle))
+                .unwrap_or_else(|| panic!("no metric matching {needle}"))
+        };
+        assert_eq!(
+            by_path("clock_timed_makespan_us").class,
+            DiffClass::Regression
+        );
+        assert_eq!(by_path("program_fidelity").class, DiffClass::Improvement);
+        // Wall-clock noise never gates, however large.
+        assert_eq!(by_path("compile_seconds").class, DiffClass::Informational);
+        assert_eq!(by_path("wall_us").class, DiffClass::Informational);
+        assert_eq!(report.regressions().len(), 1);
+        let md = report.to_markdown("OLD", "NEW");
+        assert!(md.contains("benchmarks[QAOA].clock.clock_timed_makespan_us"));
+        assert!(md.contains("| regression |"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_drift_and_flags_cross_threshold_moves() {
+        let old = snapshot(220800.0, 1e-13, 1.5);
+        let new = snapshot(220810.0, 1e-13, 1.5);
+        assert_eq!(
+            diff_snapshots(&old, &new, 1e-3).count(DiffClass::Regression),
+            0,
+            "0.0045% drift sits inside a 0.1% tolerance"
+        );
+        assert_eq!(
+            diff_snapshots(&old, &new, 0.0).count(DiffClass::Regression),
+            1
+        );
+    }
+
+    #[test]
+    fn structural_drift_is_surfaced_and_flags_regress_when_cleared() {
+        let old = snapshot(220800.0, 1e-13, 1.5);
+        let mut new = snapshot(220800.0, 1e-13, 1.5);
+        if let Json::Obj(pairs) = &mut new {
+            pairs.retain(|(k, _)| k != "all_clock_leq_packed");
+            pairs.push(("new_gate".to_owned(), Json::Bool(true)));
+        }
+        let report = diff_snapshots(&old, &new, 0.0);
+        assert_eq!(report.removed, vec!["all_clock_leq_packed".to_owned()]);
+        assert_eq!(report.added, vec!["new_gate".to_owned()]);
+
+        let mut cleared = snapshot(220800.0, 1e-13, 1.5);
+        if let Json::Obj(pairs) = &mut cleared {
+            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "all_clock_leq_packed") {
+                *v = Json::Bool(false);
+            }
+        }
+        let report = diff_snapshots(&old, &cleared, 0.0);
+        assert_eq!(report.regressions().len(), 1, "true→false on an all_ flag");
+    }
+
+    #[test]
+    fn diffs_real_rendered_documents() {
+        let old = parse(&snapshot(220800.0, 1e-13, 1.5).to_string()).unwrap();
+        let new = parse(&snapshot(219000.0, 1e-13, 2.5).to_string()).unwrap();
+        let report = diff_snapshots(&old, &new, 0.0);
+        assert_eq!(report.count(DiffClass::Regression), 0);
+        assert_eq!(report.count(DiffClass::Improvement), 1, "makespan down");
+        let json = report.to_json("a.json", "b.json").to_string();
+        assert!(json.contains("\"regressions\": 0"));
+        assert!(json.contains("\"class\": \"improvement\""));
+    }
+}

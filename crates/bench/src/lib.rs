@@ -18,6 +18,7 @@
 //! Random-suite size defaults to the paper's 30 circuits per qubit count
 //! (120 total); pass `--per-size N` to shrink it for quick runs.
 
+pub mod diff;
 pub mod json;
 pub mod profile;
 
@@ -26,7 +27,7 @@ use qccd_circuit::Circuit;
 use qccd_core::{compile, CompileResult, CompilerConfig, Objective, RouterPolicy, ScoreMode};
 use qccd_machine::{MachineSpec, TrapTopology};
 use qccd_route::TransportSchedule;
-use qccd_sim::{simulate_timed, SimParams, SimReport};
+use qccd_sim::{simulate_timed, simulate_traced, SimParams, SimReport};
 use qccd_timing::TimingModel;
 use std::time::Instant;
 
@@ -100,6 +101,15 @@ pub struct ComparisonRow {
     /// committed schedule per candidate) — the figure the delta scorer's
     /// speed-up is measured against.
     pub clock_full_compile_s: f64,
+    /// Idle fraction of the machine over the optimized schedule's traced
+    /// replay ([`qccd_sim::simulate_traced`]): `1 − mean(trap busy) /
+    /// makespan`, in `[0, 1]`.
+    pub idle_fraction: f64,
+    /// Index of the busiest trap in that replay (ties go to the lowest
+    /// index).
+    pub hottest_trap: usize,
+    /// Busy time of the hottest trap, µs.
+    pub hottest_trap_busy_us: f64,
 }
 
 impl ComparisonRow {
@@ -274,6 +284,15 @@ pub fn compare_timed(
         model,
     )
     .expect("clock-objective schedules are valid by construction");
+    // Per-trap utilization of the optimized ("This Work") schedule: the
+    // traced replay mirrors `optimized_sim`'s serial replay, so its busy
+    // figures describe the same run the headline columns report.
+    let optimized_trace = simulate_traced(&opt.schedule, &bench.circuit, spec, params)
+        .expect("compiled schedules are valid by construction");
+    let idle_fraction = optimized_trace.idle_fraction();
+    let (hottest_trap, hottest_trap_busy_us) = optimized_trace
+        .hottest_trap()
+        .expect("machines have at least one trap");
     ComparisonRow {
         name: bench.name.clone(),
         qubits: bench.circuit.num_qubits(),
@@ -297,6 +316,9 @@ pub fn compare_timed(
         clock_sim,
         clock_compile_s,
         clock_full_compile_s,
+        idle_fraction,
+        hottest_trap,
+        hottest_trap_busy_us,
     }
 }
 
@@ -862,6 +884,9 @@ mod tests {
         assert_eq!(row.packed_sim.shuttle_depth, row.packed_depth);
         assert!(row.packed_timed_makespan_us <= row.lookahead_timed_makespan_us);
         assert!(row.packed_shuttles <= row.congestion_shuttles);
+        assert!((0.0..=1.0).contains(&row.idle_fraction));
+        assert!(row.hottest_trap < 3, "trap index on a 3-trap machine");
+        assert!(row.hottest_trap_busy_us > 0.0, "gates make some trap busy");
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct BenchmarkProfile {
     pub phases: Vec<qccd_obs::PhaseStat>,
     /// Every hot-path counter touched during the run, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Value-distribution histograms recorded during the run, sorted by
+    /// name (e.g. candidate scores per clock round).
+    pub histograms: Vec<qccd_obs::HistogramSnapshot>,
     /// `timing.delta_hits / (delta_hits + clone_fallbacks)` — the share
     /// of speculative candidates priced by the O(delta) path. Shuttle-only
     /// candidate walks keep this at exactly 1.
@@ -110,6 +113,7 @@ pub fn profile_paper_suite(
             qccd_obs::disable();
             let phases = qccd_obs::phase_stats();
             let counters = qccd_obs::counters();
+            let histograms = qccd_obs::histograms();
             let wall_us = qccd_obs::wall_us();
 
             for ((name, reference), (_, instrumented)) in
@@ -138,6 +142,7 @@ pub fn profile_paper_suite(
                 row,
                 phases,
                 counters,
+                histograms,
                 delta_hit_rate,
                 wall_us,
             }
@@ -207,6 +212,23 @@ fn profile_json(p: &BenchmarkProfile) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "histograms",
+            Json::Arr(
+                p.histograms
+                    .iter()
+                    .map(|h| {
+                        Json::obj(vec![
+                            ("name", Json::str(h.name.as_str())),
+                            ("count", Json::int(h.count as usize)),
+                            ("mean", Json::Num(h.mean())),
+                            ("p50", Json::int(h.p50() as usize)),
+                            ("p99", Json::int(h.p99() as usize)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("delta_hit_rate", Json::Num(p.delta_hit_rate)),
         ("wall_us", Json::Num(p.wall_us)),
     ])
@@ -214,19 +236,39 @@ fn profile_json(p: &BenchmarkProfile) -> Json {
 
 /// Renders the `BENCH_pr7.json` snapshot: the `muzzle eval --suite paper
 /// --format json` report's exact structure and key order, with one extra
-/// trailing `"profile"` object per benchmark.
+/// trailing `"profile"` object per benchmark. (`muzzle eval`'s extra
+/// `"utilization"` object is intentionally omitted: snapshots pin the
+/// quality trajectory, and utilization is derived, not decided.)
 pub fn render_snapshot(
     machine: &MachineSpec,
     timing: &str,
     profiles: &[BenchmarkProfile],
 ) -> String {
+    render_snapshot_with(machine, timing, profiles, &[])
+}
+
+/// [`render_snapshot`] plus one trailing `"explain"` value per benchmark
+/// (`explains[i]` rides after `"profile"` in benchmark *i*). An empty
+/// slice reproduces the PR 7 document byte for byte — `paper_eval diff`
+/// then sees the explain subtree as purely additive.
+pub fn render_snapshot_with(
+    machine: &MachineSpec,
+    timing: &str,
+    profiles: &[BenchmarkProfile],
+    explains: &[Json],
+) -> String {
+    assert!(
+        explains.is_empty() || explains.len() == profiles.len(),
+        "one explain value per benchmark, or none"
+    );
     let rows: Vec<&ComparisonRow> = profiles.iter().map(|p| &p.row).collect();
     let (fig4_baseline, fig4_optimized) = fig4_worked_example();
     let benchmarks = profiles
         .iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
             let r = &p.row;
-            Json::obj(vec![
+            let mut fields = vec![
                 ("name", Json::str(&r.name)),
                 ("qubits", Json::int(r.qubits as usize)),
                 ("two_qubit_gates", Json::int(r.two_qubit_gates)),
@@ -319,7 +361,11 @@ pub fn render_snapshot(
                     ]),
                 ),
                 ("profile", profile_json(p)),
-            ])
+            ];
+            if let Some(explain) = explains.get(i) {
+                fields.push(("explain", explain.clone()));
+            }
+            Json::obj(fields)
         })
         .collect();
 

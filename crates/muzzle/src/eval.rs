@@ -240,7 +240,7 @@ fn render_text(
         fig4.baseline_shuttles, fig4.optimized_shuttles
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>12}\n",
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>5} {:>4} {:>12}\n",
         "Benchmark",
         "Qubits",
         "2Q gates",
@@ -255,11 +255,13 @@ fn render_text(
         "CkMkspn(us)",
         "SMkspn(us)",
         "Junc",
+        "Idle%",
+        "Hot",
         "Fidelity gain"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>11.2}X\n",
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>4.1}% {:>4} {:>11.2}X\n",
             r.name,
             r.qubits,
             r.two_qubit_gates,
@@ -274,6 +276,8 @@ fn render_text(
             r.clock_sim.timed_makespan_us,
             r.optimized_sim.timed_makespan_us,
             r.transport_sim.junction_crossings,
+            100.0 * r.idle_fraction,
+            format!("T{}", r.hottest_trap),
             r.fidelity_improvement()
         ));
     }
@@ -339,7 +343,8 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
          timing,serial_makespan_us,transport_makespan_us,serial_timed_makespan_us,\
          transport_timed_makespan_us,lookahead_timed_makespan_us,packed_timed_makespan_us,\
          clock_timed_makespan_us,zone_moves,junction_crossings,fidelity_improvement,\
-         baseline_compile_s,optimized_compile_s,clock_compile_s,clock_full_compile_s\n",
+         baseline_compile_s,optimized_compile_s,clock_compile_s,clock_full_compile_s,\
+         idle_fraction,hottest_trap,hottest_trap_busy_us\n",
     );
     for r in rows {
         out.push_str(&csv_row(&[
@@ -369,6 +374,9 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
             format!("{:.6}", r.optimized_compile_s),
             format!("{:.6}", r.clock_compile_s),
             format!("{:.6}", r.clock_full_compile_s),
+            format!("{:.4}", r.idle_fraction),
+            r.hottest_trap.to_string(),
+            format!("{:.3}", r.hottest_trap_busy_us),
         ]));
         out.push('\n');
     }
@@ -482,6 +490,14 @@ fn render_json(
                         ("compile_seconds", Json::Num(r.clock_compile_s)),
                         ("compile_seconds_full", Json::Num(r.clock_full_compile_s)),
                         ("program_fidelity", Json::Num(r.clock_sim.program_fidelity)),
+                    ]),
+                ),
+                (
+                    "utilization",
+                    Json::obj(vec![
+                        ("idle_fraction", Json::Num(r.idle_fraction)),
+                        ("hottest_trap", Json::int(r.hottest_trap)),
+                        ("hottest_trap_busy_us", Json::Num(r.hottest_trap_busy_us)),
                     ]),
                 ),
             ])

@@ -16,6 +16,7 @@
 //! (default), `json`, or `csv` via `--format`, to stdout or `--out FILE`.
 
 mod eval;
+mod explain;
 mod output;
 mod spec;
 
@@ -41,6 +42,8 @@ COMMANDS:
     simulate    Compile, then replay through the fidelity/timing simulator
     sweep       Sweep proximity or trap count and tabulate shuttle counts
     eval        Reproduce the paper's comparison report over a suite
+    explain     Compile one circuit and explain where its makespan goes:
+                critical path, per-kind attribution, trap/edge utilization
     help        Show this message
 
 CIRCUIT / MACHINE OPTIONS (compile, simulate, sweep):
@@ -106,10 +109,14 @@ COMMAND-SPECIFIC:
               --values A,B,C      swept values
     eval      --suite S           paper | mini | random   [default: paper]
               --per-size N        random-suite circuits per size [default: 5]
+    explain   --top K             bottleneck traps/edges to list [default: 5]
+              --gantt PATH        write a per-trap Gantt chart of the
+                                  schedule as Chrome-trace JSON to PATH
 
 EXAMPLES:
     muzzle compile --circuit qft:16 --traps 2
     muzzle eval --suite paper --format json --out report.json
+    muzzle explain --circuit qaoa:64x13 --timing realistic --router packed
 ";
 
 fn main() -> ExitCode {
@@ -123,6 +130,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "eval" => eval::cmd_eval(&args[1..]),
+        "explain" => explain::cmd_explain(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -383,6 +391,23 @@ fn profile_json() -> Json {
                 qccd_obs::counters()
                     .into_iter()
                     .map(|(name, value)| (name, Json::int(value as usize)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Json::Arr(
+                qccd_obs::histograms()
+                    .iter()
+                    .map(|h| {
+                        Json::obj(vec![
+                            ("name", Json::str(h.name.as_str())),
+                            ("count", Json::int(h.count as usize)),
+                            ("mean", Json::Num(h.mean())),
+                            ("p50", Json::int(h.p50() as usize)),
+                            ("p99", Json::int(h.p99() as usize)),
+                        ])
+                    })
                     .collect(),
             ),
         ),

@@ -318,6 +318,39 @@ impl HistogramSnapshot {
         }
         self.sum as f64 / self.count as f64
     }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the inclusive upper bound of the
+    /// power-of-two bucket holding the `⌈q·count⌉`-th smallest sample, or
+    /// 0 when empty. Bucket `i` holds `[2^i, 2^(i+1))` (bucket 0 also
+    /// holds 0; the last bucket saturates), so the bound is `2^(i+1) − 1`
+    /// and the estimate is exact to within the bucket's factor-of-two
+    /// resolution.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return ((1u128 << (i + 1)) - 1) as f64;
+            }
+        }
+        // Unreachable when buckets/count are consistent; fall back to the
+        // largest bucket bound.
+        ((1u128 << self.buckets.len()) - 1) as f64
+    }
+
+    /// Median sample (bucket upper bound), or 0 when empty.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile sample (bucket upper bound), or 0 when empty.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -685,11 +718,99 @@ pub fn summary_table() -> String {
     let hists = histograms();
     if !hists.is_empty() {
         let _ = writeln!(out);
-        let _ = writeln!(out, "{:<32} {:>12} {:>12}", "histogram", "samples", "mean");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>12} {:>12} {:>10} {:>10}",
+            "histogram", "samples", "mean", "p50", "p99"
+        );
         for h in hists {
-            let _ = writeln!(out, "{:<32} {:>12} {:>12.2}", h.name, h.count, h.mean());
+            let _ = writeln!(
+                out,
+                "{:<32} {:>12} {:>12.2} {:>10} {:>10}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p99()
+            );
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lane traces (caller-supplied Gantt charts)
+// ---------------------------------------------------------------------------
+
+/// One bar on a Gantt lane: a named `[start_us, end_us)` interval on lane
+/// `tid`. Used by [`chrome_trace_lanes`] to export caller-computed
+/// schedules (e.g. a device timeline's per-trap activity) in the same
+/// Chrome-trace dialect [`chrome_trace`] emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSpan {
+    /// The lane (Chrome-trace thread id) the bar renders on.
+    pub tid: u64,
+    /// Bar label.
+    pub name: String,
+    /// Bar start, µs.
+    pub start_us: f64,
+    /// Bar end, µs.
+    pub end_us: f64,
+}
+
+/// Renders caller-supplied lanes as Chrome trace-event JSON: one
+/// `thread_name` metadata row per `(tid, label)` lane, then every span as
+/// a `B`/`E` pair (the `E` carries `dur`), time-ordered with closes
+/// emitted before same-timestamp opens so each lane's pair stream is
+/// strictly nested. Within one lane spans must not overlap (they may
+/// touch); spans with non-positive duration are skipped. Unlike
+/// [`chrome_trace`] this reads no global state — it is a pure formatter
+/// for externally-timed data such as per-trap schedule lanes.
+pub fn chrome_trace_lanes(lanes: &[(u64, String)], spans: &[LaneSpan]) -> String {
+    let mut rows: Vec<(f64, u8, u64, String)> = Vec::with_capacity(2 * spans.len() + lanes.len());
+    for (tid, label) in lanes {
+        let mut row = String::from("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        let _ = write!(row, "{tid},\"ts\":0,\"args\":{{\"name\":");
+        escape_json(label, &mut row);
+        row.push_str("}}");
+        rows.push((f64::NEG_INFINITY, 0, *tid, row));
+    }
+    for s in spans {
+        let width = s.end_us - s.start_us;
+        if width.is_nan() || width <= 0.0 {
+            continue;
+        }
+        let mut open = String::from("{\"name\":");
+        escape_json(&s.name, &mut open);
+        let _ = write!(
+            open,
+            ",\"cat\":\"qccd\",\"ph\":\"B\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+            s.tid, s.start_us
+        );
+        rows.push((s.start_us, 1, s.tid, open));
+        let mut close = String::from("{\"name\":");
+        escape_json(&s.name, &mut close);
+        let _ = write!(
+            close,
+            ",\"cat\":\"qccd\",\"ph\":\"E\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            s.tid,
+            s.end_us,
+            s.end_us - s.start_us
+        );
+        rows.push((s.end_us, 0, s.tid, close));
+    }
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut out = String::from("[\n");
+    let n = rows.len();
+    for (i, (_, _, _, row)) in rows.into_iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&row);
+        if i + 1 < n {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
     out
 }
 
@@ -949,5 +1070,128 @@ mod tests {
         assert!(table.contains("test.count"));
         assert!(table.contains("wall"));
         disable();
+    }
+
+    #[test]
+    fn histogram_quantiles_track_bucket_bounds() {
+        let _g = exclusive();
+        enable();
+        // 97 samples land in bucket 1 ([2, 4), bound 3), 3 in bucket 9
+        // ([512, 1024), bound 1023): the median sits in the low bucket,
+        // the p99 in the high one.
+        for _ in 0..97 {
+            T_HIST.record(3);
+        }
+        for _ in 0..3 {
+            T_HIST.record(1000);
+        }
+        let snap = histograms()
+            .into_iter()
+            .find(|h| h.name == "test.hist")
+            .expect("recorded histogram listed");
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50(), 3.0);
+        assert_eq!(snap.quantile(0.97), 3.0);
+        assert_eq!(snap.p99(), 1023.0);
+        assert_eq!(snap.quantile(1.0), 1023.0);
+        let table = summary_table();
+        assert!(table.contains("p50"), "summary table lists percentiles");
+        assert!(table.contains("1023"), "p99 column shows the high bucket");
+        disable();
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = HistogramSnapshot {
+            name: "empty".to_owned(),
+            buckets: vec![0; 32],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(snap.p50(), 0.0);
+        assert_eq!(snap.p99(), 0.0);
+        let unit = HistogramSnapshot {
+            name: "unit".to_owned(),
+            buckets: {
+                let mut b = vec![0u64; 32];
+                b[0] = 5;
+                b
+            },
+            sum: 5,
+            count: 5,
+        };
+        assert_eq!(unit.p50(), 1.0, "bucket 0 bound is 1");
+    }
+
+    #[test]
+    fn lane_trace_emits_labeled_strictly_nested_lanes() {
+        // Pure formatter: no global state involved, no enable() needed.
+        let lanes = vec![(0u64, "trap 0".to_owned()), (1u64, "trap 1".to_owned())];
+        let spans = vec![
+            LaneSpan {
+                tid: 0,
+                name: "g0".to_owned(),
+                start_us: 0.0,
+                end_us: 100.0,
+            },
+            LaneSpan {
+                tid: 1,
+                name: "hop".to_owned(),
+                start_us: 100.0,
+                end_us: 265.5,
+            },
+            LaneSpan {
+                tid: 0,
+                name: "g1".to_owned(),
+                start_us: 100.0,
+                end_us: 150.0,
+            },
+            LaneSpan {
+                tid: 0,
+                name: "degenerate".to_owned(),
+                start_us: 5.0,
+                end_us: 5.0,
+            },
+        ];
+        let trace = chrome_trace_lanes(&lanes, &spans);
+        assert!(!trace.contains("degenerate"), "zero-width bars skipped");
+        assert!(trace.contains("trap 1"), "lane labels exported");
+        let events = parse_events(&trace);
+        let get = |ev: &[(String, String)], key: &str| {
+            ev.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {key}: {ev:?}"))
+        };
+        let mut stacks: std::collections::HashMap<String, Vec<String>> =
+            std::collections::HashMap::new();
+        let mut b_count = 0;
+        for ev in &events {
+            // Same schema the CI validator checks: pid/tid/ts/ph/name on
+            // every row, dur on closes, strict per-tid LIFO.
+            assert_eq!(get(ev, "pid"), "1");
+            get(ev, "ts");
+            let tid = get(ev, "tid");
+            match get(ev, "ph").as_str() {
+                "\"B\"" => {
+                    stacks.entry(tid).or_default().push(get(ev, "name"));
+                    b_count += 1;
+                }
+                "\"E\"" => {
+                    let dur: f64 = get(ev, "dur").parse().expect("numeric dur");
+                    assert!(dur > 0.0);
+                    let open = stacks.get_mut(&tid).and_then(Vec::pop);
+                    assert_eq!(open.expect("E closes an open B"), get(ev, "name"));
+                }
+                "\"M\"" => {}
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+        assert!(stacks.values().all(Vec::is_empty), "every B is closed");
+        assert_eq!(b_count, 3, "three real bars");
+        // Same-timestamp close-then-open: trap 0's g0 E precedes its g1 B.
+        let e_pos = trace.find("\"ph\":\"E\",\"pid\":1,\"tid\":0").unwrap();
+        let b_pos = trace.find("\"g1\"").unwrap();
+        assert!(e_pos < b_pos, "closes sort before same-ts opens");
     }
 }

@@ -8,6 +8,11 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
+/// Width (member moves) of every sealed concurrent round — the
+/// parallelism *distribution* behind the mean the depth figure implies
+/// (surfaced as p50/p99 in `--profile` reports).
+static ROUND_WIDTH: qccd_obs::Histogram = qccd_obs::Histogram::new("route.round_width");
+
 /// One round of concurrent shuttles: every move runs simultaneously, on
 /// pairwise-disjoint shuttle-path segments, under the machine's junction
 /// rules (see `MachineState::apply_round`).
@@ -119,6 +124,7 @@ impl TransportSchedule {
                 return Ok(());
             }
             state.apply_round(cur).map_err(TransportError::Machine)?;
+            ROUND_WIDTH.record(cur.len() as u64);
             rounds.push(TransportRound {
                 moves: std::mem::take(cur),
             });
@@ -257,6 +263,7 @@ impl TransportSchedule {
             if let Some(bf) = run.take() {
                 for moves in bf.into_rounds() {
                     state.apply_round(&moves).map_err(TransportError::Machine)?;
+                    ROUND_WIDTH.record(moves.len() as u64);
                     rounds.push(TransportRound { moves });
                 }
             }

@@ -117,6 +117,17 @@ impl SimTrace {
             .collect()
     }
 
+    /// The busiest trap: `(trap index, busy_us)`, or `None` when the
+    /// machine has no traps. Ties keep the lowest trap index, so the
+    /// answer is deterministic for symmetric schedules.
+    pub fn hottest_trap(&self) -> Option<(usize, f64)> {
+        self.utilization
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.busy_us.total_cmp(&b.busy_us).then(ib.cmp(ia)))
+            .map(|(t, u)| (t, u.busy_us))
+    }
+
     /// Total idle fraction of the machine: 1 − mean(busy) / makespan.
     pub fn idle_fraction(&self) -> f64 {
         if self.report.makespan_us <= 0.0 || self.utilization.is_empty() {
@@ -292,6 +303,32 @@ mod tests {
         assert_eq!(traced.utilization[1].arrivals, 1);
         let idle = traced.idle_fraction();
         assert!((0.0..=1.0).contains(&idle));
+    }
+
+    #[test]
+    fn hottest_trap_is_the_busiest_and_ties_go_low() {
+        let (c, spec, schedule) = fixture();
+        let traced = simulate_traced(&schedule, &c, &spec, &SimParams::default()).unwrap();
+        // Trap 1 runs two gates plus the shuttle merge; trap 0 runs one
+        // gate plus the shuttle split — trap 1 must win.
+        let (trap, busy) = traced.hottest_trap().unwrap();
+        assert_eq!(trap, 1);
+        assert_eq!(busy, traced.utilization[1].busy_us);
+        assert!(busy >= traced.utilization[0].busy_us);
+
+        let empty = SimTrace {
+            report: traced.report,
+            records: Vec::new(),
+            utilization: Vec::new(),
+        };
+        assert!(empty.hottest_trap().is_none());
+
+        let tied = SimTrace {
+            report: traced.report,
+            records: Vec::new(),
+            utilization: vec![TrapUtilization::default(); 3],
+        };
+        assert_eq!(tied.hottest_trap(), Some((0, 0.0)));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Property tests for the schedule-explanation layer: critical-path
+//! extraction and makespan attribution over compiled timelines on
+//! {linear, ring, grid} topologies under both timing models.
+//!
+//! Invariants checked on every sampled instance:
+//!
+//! 1. **Contiguity** — the critical path starts at t = 0 with
+//!    [`Blame::Start`], consecutive steps touch bit-for-bit, only the
+//!    first step carries `Start`, and the chain ends at the timeline's
+//!    latest event end (which defines the makespan).
+//! 2. **Attribution identity** — the six attribution segments summed in
+//!    fixed order equal the timeline's `makespan_us` *bit-for-bit*, not
+//!    approximately.
+//! 3. **Report sanity** — per-trap and per-edge utilization lie in
+//!    [0, 1], trap reports cover every trap in index order, and no
+//!    trap's busy time exceeds the makespan.
+
+use muzzle_shuttle::circuit::generators::random_circuit;
+use muzzle_shuttle::compiler::{compile, CompilerConfig, RouterPolicy};
+use muzzle_shuttle::machine::{MachineSpec, TrapTopology};
+use muzzle_shuttle::timing::{
+    attribute_path, critical_path, edge_reports, lower, trap_reports, Blame, CriticalPath,
+    Timeline, TimingModel,
+};
+use proptest::prelude::*;
+
+fn topology_strategy() -> impl Strategy<Value = TrapTopology> {
+    prop_oneof![
+        (2u32..=6).prop_map(TrapTopology::linear),
+        (3u32..=8).prop_map(TrapTopology::ring),
+        prop_oneof![
+            Just(TrapTopology::grid(2, 2)),
+            Just(TrapTopology::grid(2, 3)),
+            Just(TrapTopology::grid(3, 3)),
+        ],
+    ]
+}
+
+/// The structural invariants every extracted path must satisfy; returns
+/// an error string so both the proptest and the deterministic tests can
+/// share it.
+fn check_path(timeline: &Timeline, path: &CriticalPath) -> Result<(), String> {
+    if timeline.events.is_empty() {
+        return if path.steps.is_empty() {
+            Ok(())
+        } else {
+            Err("empty timeline produced a non-empty path".to_owned())
+        };
+    }
+    if path.steps.is_empty() {
+        return Err("non-empty timeline produced an empty path".to_owned());
+    }
+    if !path.is_contiguous() {
+        return Err("path is not contiguous".to_owned());
+    }
+    let first = path.steps.first().expect("non-empty");
+    if first.start_us != 0.0 || first.blame != Blame::Start || first.bound_by.is_some() {
+        return Err(format!(
+            "first step must start at t=0 with Start blame, got {first:?}"
+        ));
+    }
+    if path.steps[1..].iter().any(|s| s.blame == Blame::Start) {
+        return Err("only the first step may carry Start blame".to_owned());
+    }
+    let last = path.steps.last().expect("non-empty");
+    if last.end_us.to_bits() != timeline.makespan_us.to_bits() {
+        return Err(format!(
+            "path must end at the makespan: {} vs {}",
+            last.end_us, timeline.makespan_us
+        ));
+    }
+    for step in &path.steps {
+        let event = &timeline.events[step.event];
+        if step.start_us.to_bits() != event.start_us().to_bits()
+            || step.end_us.to_bits() != event.end_us().to_bits()
+        {
+            return Err(format!(
+                "step window diverged from its event: {step:?} vs [{}, {}]",
+                event.start_us(),
+                event.end_us()
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn critical_path_and_attribution_hold_on_all_topologies(
+        topology in topology_strategy(),
+        qubits in 4u32..=12,
+        gates in 1usize..=60,
+        seed in any::<u64>(),
+        congestion in any::<bool>(),
+        realistic in any::<bool>(),
+    ) {
+        let traps = topology.num_traps();
+        let comm = 2u32;
+        let per_trap = qubits.div_ceil(traps) + 1;
+        let spec = MachineSpec::new(topology, per_trap + comm, comm)
+            .expect("constructed spec is valid");
+        let circuit = random_circuit(qubits, gates, seed);
+        let router = if congestion {
+            RouterPolicy::congestion()
+        } else {
+            RouterPolicy::Serial
+        };
+        let model = if realistic {
+            TimingModel::realistic()
+        } else {
+            TimingModel::ideal()
+        };
+        let config = CompilerConfig::optimized().with_router(router);
+        let result = compile(&circuit, &spec, &config).expect("benchmark fits machine");
+        let timeline = lower(
+            &result.schedule,
+            Some(&result.transport),
+            &circuit,
+            &spec,
+            &model,
+        )
+        .expect("compiled schedules lower");
+
+        // 1. Contiguity and chain structure.
+        let path = critical_path(&timeline, &circuit);
+        if let Err(msg) = check_path(&timeline, &path) {
+            prop_assert!(false, "{}", msg);
+        }
+
+        // 2. The bit-for-bit attribution identity.
+        let attribution = attribute_path(&timeline, &model, &path);
+        prop_assert_eq!(
+            attribution.total_us().to_bits(),
+            timeline.makespan_us.to_bits(),
+            "segments {:?} must sum exactly to the makespan {}",
+            attribution.segments(),
+            timeline.makespan_us
+        );
+
+        // 3. Utilization reports stay within physical bounds.
+        let traps = trap_reports(&timeline, spec.num_traps() as usize);
+        prop_assert_eq!(traps.len(), spec.num_traps() as usize);
+        for (i, t) in traps.iter().enumerate() {
+            prop_assert_eq!(t.trap.index(), i);
+            prop_assert!((0.0..=1.0).contains(&t.utilization));
+            prop_assert!(t.busy_us <= timeline.makespan_us + 1e-9);
+        }
+        for e in edge_reports(&timeline) {
+            prop_assert!((0.0..=1.0).contains(&e.utilization));
+            prop_assert!(e.rounds > 0);
+        }
+    }
+}
+
+/// The paper's own machine shape: the critical path of a QFT compile on
+/// the L6 spec must blame at least one non-`Start` resource (a 16-qubit
+/// QFT cannot be a single-trap, zero-wait program on six 17-ion traps).
+#[test]
+fn qft_on_paper_machine_blames_real_resources() {
+    let circuit = muzzle_shuttle::circuit::generators::qft(16);
+    let spec = MachineSpec::paper_l6();
+    let config = CompilerConfig::optimized().with_router(RouterPolicy::congestion());
+    let result = compile(&circuit, &spec, &config).expect("QFT compiles on the paper machine");
+    let model = TimingModel::realistic();
+    let timeline = lower(
+        &result.schedule,
+        Some(&result.transport),
+        &circuit,
+        &spec,
+        &model,
+    )
+    .expect("compiled schedules lower");
+    let path = critical_path(&timeline, &circuit);
+    check_path(&timeline, &path).expect("chain invariants hold");
+    let attribution = attribute_path(&timeline, &model, &path);
+    assert_eq!(
+        attribution.total_us().to_bits(),
+        timeline.makespan_us.to_bits()
+    );
+    assert!(attribution.gate_us > 0.0, "gates must appear on the path");
+    let bound_steps: usize = path
+        .blame_counts()
+        .iter()
+        .filter(|(b, _)| *b != Blame::Start)
+        .map(|(_, n)| n)
+        .sum();
+    assert!(
+        bound_steps > 0,
+        "a multi-trap program's path must be bound by real resources"
+    );
+}
