@@ -6,7 +6,8 @@
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
 //! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `objective`,
-//! `delta`, `profile`, `explain`, `all`, plus the snapshot differ
+//! `delta`, `profile`, `explain`, `fidelity`, `all`, plus the snapshot
+//! differ
 //! `diff OLD.json NEW.json [--rel-tol X] [--json]` (exits 1 on any
 //! quality regression).
 
@@ -44,7 +45,7 @@ fn main() {
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
             | "timing" | "lookahead" | "pack" | "objective" | "delta" | "profile" | "explain"
-            | "all" => {
+            | "fidelity" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -88,6 +89,7 @@ fn main() {
         "delta" => delta(&spec),
         "profile" => profile(&spec, &params),
         "explain" => explain(&spec, &params),
+        "fidelity" => fidelity(&spec, &params),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -109,7 +111,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|explain|all] [--per-size N]\n       paper_eval diff OLD.json NEW.json [--rel-tol X] [--json]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|explain|fidelity|all] [--per-size N]\n       paper_eval diff OLD.json NEW.json [--rel-tol X] [--json]"
     );
     std::process::exit(2);
 }
@@ -189,7 +191,6 @@ fn diff_cmd(args: &[String]) {
 /// to the committed `BENCH_pr7.json`.
 fn explain(spec: &MachineSpec, params: &SimParams) {
     use qccd_bench::json::{parse, strip_keys, Json};
-    use qccd_timing::{attribute_path, critical_path};
 
     println!("## Schedule explanation (paper suite, realistic timing)");
     qccd_obs::info("paper_eval", || "profiling paper suite...".to_owned());
@@ -209,47 +210,8 @@ fn explain(spec: &MachineSpec, params: &SimParams) {
     );
     let mut explains: Vec<Json> = Vec::new();
     for (bench, p) in paper_suite().iter().zip(&profiles) {
-        // Reproduce the clock pipeline's chosen schedule exactly as
-        // `compare_timed` built it (same configs, same race), so the
-        // timeline we explain is the one the snapshot's quality row
-        // describes.
-        let (packed, _) = qccd_pack::compile_packed(
-            &bench.circuit,
-            spec,
-            &CompilerConfig::optimized()
-                .with_router(qccd_core::RouterPolicy::congestion())
-                .with_timing(model),
-        )
-        .expect("benchmark circuits compile and pack on the paper machine");
-        let (chosen, _) = qccd_pack::race_clock(
-            packed.clone(),
-            &bench.circuit,
-            spec,
-            &CompilerConfig::optimized().with_timing(model),
-        )
-        .expect("benchmark circuits compile under the clock objective");
-        assert!(
-            chosen.timeline.makespan_us.to_bits() == p.row.clock_timed_makespan_us.to_bits(),
-            "{}: recompiled clock timeline diverged from the profiled row \
-             ({} vs {})",
-            bench.name,
-            chosen.timeline.makespan_us,
-            p.row.clock_timed_makespan_us
-        );
-        let path = critical_path(&chosen.timeline, &bench.circuit);
-        let attribution = attribute_path(&chosen.timeline, &model, &path);
-        assert!(
-            attribution.total_us().to_bits() == chosen.timeline.makespan_us.to_bits(),
-            "{}: attribution identity violated ({} vs {})",
-            bench.name,
-            attribution.total_us(),
-            chosen.timeline.makespan_us
-        );
-        assert!(
-            path.is_contiguous(),
-            "{}: critical path is not contiguous",
-            bench.name
-        );
+        let explained = explain_benchmark(bench, p.row.clock_timed_makespan_us, spec, &model);
+        let attribution = &explained.attribution;
         println!(
             "{:<16} {:>13.1} {:>11.1} {:>11.1} {:>11.1} {:>10.1} {:>10.1} {:>10.1} {:>6}",
             bench.name,
@@ -260,39 +222,9 @@ fn explain(spec: &MachineSpec, params: &SimParams) {
             attribution.junction_us,
             attribution.zone_move_us,
             attribution.idle_wait_us,
-            path.steps.len()
+            explained.steps
         );
-        explains.push(Json::obj(vec![
-            ("makespan_us", Json::Num(attribution.makespan_us)),
-            ("critical_path_steps", Json::int(path.steps.len())),
-            (
-                "blame_counts",
-                Json::Obj(
-                    path.blame_counts()
-                        .iter()
-                        .map(|(b, n)| (b.label().to_owned(), Json::int(*n)))
-                        .collect(),
-                ),
-            ),
-            (
-                "attribution",
-                Json::obj(vec![
-                    ("gate_us", Json::Num(attribution.gate_us)),
-                    ("flight_us", Json::Num(attribution.flight_us)),
-                    ("split_merge_us", Json::Num(attribution.split_merge_us)),
-                    ("junction_us", Json::Num(attribution.junction_us)),
-                    ("zone_move_us", Json::Num(attribution.zone_move_us)),
-                    ("idle_wait_us", Json::Num(attribution.idle_wait_us)),
-                    ("total_us", Json::Num(attribution.total_us())),
-                    (
-                        "identity",
-                        Json::Bool(
-                            attribution.total_us().to_bits() == attribution.makespan_us.to_bits(),
-                        ),
-                    ),
-                ]),
-            ),
-        ]));
+        explains.push(explained.json);
     }
 
     let snapshot =
@@ -315,6 +247,272 @@ fn explain(spec: &MachineSpec, params: &SimParams) {
     std::fs::write("BENCH_pr8.json", &snapshot).expect("can write BENCH_pr8.json");
     println!("\nquality rows bit-for-bit equal to BENCH_pr7.json: yes");
     println!("wrote BENCH_pr8.json ({} bytes)", snapshot.len());
+    println!();
+}
+
+/// One benchmark's recompiled clock artifact plus its critical-path
+/// explanation, shared by the `explain` and `fidelity` subcommands.
+struct ExplainedBenchmark {
+    chosen: qccd_core::CompileResult,
+    attribution: qccd_timing::MakespanAttribution,
+    steps: usize,
+    json: qccd_bench::json::Json,
+}
+
+/// Reproduces the clock pipeline's chosen schedule exactly as
+/// `compare_timed` built it (same configs, same race), so the timeline
+/// being explained is the one the snapshot's quality row describes, then
+/// attributes its makespan along the critical path.
+///
+/// # Panics
+///
+/// Panics if the recompiled timeline diverges from the profiled row, if
+/// the attribution segments do not sum bit-for-bit to the makespan, or if
+/// the critical path is not contiguous.
+fn explain_benchmark(
+    bench: &qccd_circuit::generators::BenchmarkCircuit,
+    row_makespan_us: f64,
+    spec: &MachineSpec,
+    model: &qccd_core::TimingModel,
+) -> ExplainedBenchmark {
+    use qccd_bench::json::Json;
+    use qccd_timing::{attribute_path, critical_path};
+
+    let (packed, _) = qccd_pack::compile_packed(
+        &bench.circuit,
+        spec,
+        &CompilerConfig::optimized()
+            .with_router(qccd_core::RouterPolicy::congestion())
+            .with_timing(*model),
+    )
+    .expect("benchmark circuits compile and pack on the paper machine");
+    let (chosen, _) = qccd_pack::race_clock(
+        packed.clone(),
+        &bench.circuit,
+        spec,
+        &CompilerConfig::optimized().with_timing(*model),
+    )
+    .expect("benchmark circuits compile under the clock objective");
+    assert!(
+        chosen.timeline.makespan_us.to_bits() == row_makespan_us.to_bits(),
+        "{}: recompiled clock timeline diverged from the profiled row \
+         ({} vs {})",
+        bench.name,
+        chosen.timeline.makespan_us,
+        row_makespan_us
+    );
+    let path = critical_path(&chosen.timeline, &bench.circuit);
+    let attribution = attribute_path(&chosen.timeline, model, &path);
+    assert!(
+        attribution.total_us().to_bits() == chosen.timeline.makespan_us.to_bits(),
+        "{}: attribution identity violated ({} vs {})",
+        bench.name,
+        attribution.total_us(),
+        chosen.timeline.makespan_us
+    );
+    assert!(
+        path.is_contiguous(),
+        "{}: critical path is not contiguous",
+        bench.name
+    );
+    let json = Json::obj(vec![
+        ("makespan_us", Json::Num(attribution.makespan_us)),
+        ("critical_path_steps", Json::int(path.steps.len())),
+        (
+            "blame_counts",
+            Json::Obj(
+                path.blame_counts()
+                    .iter()
+                    .map(|(b, n)| (b.label().to_owned(), Json::int(*n)))
+                    .collect(),
+            ),
+        ),
+        (
+            "attribution",
+            Json::obj(vec![
+                ("gate_us", Json::Num(attribution.gate_us)),
+                ("flight_us", Json::Num(attribution.flight_us)),
+                ("split_merge_us", Json::Num(attribution.split_merge_us)),
+                ("junction_us", Json::Num(attribution.junction_us)),
+                ("zone_move_us", Json::Num(attribution.zone_move_us)),
+                ("idle_wait_us", Json::Num(attribution.idle_wait_us)),
+                ("total_us", Json::Num(attribution.total_us())),
+                (
+                    "identity",
+                    Json::Bool(
+                        attribution.total_us().to_bits() == attribution.makespan_us.to_bits(),
+                    ),
+                ),
+            ]),
+        ),
+    ]);
+    ExplainedBenchmark {
+        chosen,
+        attribution,
+        steps: path.steps.len(),
+        json,
+    }
+}
+
+/// The per-benchmark `"fidelity"` snapshot value: the loss-decomposition
+/// totals, the duration/motional shares, and the top-3 worst gates and
+/// hottest traps by blamed heat loss.
+fn fidelity_json(attr: &qccd_sim::FidelityAttribution) -> qccd_bench::json::Json {
+    use qccd_bench::json::Json;
+    Json::obj(vec![
+        (
+            "log_program_fidelity",
+            Json::Num(attr.report.log_program_fidelity),
+        ),
+        ("total_log_loss", Json::Num(attr.total_loss())),
+        ("duration_loss", Json::Num(attr.gate_duration_loss)),
+        ("motional_loss", Json::Num(attr.gate_motional_loss)),
+        ("zero_point_loss", Json::Num(attr.gate_zero_point_loss)),
+        ("heat_loss", Json::Num(attr.gate_heat_loss)),
+        ("shuttle_pulse_loss", Json::Num(attr.shuttle_pulse_loss)),
+        ("duration_share", Json::Num(attr.duration_share())),
+        ("motional_share", Json::Num(attr.motional_share())),
+        ("saturated_gates", Json::int(attr.saturated_gates)),
+        ("identity", Json::Bool(attr.identity_holds())),
+        (
+            "worst_gates",
+            Json::Arr(
+                attr.worst_gates(3)
+                    .iter()
+                    .filter_map(|t| match t {
+                        qccd_sim::LossTerm::Gate {
+                            gate,
+                            trap,
+                            log_loss,
+                            n_bar,
+                            ..
+                        } => Some(Json::obj(vec![
+                            ("gate", Json::int(gate.index())),
+                            ("trap", Json::int(trap.index())),
+                            ("log_loss", Json::Num(*log_loss)),
+                            ("n_bar", Json::Num(*n_bar)),
+                        ])),
+                        qccd_sim::LossTerm::Shuttle { .. } => None,
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "hottest_traps",
+            Json::Arr(
+                attr.hottest_traps(3)
+                    .iter()
+                    .map(|(trap, blamed, gross)| {
+                        Json::obj(vec![
+                            ("trap", Json::int(*trap)),
+                            ("blamed_log_loss", Json::Num(*blamed)),
+                            ("gross_quanta", Json::Num(*gross)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Fidelity attribution over the paper suite: profiles every benchmark
+/// (asserting the observes-never-decides parity `profile` asserts),
+/// recompiles the clock pipeline's chosen schedule, replays it under the
+/// heat-provenance ledger, decomposes `log_program_fidelity` into
+/// per-gate duration vs motional loss terms, and snapshots everything
+/// into `BENCH_pr9.json`. Three identities gate the write on every
+/// benchmark: the schedule-explain identity `explain` asserts, the
+/// fidelity identity (loss terms and ledger reproduce
+/// `log_program_fidelity` and every sampled n̄ bit for bit), and the
+/// snapshot parity (quality rows outside `profile` / `explain` /
+/// `fidelity` / `compile_seconds*` must be bit-for-bit equal to the
+/// committed `BENCH_pr8.json`).
+fn fidelity(spec: &MachineSpec, params: &SimParams) {
+    use qccd_bench::json::{parse, strip_keys, Json};
+
+    println!("## Fidelity attribution (paper suite, realistic timing)");
+    qccd_obs::info("paper_eval", || "profiling paper suite...".to_owned());
+    let model = qccd_core::TimingModel::realistic();
+    let profiles = qccd_bench::profile::profile_paper_suite(spec, params, &model);
+    println!(
+        "{:<16} {:>12} {:>11} {:>11} {:>11} {:>11} {:>6} {:>6} {:>8}",
+        "Benchmark", "-lnF", "Dur(Gt)", "Motional", "Heat", "Shuttle", "Dur%", "Mot%", "Identity"
+    );
+    let mut explains: Vec<Json> = Vec::new();
+    let mut fidelities: Vec<Json> = Vec::new();
+    for (bench, p) in paper_suite().iter().zip(&profiles) {
+        let explained = explain_benchmark(bench, p.row.clock_timed_makespan_us, spec, &model);
+        let attr = qccd_sim::attribute_fidelity_timed(
+            &explained.chosen.schedule,
+            &explained.chosen.transport,
+            &bench.circuit,
+            spec,
+            params,
+            &model,
+        )
+        .expect("benchmark schedules replay under the physics model");
+        assert!(
+            attr.identity_holds(),
+            "{}: fidelity attribution identity violated (the loss terms and \
+             heat ledger do not reproduce log_program_fidelity = {} bit for bit)",
+            bench.name,
+            attr.report.log_program_fidelity
+        );
+        assert!(
+            attr.report.program_fidelity.to_bits() == p.row.clock_sim.program_fidelity.to_bits(),
+            "{}: attribution replay diverged from the profiled clock row \
+             ({} vs {})",
+            bench.name,
+            attr.report.program_fidelity,
+            p.row.clock_sim.program_fidelity
+        );
+        println!(
+            "{:<16} {:>12.4e} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e} {:>5.1}% {:>5.1}% {:>8}",
+            bench.name,
+            attr.total_loss(),
+            attr.gate_duration_loss,
+            attr.gate_motional_loss,
+            attr.gate_heat_loss,
+            attr.shuttle_pulse_loss,
+            100.0 * attr.duration_share(),
+            100.0 * attr.motional_share(),
+            "yes"
+        );
+        explains.push(explained.json);
+        fidelities.push(fidelity_json(&attr));
+    }
+
+    let snapshot = qccd_bench::profile::render_snapshot_full(
+        spec,
+        "realistic",
+        &profiles,
+        &explains,
+        &fidelities,
+    );
+    // Parity gate: the fidelity snapshot only *adds* — its quality rows
+    // must be bit-for-bit what the committed PR 8 trajectory pinned.
+    let committed = std::fs::read_to_string("BENCH_pr8.json")
+        .expect("BENCH_pr8.json is committed at the repo root (run from there)");
+    let drop = |k: &str| {
+        k == "profile" || k == "explain" || k == "fidelity" || k.starts_with("compile_seconds")
+    };
+    let old = strip_keys(
+        &parse(&committed).expect("committed BENCH_pr8.json parses"),
+        &drop,
+    );
+    let new = strip_keys(&parse(&snapshot).expect("the fresh snapshot parses"), &drop);
+    assert!(
+        old == new,
+        "BENCH_pr9.json quality rows diverged from the committed BENCH_pr8.json \
+         (fidelity attribution observes, never decides — this is a regression)"
+    );
+    std::fs::write("BENCH_pr9.json", &snapshot).expect("can write BENCH_pr9.json");
+    println!(
+        "\nfidelity identity holds on all {} benchmarks",
+        profiles.len()
+    );
+    println!("quality rows bit-for-bit equal to BENCH_pr8.json: yes");
+    println!("wrote BENCH_pr9.json ({} bytes)", snapshot.len());
     println!();
 }
 

@@ -223,6 +223,8 @@ fn direction(path: &str) -> Direction {
         || path.ends_with(".profile")
         || path.contains(".explain.")
         || path.ends_with(".explain")
+        || path.contains(".fidelity.")
+        || path.ends_with(".fidelity")
         || last.starts_with("compile_seconds")
         || last == "wall_us"
     {
@@ -465,6 +467,51 @@ mod tests {
         let md = report.to_markdown("OLD", "NEW");
         assert!(md.contains("benchmarks[QAOA].clock.clock_timed_makespan_us"));
         assert!(md.contains("| regression |"));
+    }
+
+    #[test]
+    fn fidelity_attribution_subtree_is_informational() {
+        // The per-benchmark `fidelity` attribution subtree is derived
+        // observability (like `profile` and `explain`): its members carry
+        // quality-looking names (`duration_loss`, `motional_share`) that
+        // must never gate, while `clock.program_fidelity` outside the
+        // subtree stays a quality metric.
+        let with_attr = |loss: f64, fidelity: f64| {
+            Json::obj(vec![(
+                "benchmarks",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::str("QAOA")),
+                    (
+                        "clock",
+                        Json::obj(vec![("program_fidelity", Json::Num(fidelity))]),
+                    ),
+                    (
+                        "fidelity",
+                        Json::obj(vec![
+                            ("total_log_loss", Json::Num(loss)),
+                            ("duration_share", Json::Num(0.5)),
+                            (
+                                "hottest_traps",
+                                Json::Arr(vec![Json::obj(vec![(
+                                    "blamed_log_loss",
+                                    Json::Num(loss / 2.0),
+                                )])]),
+                            ),
+                        ]),
+                    ),
+                ])]),
+            )])
+        };
+        let old = with_attr(0.05, 1e-13);
+        let new = with_attr(0.09, 5e-14);
+        let report = diff_snapshots(&old, &new, 0.0);
+        for m in &report.metrics {
+            if m.path.contains(".fidelity.") {
+                assert_eq!(m.class, DiffClass::Informational, "{}", m.path);
+            }
+        }
+        assert_eq!(report.regressions().len(), 1, "only program_fidelity gates");
+        assert!(report.regressions()[0].path.ends_with("program_fidelity"));
     }
 
     #[test]

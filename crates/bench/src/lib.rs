@@ -27,7 +27,7 @@ use qccd_circuit::Circuit;
 use qccd_core::{compile, CompileResult, CompilerConfig, Objective, RouterPolicy, ScoreMode};
 use qccd_machine::{MachineSpec, TrapTopology};
 use qccd_route::TransportSchedule;
-use qccd_sim::{simulate_timed, simulate_traced, SimParams, SimReport};
+use qccd_sim::{attribute_fidelity_timed, simulate_timed, simulate_traced, SimParams, SimReport};
 use qccd_timing::TimingModel;
 use std::time::Instant;
 
@@ -110,6 +110,13 @@ pub struct ComparisonRow {
     pub hottest_trap: usize,
     /// Busy time of the hottest trap, µs.
     pub hottest_trap_busy_us: f64,
+    /// Duration (`Γτ`) share of the clock schedule's decomposed log loss,
+    /// in `[0, 1]`, from the bit-for-bit fidelity attribution pass
+    /// ([`qccd_sim::attribute_fidelity_timed`]).
+    pub clock_duration_share: f64,
+    /// Motional (`A(2n̄+1)`) share of the same decomposition, in `[0, 1]`.
+    /// The remainder up to 1 is the fixed shuttle-pulse loss.
+    pub clock_motional_share: f64,
 }
 
 impl ComparisonRow {
@@ -293,6 +300,25 @@ pub fn compare_timed(
     let (hottest_trap, hottest_trap_busy_us) = optimized_trace
         .hottest_trap()
         .expect("machines have at least one trap");
+    // Fidelity-loss split of the clock artifact (the headline timed
+    // schedule): duration vs motional share of the log loss, from the
+    // attribution pass whose terms reproduce `clock_sim`'s
+    // log_program_fidelity bit for bit.
+    let clock_attr = attribute_fidelity_timed(
+        &clock.schedule,
+        &clock.transport,
+        &bench.circuit,
+        spec,
+        params,
+        model,
+    )
+    .expect("clock-objective schedules are valid by construction");
+    assert!(
+        clock_attr.identity_holds(),
+        "fidelity attribution identity must hold on benchmark schedules"
+    );
+    let clock_duration_share = clock_attr.duration_share();
+    let clock_motional_share = clock_attr.motional_share();
     ComparisonRow {
         name: bench.name.clone(),
         qubits: bench.circuit.num_qubits(),
@@ -319,6 +345,8 @@ pub fn compare_timed(
         idle_fraction,
         hottest_trap,
         hottest_trap_busy_us,
+        clock_duration_share,
+        clock_motional_share,
     }
 }
 
@@ -887,6 +915,16 @@ mod tests {
         assert!((0.0..=1.0).contains(&row.idle_fraction));
         assert!(row.hottest_trap < 3, "trap index on a 3-trap machine");
         assert!(row.hottest_trap_busy_us > 0.0, "gates make some trap busy");
+        assert!((0.0..=1.0).contains(&row.clock_duration_share));
+        assert!((0.0..=1.0).contains(&row.clock_motional_share));
+        assert!(
+            row.clock_duration_share + row.clock_motional_share <= 1.0 + 1e-12,
+            "shares plus the shuttle-pulse remainder partition the loss"
+        );
+        assert!(
+            row.clock_duration_share > 0.0,
+            "every gate pays its duration term"
+        );
     }
 
     #[test]

@@ -257,9 +257,27 @@ pub fn render_snapshot_with(
     profiles: &[BenchmarkProfile],
     explains: &[Json],
 ) -> String {
+    render_snapshot_full(machine, timing, profiles, explains, &[])
+}
+
+/// [`render_snapshot_with`] plus one trailing `"fidelity"` value per
+/// benchmark (`fidelities[i]` rides after `"explain"` in benchmark *i*).
+/// An empty slice reproduces the PR 8 document byte for byte — each
+/// snapshot generation stays purely additive over its predecessor.
+pub fn render_snapshot_full(
+    machine: &MachineSpec,
+    timing: &str,
+    profiles: &[BenchmarkProfile],
+    explains: &[Json],
+    fidelities: &[Json],
+) -> String {
     assert!(
         explains.is_empty() || explains.len() == profiles.len(),
         "one explain value per benchmark, or none"
+    );
+    assert!(
+        fidelities.is_empty() || fidelities.len() == profiles.len(),
+        "one fidelity value per benchmark, or none"
     );
     let rows: Vec<&ComparisonRow> = profiles.iter().map(|p| &p.row).collect();
     let (fig4_baseline, fig4_optimized) = fig4_worked_example();
@@ -364,6 +382,9 @@ pub fn render_snapshot_with(
             ];
             if let Some(explain) = explains.get(i) {
                 fields.push(("explain", explain.clone()));
+            }
+            if let Some(fidelity) = fidelities.get(i) {
+                fields.push(("fidelity", fidelity.clone()));
             }
             Json::obj(fields)
         })

@@ -240,7 +240,7 @@ fn render_text(
         fig4.baseline_shuttles, fig4.optimized_shuttles
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>5} {:>4} {:>12}\n",
+        "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>8} {:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>6} {:>5} {:>4} {:>12} {:>5} {:>5}\n",
         "Benchmark",
         "Qubits",
         "2Q gates",
@@ -257,11 +257,13 @@ fn render_text(
         "Junc",
         "Idle%",
         "Hot",
-        "Fidelity gain"
+        "Fidelity gain",
+        "Dur%",
+        "Mot%"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>4.1}% {:>4} {:>11.2}X\n",
+            "{:<16} {:>6} {:>9} {:>9} {:>10} {:>6} {:>7.2}% {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>6} {:>4.1}% {:>4} {:>11.2}X {:>4.1}% {:>4.1}%\n",
             r.name,
             r.qubits,
             r.two_qubit_gates,
@@ -278,7 +280,9 @@ fn render_text(
             r.transport_sim.junction_crossings,
             100.0 * r.idle_fraction,
             format!("T{}", r.hottest_trap),
-            r.fidelity_improvement()
+            r.fidelity_improvement(),
+            100.0 * r.clock_duration_share,
+            100.0 * r.clock_motional_share
         ));
     }
     out.push_str(&format!(
@@ -344,7 +348,8 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
          transport_timed_makespan_us,lookahead_timed_makespan_us,packed_timed_makespan_us,\
          clock_timed_makespan_us,zone_moves,junction_crossings,fidelity_improvement,\
          baseline_compile_s,optimized_compile_s,clock_compile_s,clock_full_compile_s,\
-         idle_fraction,hottest_trap,hottest_trap_busy_us\n",
+         idle_fraction,hottest_trap,hottest_trap_busy_us,clock_duration_share,\
+         clock_motional_share\n",
     );
     for r in rows {
         out.push_str(&csv_row(&[
@@ -377,6 +382,8 @@ fn render_csv(timing: &str, rows: &[ComparisonRow]) -> String {
             format!("{:.4}", r.idle_fraction),
             r.hottest_trap.to_string(),
             format!("{:.3}", r.hottest_trap_busy_us),
+            format!("{:.4}", r.clock_duration_share),
+            format!("{:.4}", r.clock_motional_share),
         ]));
         out.push('\n');
     }
@@ -490,6 +497,8 @@ fn render_json(
                         ("compile_seconds", Json::Num(r.clock_compile_s)),
                         ("compile_seconds_full", Json::Num(r.clock_full_compile_s)),
                         ("program_fidelity", Json::Num(r.clock_sim.program_fidelity)),
+                        ("fidelity_duration_share", Json::Num(r.clock_duration_share)),
+                        ("fidelity_motional_share", Json::Num(r.clock_motional_share)),
                     ]),
                 ),
                 (

@@ -11,9 +11,18 @@
 //! utilization heatmap, per-edge contention, and optionally a per-trap
 //! Gantt chart as Chrome trace-event JSON (`--gantt FILE`, one lane per
 //! trap — open in about:tracing or ui.perfetto.dev).
+//!
+//! `--fidelity` adds the fidelity X-ray: the physics replay re-runs with
+//! [`qccd_sim`]'s heat-provenance ledger attached, decomposing
+//! `log_program_fidelity` into per-gate duration (`Γτ`) and motional
+//! (`A(2n̄+1)`) loss terms that sum back to it **bit for bit** (the command
+//! hard-errors otherwise), with worst-gate / hottest-trap /
+//! costliest-shuttle rankings and, under `--gantt`, per-trap `n̄(t)`
+//! counter rows in the exported trace.
 
 use crate::output::Json;
 use crate::{emit, parse_common, CommonOptions};
+use qccd_sim::{FidelityAttribution, LossTerm};
 use qccd_timing::{
     attribute_path, critical_path, edge_reports, trap_reports, CriticalPath, EdgeReport,
     MakespanAttribution, Timeline, TimelineEvent, TrapReport,
@@ -24,7 +33,11 @@ const HEATMAP_WIDTH: usize = 40;
 
 /// Entry point for `muzzle explain`.
 pub fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let opts = parse_common(args, &["--top", "--gantt"], &["--verbose", "--quiet"])?;
+    let opts = parse_common(
+        args,
+        &["--top", "--gantt"],
+        &["--verbose", "--quiet", "--fidelity"],
+    )?;
     crate::apply_verbosity(&opts);
     if opts.format == "csv" {
         return Err(
@@ -80,8 +93,36 @@ pub fn cmd_explain(args: &[String]) -> Result<(), String> {
     let traps = trap_reports(timeline, machine.num_traps() as usize);
     let edges = edge_reports(timeline);
 
+    // --fidelity: replay the schedule with the heat-provenance ledger
+    // attached, then hold the attribution to the same standard as the
+    // makespan table above: the terms must reproduce the simulator's
+    // answer bit for bit or the report is not emitted.
+    let fidelity = if opts.extra_flags.iter().any(|f| f == "--fidelity") {
+        let attr = qccd_sim::attribute_fidelity_timed(
+            &result.schedule,
+            &result.transport,
+            &circuit.circuit,
+            &machine,
+            &qccd_sim::SimParams::default(),
+            &model,
+        )
+        .map_err(|e| e.to_string())?;
+        if !attr.identity_holds() {
+            return Err(format!(
+                "fidelity attribution identity violated: the loss terms do \
+                 not reproduce log_program_fidelity = {} bit for bit (this \
+                 is a bug in the attribution pass, not in your invocation)",
+                attr.report.log_program_fidelity
+            ));
+        }
+        Some(attr)
+    } else {
+        None
+    };
+
     if let Some(path_out) = &gantt {
-        std::fs::write(path_out, gantt_trace(timeline, traps.len()))
+        let counters = fidelity.as_ref().map(nbar_counters).unwrap_or_default();
+        std::fs::write(path_out, gantt_trace(timeline, traps.len(), &counters))
             .map_err(|e| format!("cannot write `{path_out}`: {e}"))?;
     }
 
@@ -97,6 +138,8 @@ pub fn cmd_explain(args: &[String]) -> Result<(), String> {
             &attribution,
             &traps,
             &edges,
+            fidelity.as_ref(),
+            top,
         ),
         _ => render_text(
             &opts,
@@ -109,6 +152,7 @@ pub fn cmd_explain(args: &[String]) -> Result<(), String> {
             &attribution,
             &traps,
             &edges,
+            fidelity.as_ref(),
             top,
         ),
     };
@@ -130,9 +174,41 @@ fn heatmap_bar(utilization: f64) -> String {
     bar
 }
 
+/// Per-trap `n̄(t)` counter samples for the Gantt export: one sample per
+/// ledger deposit, valued at the chain's cumulative fold — so the counter
+/// track replays exactly the `n̄` the fidelity model charged.
+fn nbar_counters(attr: &FidelityAttribution) -> Vec<qccd_obs::CounterSample> {
+    let mut out = Vec::new();
+    for (t, deposits) in attr.ledger.deposits.iter().enumerate() {
+        let name = format!("nbar T{t}");
+        out.push(qccd_obs::CounterSample {
+            tid: t as u64,
+            name: name.clone(),
+            ts_us: 0.0,
+            value: 0.0,
+        });
+        let mut acc = 0.0f64;
+        for d in deposits {
+            acc += d.net_quanta();
+            out.push(qccd_obs::CounterSample {
+                tid: t as u64,
+                name: name.clone(),
+                ts_us: d.t_us,
+                value: acc,
+            });
+        }
+    }
+    out
+}
+
 /// One Gantt lane per trap: gates and zone moves on their trap's lane,
-/// transport rounds on every involved trap's lane.
-fn gantt_trace(timeline: &Timeline, num_traps: usize) -> String {
+/// transport rounds on every involved trap's lane. `counters` (per-trap
+/// `n̄(t)` under `--fidelity`, empty otherwise) ride along as counter rows.
+fn gantt_trace(
+    timeline: &Timeline,
+    num_traps: usize,
+    counters: &[qccd_obs::CounterSample],
+) -> String {
     let lanes: Vec<(u64, String)> = (0..num_traps as u64)
         .map(|t| (t, format!("trap T{t}")))
         .collect();
@@ -165,7 +241,7 @@ fn gantt_trace(timeline: &Timeline, num_traps: usize) -> String {
             }
         }
     }
-    qccd_obs::chrome_trace_lanes(&lanes, &spans)
+    qccd_obs::chrome_trace_lanes_with_counters(&lanes, &spans, counters)
 }
 
 #[allow(clippy::too_many_arguments)] // report renderer: one arg per section
@@ -180,6 +256,7 @@ fn render_text(
     attribution: &MakespanAttribution,
     traps: &[TrapReport],
     edges: &[EdgeReport],
+    fidelity: Option<&FidelityAttribution>,
     top: usize,
 ) -> String {
     let mut out = String::new();
@@ -256,6 +333,113 @@ fn render_text(
             100.0 * t.utilization
         ));
     }
+    if let Some(attr) = fidelity {
+        out.push_str(&render_fidelity_text(attr, top));
+    }
+    out
+}
+
+/// The `--fidelity` text section: loss decomposition plus the three
+/// blame rankings.
+fn render_fidelity_text(attr: &FidelityAttribution, top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "\nfidelity attribution (log loss -ln F = {:.6e}, identity holds bit for bit):\n",
+        attr.total_loss()
+    ));
+    let total = attr.gate_duration_loss + attr.gate_motional_loss + attr.shuttle_pulse_loss;
+    let share = |loss: f64| {
+        if total > 0.0 {
+            100.0 * loss / total
+        } else {
+            0.0
+        }
+    };
+    out.push_str(&format!(
+        "  {:<22} {:>14.6e}  {:>5.1}%\n",
+        "duration (Gamma*tau)",
+        attr.gate_duration_loss,
+        share(attr.gate_duration_loss)
+    ));
+    out.push_str(&format!(
+        "  {:<22} {:>14.6e}  {:>5.1}%\n",
+        "motional A(2n+1)",
+        attr.gate_motional_loss,
+        share(attr.gate_motional_loss)
+    ));
+    out.push_str(&format!(
+        "    {:<20} {:>14.6e}\n",
+        "zero-point (A)", attr.gate_zero_point_loss
+    ));
+    out.push_str(&format!(
+        "    {:<20} {:>14.6e}\n",
+        "heat (2An)", attr.gate_heat_loss
+    ));
+    out.push_str(&format!(
+        "  {:<22} {:>14.6e}  {:>5.1}%\n",
+        "shuttle pulses",
+        attr.shuttle_pulse_loss,
+        share(attr.shuttle_pulse_loss)
+    ));
+    if attr.saturated_gates > 0 {
+        out.push_str(&format!(
+            "  {} gate(s) saturated at fidelity 0 — program fidelity is exactly 0\n",
+            attr.saturated_gates
+        ));
+    }
+
+    out.push_str(&format!("\ntop {top} worst gates by log loss:\n"));
+    for term in attr.worst_gates(top) {
+        if let LossTerm::Gate {
+            gate,
+            trap,
+            chain_len,
+            tau_us,
+            n_bar,
+            log_loss,
+            duration_loss,
+            motional_loss,
+            ..
+        } = *term
+        {
+            out.push_str(&format!(
+                "  {:<8} {:<4} loss {:>11.4e}  duration {:>11.4e}  motional {:>11.4e}  n {:>8.3}  chain {:>2}  tau {:>7.1} us\n",
+                gate.to_string(),
+                trap.to_string(),
+                log_loss,
+                duration_loss,
+                motional_loss,
+                n_bar,
+                chain_len,
+                tau_us
+            ));
+        }
+    }
+
+    out.push_str(&format!("\ntop {top} hottest traps by blamed heat loss:\n"));
+    for (trap, blamed, gross) in attr.hottest_traps(top) {
+        out.push_str(&format!(
+            "  T{trap:<3} blamed loss {blamed:>11.4e}  gross heat {gross:>9.3} quanta\n"
+        ));
+    }
+
+    out.push_str(&format!("\ntop {top} costliest shuttles:\n"));
+    let hops = attr.costliest_shuttles(top);
+    if hops.is_empty() {
+        out.push_str("  (no shuttle hops — every gate was local)\n");
+    }
+    for h in hops {
+        out.push_str(&format!(
+            "  hop {:<4} {:<5} {}->{}  total {:>11.4e}  (pulse {:>11.4e} + heat {:>11.4e})\n",
+            h.shuttle,
+            h.ion.to_string(),
+            h.from,
+            h.to,
+            h.total_log_loss(),
+            h.pulse_log_loss,
+            h.heat_log_loss
+        ));
+    }
     out
 }
 
@@ -271,6 +455,8 @@ fn render_json(
     attribution: &MakespanAttribution,
     traps: &[TrapReport],
     edges: &[EdgeReport],
+    fidelity: Option<&FidelityAttribution>,
+    top: usize,
 ) -> String {
     let steps = path
         .steps
@@ -373,7 +559,95 @@ fn render_json(
             ),
         ),
     ]);
+    let value = match fidelity {
+        Some(attr) => value.with_field("fidelity", fidelity_json(attr, top)),
+        None => value,
+    };
     let mut text = value.to_string();
     text.push('\n');
     text
+}
+
+/// The `--fidelity` JSON subtree.
+fn fidelity_json(attr: &FidelityAttribution, top: usize) -> Json {
+    let worst = attr
+        .worst_gates(top)
+        .iter()
+        .filter_map(|term| match **term {
+            LossTerm::Gate {
+                gate,
+                trap,
+                start_us,
+                end_us,
+                chain_len,
+                tau_us,
+                fidelity,
+                n_bar,
+                log_loss,
+                duration_loss,
+                motional_loss,
+                heat_loss,
+                ..
+            } => Some(Json::obj(vec![
+                ("gate", Json::int(gate.index())),
+                ("trap", Json::int(trap.index())),
+                ("start_us", Json::Num(start_us)),
+                ("end_us", Json::Num(end_us)),
+                ("chain_len", Json::int(chain_len as usize)),
+                ("tau_us", Json::Num(tau_us)),
+                ("fidelity", Json::Num(fidelity)),
+                ("n_bar", Json::Num(n_bar)),
+                ("log_loss", Json::Num(log_loss)),
+                ("duration_loss", Json::Num(duration_loss)),
+                ("motional_loss", Json::Num(motional_loss)),
+                ("heat_loss", Json::Num(heat_loss)),
+            ])),
+            LossTerm::Shuttle { .. } => None,
+        })
+        .collect();
+    let hottest = attr
+        .hottest_traps(top)
+        .into_iter()
+        .map(|(trap, blamed, gross)| {
+            Json::obj(vec![
+                ("trap", Json::int(trap)),
+                ("blamed_log_loss", Json::Num(blamed)),
+                ("gross_quanta", Json::Num(gross)),
+            ])
+        })
+        .collect();
+    let costliest = attr
+        .costliest_shuttles(top)
+        .into_iter()
+        .map(|h| {
+            Json::obj(vec![
+                ("shuttle", Json::int(h.shuttle)),
+                ("ion", Json::int(h.ion.index())),
+                ("from", Json::int(h.from.index())),
+                ("to", Json::int(h.to.index())),
+                ("pulse_log_loss", Json::Num(h.pulse_log_loss)),
+                ("heat_log_loss", Json::Num(h.heat_log_loss)),
+                ("total_log_loss", Json::Num(h.total_log_loss())),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        (
+            "log_program_fidelity",
+            Json::Num(attr.report.log_program_fidelity),
+        ),
+        ("total_loss", Json::Num(attr.total_loss())),
+        ("duration_loss", Json::Num(attr.gate_duration_loss)),
+        ("motional_loss", Json::Num(attr.gate_motional_loss)),
+        ("zero_point_loss", Json::Num(attr.gate_zero_point_loss)),
+        ("heat_loss", Json::Num(attr.gate_heat_loss)),
+        ("shuttle_pulse_loss", Json::Num(attr.shuttle_pulse_loss)),
+        ("duration_share", Json::Num(attr.duration_share())),
+        ("motional_share", Json::Num(attr.motional_share())),
+        ("saturated_gates", Json::int(attr.saturated_gates)),
+        ("identity", Json::Bool(attr.identity_holds())),
+        ("worst_gates", Json::Arr(worst)),
+        ("hottest_traps", Json::Arr(hottest)),
+        ("costliest_shuttles", Json::Arr(costliest)),
+    ])
 }

@@ -92,12 +92,15 @@ OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
     --out PATH          write the report to PATH instead of stdout
 
-OBSERVABILITY OPTIONS (compile, eval):
+OBSERVABILITY OPTIONS (compile, simulate, eval):
     --trace PATH        write a Chrome-trace JSON of the compile's phase
                         spans and events to PATH (open in about:tracing
                         or ui.perfetto.dev); compile only
-    --profile           append a per-phase wall-time breakdown and the
-                        hot-path counters to the report; compile only
+    --profile           append a per-phase wall-time breakdown, the
+                        hot-path counters, and the recorded histograms
+                        (on simulate: the replay's sim.gate_infidelity /
+                        sim.gate_nbar distributions) to the report;
+                        compile and simulate
     --verbose           emit debug-level structured events to stderr
     --quiet             suppress structured progress/info events
 
@@ -112,6 +115,11 @@ COMMAND-SPECIFIC:
     explain   --top K             bottleneck traps/edges to list [default: 5]
               --gantt PATH        write a per-trap Gantt chart of the
                                   schedule as Chrome-trace JSON to PATH
+              --fidelity          add the fidelity X-ray: per-gate log-loss
+                                  attribution (duration vs motional) with
+                                  heat provenance — worst gates, hottest
+                                  traps, costliest shuttles; with --gantt,
+                                  per-trap n-bar counter tracks
 
 EXAMPLES:
     muzzle compile --circuit qft:16 --traps 2
@@ -454,6 +462,10 @@ fn sim_report_json(report: &SimReport) -> Json {
             "final_mean_motional_mode",
             Json::Num(report.final_mean_motional_mode),
         ),
+        (
+            "final_mean_motional_mode_occupied",
+            Json::Num(report.final_mean_motional_mode_occupied),
+        ),
         ("min_gate_fidelity", Json::Num(report.min_gate_fidelity)),
     ])
 }
@@ -712,11 +724,18 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
 // --------------------------------------------------------------- simulate
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let opts = parse_common(args, &[], &["--compare"])?;
+    let opts = parse_common(args, &[], &["--compare", "--profile"])?;
     let circuit = require_circuit(&opts)?;
     let machine = opts.machine.build()?;
     let params = SimParams::default();
     let compare = opts.extra_flags.iter().any(|f| f == "--compare");
+    let profile = opts.extra_flags.iter().any(|f| f == "--profile");
+    // Instrumentation observes, never decides: the compile + replay below
+    // are bit-for-bit identical with or without the recorder enabled.
+    if profile {
+        qccd_obs::reset();
+        qccd_obs::enable();
+    }
 
     // Every schedule replays through its compiled transport rounds (one
     // hop per round under the serial router — the historical replay) on
@@ -759,6 +778,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.objective,
             &opts.score_mode,
         )?)?;
+        if profile {
+            qccd_obs::disable();
+        }
         match opts.format.as_str() {
             "json" => {
                 let value = Json::obj(vec![
@@ -771,6 +793,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                         Json::Num(opt.fidelity_improvement_over(&base)),
                     ),
                 ]);
+                let value = if profile {
+                    value.with_field("profile", profile_json())
+                } else {
+                    value
+                };
                 report.push_str(&value.to_string());
                 report.push('\n');
             }
@@ -803,6 +830,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                     opt.fidelity_improvement_over(&base),
                     base.shuttles as i64 - opt.shuttles as i64
                 ));
+                if profile {
+                    report.push_str(&qccd_obs::summary_table());
+                }
             }
         }
     } else {
@@ -815,6 +845,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.score_mode,
         )?;
         let (_, sim) = run(&config)?;
+        if profile {
+            qccd_obs::disable();
+        }
         match opts.format.as_str() {
             "json" => {
                 let value = Json::obj(vec![
@@ -823,6 +856,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                     ("policy", Json::str(&opts.policy)),
                     ("report", sim_report_json(&sim)),
                 ]);
+                let value = if profile {
+                    value.with_field("profile", profile_json())
+                } else {
+                    value
+                };
                 report.push_str(&value.to_string());
                 report.push('\n');
             }
@@ -849,6 +887,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                     "circuit {} on {machine} ({})\n{sim}\n",
                     circuit.name, opts.policy
                 ));
+                if profile {
+                    report.push_str(&qccd_obs::summary_table());
+                }
             }
         }
     }

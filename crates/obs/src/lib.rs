@@ -758,6 +758,22 @@ pub struct LaneSpan {
     pub end_us: f64,
 }
 
+/// One sample of a named per-lane counter series (e.g. a trap's motional
+/// mode `n̄` over time), exported by [`chrome_trace_lanes_with_counters`]
+/// as a Chrome-trace `C` row. Perfetto renders each `(tid, name)` series
+/// as a step chart under the lane's track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// The lane (Chrome-trace thread id) the series belongs to.
+    pub tid: u64,
+    /// Counter series name.
+    pub name: String,
+    /// Sample time, µs.
+    pub ts_us: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
 /// Renders caller-supplied lanes as Chrome trace-event JSON: one
 /// `thread_name` metadata row per `(tid, label)` lane, then every span as
 /// a `B`/`E` pair (the `E` carries `dur`), time-ordered with closes
@@ -767,7 +783,22 @@ pub struct LaneSpan {
 /// [`chrome_trace`] this reads no global state — it is a pure formatter
 /// for externally-timed data such as per-trap schedule lanes.
 pub fn chrome_trace_lanes(lanes: &[(u64, String)], spans: &[LaneSpan]) -> String {
-    let mut rows: Vec<(f64, u8, u64, String)> = Vec::with_capacity(2 * spans.len() + lanes.len());
+    chrome_trace_lanes_with_counters(lanes, spans, &[])
+}
+
+/// [`chrome_trace_lanes`] plus counter series: every [`CounterSample`] is
+/// appended as a `C` row in the same dialect [`chrome_trace`] uses
+/// (`args.value` carries the sample). Counter rows sort after
+/// same-timestamp span opens — a sample stamped at an operation's end
+/// time reads as the value *after* that operation. Samples with
+/// non-finite time or value are skipped (JSON has no spelling for them).
+pub fn chrome_trace_lanes_with_counters(
+    lanes: &[(u64, String)],
+    spans: &[LaneSpan],
+    counters: &[CounterSample],
+) -> String {
+    let mut rows: Vec<(f64, u8, u64, String)> =
+        Vec::with_capacity(2 * spans.len() + lanes.len() + counters.len());
     for (tid, label) in lanes {
         let mut row = String::from("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
         let _ = write!(row, "{tid},\"ts\":0,\"args\":{{\"name\":");
@@ -798,6 +829,19 @@ pub fn chrome_trace_lanes(lanes: &[(u64, String)], spans: &[LaneSpan]) -> String
             s.end_us - s.start_us
         );
         rows.push((s.end_us, 0, s.tid, close));
+    }
+    for c in counters {
+        if !c.ts_us.is_finite() || !c.value.is_finite() {
+            continue;
+        }
+        let mut row = String::from("{\"name\":");
+        escape_json(&c.name, &mut row);
+        let _ = write!(
+            row,
+            ",\"cat\":\"qccd\",\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+            c.tid, c.ts_us, c.value
+        );
+        rows.push((c.ts_us, 2, c.tid, row));
     }
     rows.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut out = String::from("[\n");
@@ -1193,5 +1237,78 @@ mod tests {
         let e_pos = trace.find("\"ph\":\"E\",\"pid\":1,\"tid\":0").unwrap();
         let b_pos = trace.find("\"g1\"").unwrap();
         assert!(e_pos < b_pos, "closes sort before same-ts opens");
+    }
+
+    #[test]
+    fn lane_counters_export_as_schema_valid_c_rows() {
+        let lanes = vec![(0u64, "trap 0".to_owned())];
+        let spans = vec![LaneSpan {
+            tid: 0,
+            name: "gate".to_owned(),
+            start_us: 0.0,
+            end_us: 100.0,
+        }];
+        let counters = vec![
+            CounterSample {
+                tid: 0,
+                name: "n̄ trap 0".to_owned(),
+                ts_us: 0.0,
+                value: 0.5,
+            },
+            CounterSample {
+                tid: 0,
+                name: "n̄ trap 0".to_owned(),
+                ts_us: 100.0,
+                value: 1.25,
+            },
+            CounterSample {
+                tid: 0,
+                name: "dropped".to_owned(),
+                ts_us: 50.0,
+                value: f64::NAN,
+            },
+        ];
+        let trace = chrome_trace_lanes_with_counters(&lanes, &spans, &counters);
+        assert!(!trace.contains("dropped"), "non-finite samples skipped");
+        assert_eq!(
+            chrome_trace_lanes(&lanes, &spans),
+            chrome_trace_lanes_with_counters(&lanes, &spans, &[]),
+            "no counters means the plain lane export, byte for byte"
+        );
+        let events = parse_events(&trace);
+        let get = |ev: &[(String, String)], key: &str| {
+            ev.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("missing {key}: {ev:?}"))
+        };
+        let mut stack: Vec<String> = Vec::new();
+        let mut c_count = 0;
+        for ev in &events {
+            // The strict-nesting validator's schema: B/E stay LIFO per
+            // lane; C rows carry args.value and never disturb the stack.
+            assert_eq!(get(ev, "pid"), "1");
+            get(ev, "ts");
+            match get(ev, "ph").as_str() {
+                "\"B\"" => stack.push(get(ev, "name")),
+                "\"E\"" => {
+                    assert_eq!(stack.pop().expect("E closes an open B"), get(ev, "name"));
+                }
+                "\"C\"" => {
+                    let args = get(ev, "args");
+                    assert!(args.contains("\"value\""), "{args}");
+                    c_count += 1;
+                }
+                "\"M\"" => {}
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+        assert!(stack.is_empty());
+        assert_eq!(c_count, 2, "both finite samples exported");
+        // The sample stamped at the gate's start sorts after the gate's
+        // open: counters read as the value after same-ts events.
+        let b_pos = trace.find("\"ph\":\"B\"").unwrap();
+        let first_c = trace.find("\"ph\":\"C\"").unwrap();
+        assert!(first_c > b_pos, "same-ts counter sorts after the open");
     }
 }

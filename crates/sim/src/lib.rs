@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+mod attribution;
 mod error;
 mod fidelity;
 mod params;
@@ -46,6 +47,10 @@ mod report;
 mod simulator;
 mod trace;
 
+pub use attribution::{
+    attribute_fidelity, attribute_fidelity_timed, FidelityAttribution, HeatDeposit, HeatKind,
+    HeatLedger, HeatPart, LossTerm, ShuttleBlame,
+};
 pub use error::SimError;
 pub use fidelity::{chain_scaling_factor, one_qubit_gate_fidelity, two_qubit_gate_fidelity};
 pub use params::SimParams;

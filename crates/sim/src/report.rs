@@ -39,9 +39,16 @@ pub struct SimReport {
     /// hops — the traffic the realistic timing model charges corner/swap
     /// time for.
     pub junction_crossings: usize,
-    /// Mean motional mode `n̄` across chains when the program ends — a
-    /// direct readout of accumulated shuttle heating.
+    /// Mean motional mode `n̄` across *all* traps when the program ends — a
+    /// direct readout of accumulated shuttle heating. Empty traps count as
+    /// cold chains, so this dilutes on sparse machines; see
+    /// [`final_mean_motional_mode_occupied`](Self::final_mean_motional_mode_occupied).
     pub final_mean_motional_mode: f64,
+    /// Mean motional mode `n̄` over *occupied* chains only (traps holding
+    /// at least one ion at program end). Equals
+    /// [`final_mean_motional_mode`](Self::final_mean_motional_mode) when
+    /// every trap is occupied; `0.0` when none is.
+    pub final_mean_motional_mode_occupied: f64,
     /// The worst single gate fidelity observed.
     pub min_gate_fidelity: f64,
 }
@@ -109,6 +116,7 @@ mod tests {
             zone_moves: 0,
             junction_crossings: 0,
             final_mean_motional_mode: 0.5,
+            final_mean_motional_mode_occupied: 0.5,
             min_gate_fidelity: fidelity,
         }
     }

@@ -7,6 +7,7 @@
 //! zone moves), and the physics replay walks the timeline's events to
 //! accumulate heating and fidelity.
 
+use crate::attribution::LedgerRecorder;
 use crate::error::SimError;
 use crate::fidelity::{one_qubit_gate_fidelity, two_qubit_gate_fidelity};
 use crate::params::SimParams;
@@ -15,6 +16,13 @@ use qccd_circuit::{Circuit, GateId, GateQubits};
 use qccd_machine::{IonId, MachineSpec, Schedule, TrapId};
 use qccd_route::TransportSchedule;
 use qccd_timing::{LowerError, TimelineEvent, TimingModel};
+
+/// Distribution of `1 − F` per replayed gate, in parts per billion
+/// (`--profile` surfaces count/mean/p50/p99).
+static GATE_INFIDELITY: qccd_obs::Histogram = qccd_obs::Histogram::new("sim.gate_infidelity");
+
+/// Distribution of the chain's `n̄` per replayed gate, in milliquanta.
+static GATE_NBAR: qccd_obs::Histogram = qccd_obs::Histogram::new("sim.gate_nbar");
 
 /// Event passed to the trace observer for every replayed operation.
 /// See [`simulate_traced`](crate::simulate_traced) for the public surface.
@@ -74,8 +82,17 @@ pub fn simulate(
     spec: &MachineSpec,
     params: &SimParams,
 ) -> Result<SimReport, SimError> {
-    simulate_inner(schedule, circuit, spec, params, None, None, &mut |_| {})
-        .map(|(report, _)| report)
+    simulate_inner(
+        schedule,
+        circuit,
+        spec,
+        params,
+        None,
+        None,
+        None,
+        &mut |_| {},
+    )
+    .map(|(report, _)| report)
 }
 
 /// Replays `schedule` with its shuttle traffic executed as the concurrent
@@ -106,6 +123,7 @@ pub fn simulate_transport(
         spec,
         params,
         Some(transport),
+        None,
         None,
         &mut |_| {},
     )
@@ -142,14 +160,22 @@ pub fn simulate_timed(
         params,
         Some(transport),
         Some(model),
+        None,
         &mut |_| {},
     )
     .map(|(report, _)| report)
 }
 
 /// Core replay loop shared by [`simulate`], [`simulate_transport`],
-/// [`simulate_timed`] and [`simulate_traced`](crate::simulate_traced).
-/// Returns the report plus the final per-trap motional modes.
+/// [`simulate_timed`], [`simulate_traced`](crate::simulate_traced) and
+/// [`attribute_fidelity`](crate::attribute_fidelity). Returns the report
+/// plus the final per-trap motional modes.
+///
+/// When `ledger` is given, every `n̄` update is additionally recorded as a
+/// tagged heat deposit. The recording is a pure side channel — the replay
+/// arithmetic is identical with or without it, so reports stay bit for
+/// bit.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_inner(
     schedule: &Schedule,
     circuit: &Circuit,
@@ -157,6 +183,7 @@ pub(crate) fn simulate_inner(
     params: &SimParams,
     transport: Option<&TransportSchedule>,
     model: Option<&TimingModel>,
+    mut ledger: Option<&mut LedgerRecorder>,
     observer: &mut dyn FnMut(OpObserver),
 ) -> Result<(SimReport, Vec<f64>), SimError> {
     if !params.is_valid() {
@@ -195,6 +222,13 @@ pub(crate) fn simulate_inner(
     let mut clock = vec![0.0f64; num_traps]; // µs, per trap
     let mut n_bar = vec![0.0f64; num_traps]; // motional mode per chain
 
+    // Chain occupancy per trap, maintained across shuttles so the report
+    // can average `n̄` over *occupied* chains only.
+    let mut occupancy = vec![0u32; num_traps];
+    for ion in 0..schedule.initial_mapping.num_ions() {
+        occupancy[schedule.initial_mapping.trap_of(IonId(ion)).index()] += 1;
+    }
+
     // Energy carried by an ion in transit (Fig. 3: "MOVE ... q[a1] energy ^").
     let mut carried = vec![0.0f64; schedule.initial_mapping.num_ions() as usize];
 
@@ -223,7 +257,12 @@ pub(crate) fn simulate_inner(
                 };
                 // Background heating for the idle + busy interval, then
                 // the fidelity sampled at the heated n̄.
-                n_bar[t] += heat_rate_per_us * (end_us - clock[t]).max(0.0);
+                let heat = heat_rate_per_us * (end_us - clock[t]).max(0.0);
+                n_bar[t] += heat;
+                if let Some(lr) = ledger.as_deref_mut() {
+                    lr.background(t, heat, *end_us);
+                    lr.note_gate(t);
+                }
                 let fidelity = match g.qubits {
                     GateQubits::One(_) => one_qubit_gate_fidelity(params, tau),
                     GateQubits::Two(_, _) => {
@@ -231,6 +270,10 @@ pub(crate) fn simulate_inner(
                     }
                 };
                 clock[t] = *end_us;
+                if qccd_obs::is_enabled() {
+                    GATE_INFIDELITY.record(((1.0 - fidelity) * 1e9) as u64);
+                    GATE_NBAR.record((n_bar[t] * 1e3) as u64);
+                }
                 observer(OpObserver::Gate {
                     gate: g.id,
                     trap: *trap,
@@ -258,7 +301,11 @@ pub(crate) fn simulate_inner(
                 // Background heating up to `end` on every involved chain.
                 for t in involved {
                     let t = t.index();
-                    n_bar[t] += heat_rate_per_us * (end_us - clock[t]).max(0.0);
+                    let heat = heat_rate_per_us * (end_us - clock[t]).max(0.0);
+                    n_bar[t] += heat;
+                    if let Some(lr) = ledger.as_deref_mut() {
+                        lr.background(t, heat, *end_us);
+                    }
                 }
                 for m in moves {
                     let (fi, ti) = (m.from.index(), m.to.index());
@@ -277,6 +324,19 @@ pub(crate) fn simulate_inner(
                     //   q[a1] increases chain-1's energy").
                     n_bar[ti] += carried[m.ion.index()] + params.merge_heating_quanta;
                     carried[m.ion.index()] = 0.0;
+                    if let Some(lr) = ledger.as_deref_mut() {
+                        lr.split(fi, share, params.split_heating_quanta, *end_us, m.ion);
+                        lr.merge(
+                            ti,
+                            share,
+                            params.move_heating_quanta,
+                            params.merge_heating_quanta,
+                            *end_us,
+                            m.ion,
+                        );
+                    }
+                    occupancy[fi] = occupancy[fi].saturating_sub(1);
+                    occupancy[ti] += 1;
                     // The transport pulses themselves are lossy operations.
                     fidelity_log_sum += (1.0 - params.shuttle_infidelity).ln();
                     observer(OpObserver::Shuttle {
@@ -302,8 +362,11 @@ pub(crate) fn simulate_inner(
                 // An intra-trap reorder: the chain idles (background
                 // heating) and the reorder pulse deposits its own quanta.
                 let t = trap.index();
-                n_bar[t] += heat_rate_per_us * (end_us - clock[t]).max(0.0)
-                    + params.zone_move_heating_quanta;
+                let heat = heat_rate_per_us * (end_us - clock[t]).max(0.0);
+                n_bar[t] += heat + params.zone_move_heating_quanta;
+                if let Some(lr) = ledger.as_deref_mut() {
+                    lr.zone(t, heat, params.zone_move_heating_quanta, *end_us, *ion);
+                }
                 clock[t] = *end_us;
                 observer(OpObserver::ZoneMove {
                     ion: *ion,
@@ -326,6 +389,20 @@ pub(crate) fn simulate_inner(
     } else {
         n_bar.iter().sum::<f64>() / num_traps as f64
     };
+    // The occupied-chain mean: empty traps carry no chain, so averaging
+    // them in dilutes the heating figure on sparse machines.
+    let occupied = occupancy.iter().filter(|&&o| o > 0).count();
+    let final_mean_motional_mode_occupied = if occupied == 0 {
+        0.0
+    } else {
+        n_bar
+            .iter()
+            .zip(&occupancy)
+            .filter(|&(_, &o)| o > 0)
+            .map(|(n, _)| n)
+            .sum::<f64>()
+            / occupied as f64
+    };
 
     Ok((
         SimReport {
@@ -339,6 +416,7 @@ pub(crate) fn simulate_inner(
             zone_moves: timeline.zone_moves,
             junction_crossings: timeline.junction_crossings,
             final_mean_motional_mode,
+            final_mean_motional_mode_occupied,
             min_gate_fidelity,
         },
         n_bar,

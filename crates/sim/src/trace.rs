@@ -160,6 +160,7 @@ pub fn simulate_traced(
         params,
         None,
         None,
+        None,
         &mut |obs: OpObserver| match obs {
             OpObserver::Gate {
                 gate,
