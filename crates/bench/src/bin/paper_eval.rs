@@ -6,8 +6,8 @@
 //!
 //! Subcommands: `table2`, `fig8`, `table3`, `ablation`, `proximity`,
 //! `mapping`, `routers`, `timing`, `lookahead`, `pack`, `objective`,
-//! `delta`, `profile`, `explain`, `fidelity`, `all`, plus the snapshot
-//! differ
+//! `delta`, `profile`, `explain`, `fidelity`, `jobs`, `all`, plus the
+//! snapshot differ
 //! `diff OLD.json NEW.json [--rel-tol X] [--json]` (exits 1 on any
 //! quality regression).
 
@@ -45,7 +45,7 @@ fn main() {
             }
             "table2" | "fig8" | "table3" | "ablation" | "proximity" | "mapping" | "routers"
             | "timing" | "lookahead" | "pack" | "objective" | "delta" | "profile" | "explain"
-            | "fidelity" | "all" => {
+            | "fidelity" | "jobs" | "all" => {
                 command = args[i].clone();
                 i += 1;
             }
@@ -90,6 +90,7 @@ fn main() {
         "profile" => profile(&spec, &params),
         "explain" => explain(&spec, &params),
         "fidelity" => fidelity(&spec, &params),
+        "jobs" => jobs_determinism(&spec, &params),
         "all" => {
             table2(&nisq, &random);
             fig8(&nisq, &random);
@@ -111,7 +112,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|explain|fidelity|all] [--per-size N]\n       paper_eval diff OLD.json NEW.json [--rel-tol X] [--json]"
+        "usage: paper_eval [table2|fig8|table3|ablation|proximity|mapping|routers|timing|lookahead|pack|objective|delta|profile|explain|fidelity|jobs|all] [--per-size N]\n       paper_eval diff OLD.json NEW.json [--rel-tol X] [--json]"
     );
     std::process::exit(2);
 }
@@ -129,11 +130,18 @@ fn diff_cmd(args: &[String]) {
     while i < args.len() {
         match args[i].as_str() {
             "--rel-tol" => {
-                rel_tol = args
+                let value = args
                     .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
                     .unwrap_or_else(|| usage("--rel-tol needs a non-negative number"));
+                rel_tol = value
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        usage(&format!(
+                            "--rel-tol: `{value}` is not a valid non-negative number"
+                        ))
+                    });
                 i += 2;
             }
             "--json" => {
@@ -513,6 +521,159 @@ fn fidelity(spec: &MachineSpec, params: &SimParams) {
     );
     println!("quality rows bit-for-bit equal to BENCH_pr8.json: yes");
     println!("wrote BENCH_pr9.json ({} bytes)", snapshot.len());
+    println!();
+}
+
+/// Parallel speculative scoring over the paper suite: every benchmark is
+/// compiled through the clock pipeline at `--jobs` widths 1, 4 and 8, and
+/// the quality figures (chosen makespan bits, clock stats, schedule,
+/// transport) must be bit-for-bit identical at every width. Wall-clock
+/// compile times (min over three runs) at jobs 1 and 4 ride into
+/// `BENCH_pr10.json` per benchmark, gated on quality parity with the
+/// committed `BENCH_pr9.json`.
+///
+/// The recorded speedup is whatever this host actually measures — the
+/// `compile_seconds*` keys are informational by prefix, so single-core
+/// machines record an honest ~1x rather than an aspirational figure.
+fn jobs_determinism(spec: &MachineSpec, params: &SimParams) {
+    use qccd_bench::json::{parse, strip_keys, Json};
+    use std::time::Instant;
+
+    const TIMING_RUNS: usize = 3;
+
+    println!("## Parallel speculative scoring (--jobs): determinism + wall clock");
+    let model = qccd_core::TimingModel::realistic();
+    let clock_config = CompilerConfig::optimized().with_timing(model);
+    println!(
+        "{:<16} {:>14} {:>5} {:>11} {:>11} {:>8} {:>14}",
+        "Benchmark", "Makespan(us)", "Ties", "jobs=1 (s)", "jobs=4 (s)", "Speedup", "Deterministic"
+    );
+    let mut jobs_values: Vec<Json> = Vec::new();
+    let mut chosen_makespans: Vec<f64> = Vec::new();
+    for bench in paper_suite().iter() {
+        let run = |jobs: usize, runs: usize| {
+            let config = clock_config.with_jobs(jobs);
+            let mut best = f64::INFINITY;
+            let mut last = None;
+            for _ in 0..runs {
+                let start = Instant::now();
+                let result = qccd_pack::compile_clock(&bench.circuit, spec, &config)
+                    .expect("benchmark circuits compile under the clock objective");
+                best = best.min(start.elapsed().as_secs_f64());
+                last = Some(result);
+            }
+            (best, last.expect("at least one timing run"))
+        };
+        let (secs1, (chosen, stats)) = run(1, TIMING_RUNS);
+        let (secs4, wide4) = run(4, TIMING_RUNS);
+        let (_, wide8) = run(8, 1);
+        for (jobs, (result, wide_stats)) in [(4usize, &wide4), (8, &wide8)] {
+            assert!(
+                *wide_stats == stats,
+                "{}: clock stats diverged at jobs={jobs} ({wide_stats:?} vs {stats:?})",
+                bench.name
+            );
+            assert!(
+                result.timeline.makespan_us.to_bits() == chosen.timeline.makespan_us.to_bits(),
+                "{}: chosen makespan diverged at jobs={jobs} ({} vs {})",
+                bench.name,
+                result.timeline.makespan_us,
+                chosen.timeline.makespan_us
+            );
+            assert!(
+                result.schedule == chosen.schedule && result.transport == chosen.transport,
+                "{}: chosen schedule diverged at jobs={jobs}",
+                bench.name
+            );
+        }
+        println!(
+            "{:<16} {:>14.1} {:>5} {:>11.3} {:>11.3} {:>7.2}x {:>14}",
+            bench.name,
+            chosen.timeline.makespan_us,
+            stats.clock_ties,
+            secs1,
+            secs4,
+            secs1 / secs4,
+            "yes"
+        );
+        jobs_values.push(Json::obj(vec![
+            ("compile_seconds_jobs1", Json::Num(secs1)),
+            ("compile_seconds_jobs4", Json::Num(secs4)),
+            ("compile_seconds_speedup_jobs4", Json::Num(secs1 / secs4)),
+        ]));
+        chosen_makespans.push(chosen.timeline.makespan_us);
+    }
+
+    qccd_obs::info("paper_eval", || "profiling paper suite...".to_owned());
+    let profiles = qccd_bench::profile::profile_paper_suite(spec, params, &model);
+    let mut explains: Vec<Json> = Vec::new();
+    let mut fidelities: Vec<Json> = Vec::new();
+    for ((bench, p), makespan) in paper_suite().iter().zip(&profiles).zip(&chosen_makespans) {
+        assert!(
+            p.row.clock_timed_makespan_us.to_bits() == makespan.to_bits(),
+            "{}: profiled clock row diverged from the jobs determinism sweep \
+             ({} vs {})",
+            bench.name,
+            p.row.clock_timed_makespan_us,
+            makespan
+        );
+        let explained = explain_benchmark(bench, p.row.clock_timed_makespan_us, spec, &model);
+        let attr = qccd_sim::attribute_fidelity_timed(
+            &explained.chosen.schedule,
+            &explained.chosen.transport,
+            &bench.circuit,
+            spec,
+            params,
+            &model,
+        )
+        .expect("benchmark schedules replay under the physics model");
+        assert!(
+            attr.identity_holds(),
+            "{}: fidelity attribution identity violated",
+            bench.name
+        );
+        explains.push(explained.json);
+        fidelities.push(fidelity_json(&attr));
+    }
+
+    let snapshot = qccd_bench::profile::render_snapshot_jobs(
+        spec,
+        "realistic",
+        &profiles,
+        &explains,
+        &fidelities,
+        &jobs_values,
+        Some(true),
+    );
+    // Parity gate: the jobs snapshot only *adds* — its quality rows must
+    // be bit-for-bit what the committed PR 9 trajectory pinned.
+    let committed = std::fs::read_to_string("BENCH_pr9.json")
+        .expect("BENCH_pr9.json is committed at the repo root (run from there)");
+    let drop = |k: &str| {
+        k == "profile"
+            || k == "explain"
+            || k == "fidelity"
+            || k == "jobs"
+            || k == "all_jobs_deterministic"
+            || k.starts_with("compile_seconds")
+    };
+    let old = strip_keys(
+        &parse(&committed).expect("committed BENCH_pr9.json parses"),
+        &drop,
+    );
+    let new = strip_keys(&parse(&snapshot).expect("the fresh snapshot parses"), &drop);
+    assert!(
+        old == new,
+        "BENCH_pr10.json quality rows diverged from the committed BENCH_pr9.json \
+         (parallel scoring is a pure wall-clock change — this is a regression)"
+    );
+    std::fs::write("BENCH_pr10.json", &snapshot).expect("can write BENCH_pr10.json");
+    println!(
+        "\nall {} benchmarks bit-for-bit identical at jobs 1, 4 and 8",
+        profiles.len()
+    );
+    println!("quality rows bit-for-bit equal to BENCH_pr9.json: yes");
+    println!("wrote BENCH_pr10.json ({} bytes)", snapshot.len());
     println!();
 }
 

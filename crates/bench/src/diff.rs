@@ -275,6 +275,17 @@ fn classify(path: &str, old: f64, new: f64, rel_tol: f64) -> DiffClass {
     if dir == Direction::Informational {
         return DiffClass::Informational;
     }
+    // Non-finite leaves poison every comparison below (NaN compares false,
+    // so a NaN quality metric used to fall through to `Unchanged` via the
+    // else-arms, and ±inf could read as an "improvement"). A poisoned
+    // snapshot must gate: only bitwise-identical non-finite pairs pass.
+    if !old.is_finite() || !new.is_finite() {
+        return if old.to_bits() == new.to_bits() {
+            DiffClass::Unchanged
+        } else {
+            DiffClass::Regression
+        };
+    }
     let tol = rel_tol * old.abs().max(new.abs());
     if (new - old).abs() <= tol || new == old {
         return DiffClass::Unchanged;
@@ -303,6 +314,10 @@ fn leaf_num(value: &Json) -> Option<f64> {
     match value {
         Json::Num(n) => Some(*n),
         Json::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        // Non-finite numbers serialize as `null`; surface them as NaN so
+        // they reach `classify`'s non-finite gate instead of reading as a
+        // non-gating structural (type) change.
+        Json::Null => Some(f64::NAN),
         _ => None,
     }
 }
@@ -527,6 +542,68 @@ mod tests {
             diff_snapshots(&old, &new, 0.0).count(DiffClass::Regression),
             1
         );
+    }
+
+    /// The bug this fixes: NaN compares false against everything, so a
+    /// NaN quality leaf slid through the else-arms and classified as
+    /// `Unchanged` — a poisoned snapshot passed the CI gate. Non-finite
+    /// values on either side must regress unless bitwise-identical.
+    #[test]
+    fn non_finite_quality_leaves_gate_in_both_positions() {
+        let cases: [(f64, f64); 6] = [
+            (220800.0, f64::NAN),
+            (f64::NAN, 220800.0),
+            (220800.0, f64::INFINITY),
+            (f64::INFINITY, 220800.0),
+            (220800.0, f64::NEG_INFINITY),
+            (f64::NEG_INFINITY, 220800.0),
+        ];
+        for (old_v, new_v) in cases {
+            let old = snapshot(old_v, 1e-13, 1.5);
+            let new = snapshot(new_v, 1e-13, 1.5);
+            let report = diff_snapshots(&old, &new, 1e-3);
+            let makespan = report
+                .metrics
+                .iter()
+                .find(|m| m.path.contains("clock_timed_makespan_us"))
+                .expect("makespan leaf compared");
+            assert_eq!(
+                makespan.class,
+                DiffClass::Regression,
+                "{old_v} -> {new_v} must gate"
+            );
+        }
+        // Bitwise-identical non-finite pairs are the one carve-out: a
+        // snapshot that was already poisoned identically does not re-gate.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let a = snapshot(v, 1e-13, 1.5);
+            let report = diff_snapshots(&a, &a, 0.0);
+            assert_eq!(report.count(DiffClass::Regression), 0, "{v} vs itself");
+        }
+        // But +inf vs -inf (same magnitude, different bits) still gates.
+        let report = diff_snapshots(
+            &snapshot(f64::INFINITY, 1e-13, 1.5),
+            &snapshot(f64::NEG_INFINITY, 1e-13, 1.5),
+            0.0,
+        );
+        assert_eq!(report.count(DiffClass::Regression), 1);
+    }
+
+    /// Non-finite numbers render as `null`; a round-tripped poisoned
+    /// snapshot must still gate rather than read as structural drift.
+    #[test]
+    fn null_leaves_classify_as_poisoned_numbers() {
+        let old = parse(&snapshot(220800.0, 1e-13, 1.5).to_string()).unwrap();
+        let new = parse(&snapshot(f64::NAN, 1e-13, 1.5).to_string()).unwrap();
+        let report = diff_snapshots(&old, &new, 0.0);
+        assert_eq!(report.regressions().len(), 1, "null leaf gates");
+        assert!(report.regressions()[0]
+            .path
+            .contains("clock_timed_makespan_us"));
+        // Identically-poisoned on both sides: NaN round-trips to null on
+        // both sides, and null == null bitwise (both NaN) stays unchanged.
+        let both = diff_snapshots(&new, &new, 0.0);
+        assert_eq!(both.count(DiffClass::Regression), 0);
     }
 
     #[test]

@@ -271,6 +271,28 @@ pub fn render_snapshot_full(
     explains: &[Json],
     fidelities: &[Json],
 ) -> String {
+    render_snapshot_jobs(machine, timing, profiles, explains, fidelities, &[], None)
+}
+
+/// [`render_snapshot_full`] plus one trailing `"jobs"` value per benchmark
+/// (`jobs[i]` rides after `"fidelity"` in benchmark *i* — wall-clock
+/// `compile_seconds_jobs*` figures, informational by key prefix) and an
+/// optional top-level `"all_jobs_deterministic"` flag (an `all_` key, so a
+/// `true` → `false` flip gates as a regression). Empty slice + `None`
+/// reproduce the PR 9 document byte for byte.
+pub fn render_snapshot_jobs(
+    machine: &MachineSpec,
+    timing: &str,
+    profiles: &[BenchmarkProfile],
+    explains: &[Json],
+    fidelities: &[Json],
+    jobs: &[Json],
+    all_jobs_deterministic: Option<bool>,
+) -> String {
+    assert!(
+        jobs.is_empty() || jobs.len() == profiles.len(),
+        "one jobs value per benchmark, or none"
+    );
     assert!(
         explains.is_empty() || explains.len() == profiles.len(),
         "one explain value per benchmark, or none"
@@ -386,6 +408,9 @@ pub fn render_snapshot_full(
             if let Some(fidelity) = fidelities.get(i) {
                 fields.push(("fidelity", fidelity.clone()));
             }
+            if let Some(job) = jobs.get(i) {
+                fields.push(("jobs", job.clone()));
+            }
             Json::obj(fields)
         })
         .collect();
@@ -416,7 +441,7 @@ pub fn render_snapshot_full(
         .all(|r| r.clock_timed_makespan_us <= r.packed_timed_makespan_us);
     let clock_strict_wins = rows.iter().filter(|r| r.clock_stats.improved).count();
 
-    let value = Json::obj(vec![
+    let mut top = vec![
         ("suite", Json::str("paper")),
         ("machine", Json::str(machine.to_string())),
         ("timing", Json::str(timing)),
@@ -439,7 +464,11 @@ pub fn render_snapshot_full(
         ("packed_strict_win_count", Json::int(packed_strict_wins)),
         ("all_clock_leq_packed", Json::Bool(clock_leq_packed)),
         ("clock_strict_win_count", Json::int(clock_strict_wins)),
-    ]);
+    ];
+    if let Some(deterministic) = all_jobs_deterministic {
+        top.push(("all_jobs_deterministic", Json::Bool(deterministic)));
+    }
+    let value = Json::obj(top);
     let mut text = value.to_string();
     text.push('\n');
     text

@@ -178,6 +178,18 @@ pub struct CompilerConfig {
     /// reference. Ignored under [`Objective::Shuttles`].
     #[serde(default)]
     pub score_mode: ScoreMode,
+    /// Worker threads for speculative candidate scoring (`--jobs`). 1
+    /// (the default) scores sequentially; any width produces bit-for-bit
+    /// identical output — candidates shard over fixed index ranges and
+    /// reduce in candidate-index order, never completion order. Only the
+    /// clock objective and the pack pipeline spawn workers.
+    #[serde(default = "default_jobs")]
+    pub jobs: usize,
+}
+
+/// Serde default for [`CompilerConfig::jobs`]: sequential.
+fn default_jobs() -> usize {
+    1
 }
 
 impl CompilerConfig {
@@ -198,6 +210,7 @@ impl CompilerConfig {
             timing: TimingModel::ideal(),
             objective: Objective::Shuttles,
             score_mode: ScoreMode::Delta,
+            jobs: default_jobs(),
         }
     }
 
@@ -217,6 +230,7 @@ impl CompilerConfig {
             timing: TimingModel::ideal(),
             objective: Objective::Shuttles,
             score_mode: ScoreMode::Delta,
+            jobs: default_jobs(),
         }
     }
 
@@ -254,6 +268,16 @@ impl CompilerConfig {
     /// (clock objective only; see [`ScoreMode`]).
     pub fn with_score_mode(self, score_mode: ScoreMode) -> Self {
         CompilerConfig { score_mode, ..self }
+    }
+
+    /// The given configuration with a different scoring-pool width
+    /// (`--jobs`; 0 is normalized to 1). Output is bit-for-bit identical
+    /// at every width.
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        CompilerConfig {
+            jobs: jobs.max(1),
+            ..self
+        }
     }
 }
 
@@ -296,6 +320,9 @@ impl fmt::Display for CompilerConfig {
         }
         if self.score_mode == ScoreMode::Full {
             write!(f, " score=full")?;
+        }
+        if self.jobs != 1 {
+            write!(f, " jobs={}", self.jobs)?;
         }
         Ok(())
     }
@@ -365,6 +392,17 @@ mod tests {
         assert!(c.to_string().contains("objective=clock"));
         assert!(c.to_string().contains("score=full"));
         assert_eq!(ScoreMode::default(), ScoreMode::Delta);
+    }
+
+    #[test]
+    fn jobs_defaults_to_sequential_and_is_overridable() {
+        let c = CompilerConfig::optimized();
+        assert_eq!(c.jobs, 1);
+        assert!(!c.to_string().contains("jobs="));
+        let c = c.with_jobs(4);
+        assert_eq!(c.jobs, 4);
+        assert!(c.to_string().contains("jobs=4"));
+        assert_eq!(c.with_jobs(0).jobs, 1, "0 normalizes to sequential");
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn cmd_explain(args: &[String]) -> Result<(), String> {
         &opts.timing,
         &opts.objective,
         &opts.score_mode,
+        opts.jobs,
     )?;
     let model = crate::parse_timing_model(&opts.timing);
     qccd_obs::info("explain", || {

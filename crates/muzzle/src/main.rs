@@ -87,6 +87,12 @@ POLICY OPTIONS:
                         candidates: delta touches only the candidate's
                         resources with O(1) undo; full clones and re-lowers
                         the suffix — the bit-for-bit differential oracle)
+    --jobs N            worker threads for speculative candidate scoring,
+                        pack-candidate lowering, and the clock race
+                        [default: 1]
+                        (results are bit-for-bit identical at every width:
+                        candidates shard on fixed index boundaries and
+                        reduce in candidate order, never finish order)
 
 OUTPUT OPTIONS:
     --format F          text | json | csv          [default: text]
@@ -100,7 +106,10 @@ OBSERVABILITY OPTIONS (compile, simulate, eval):
                         hot-path counters, and the recorded histograms
                         (on simulate: the replay's sim.gate_infidelity /
                         sim.gate_nbar distributions) to the report;
-                        compile and simulate
+                        compile and simulate. Histogram p50/p99 are
+                        bucket upper bounds clamped to the largest
+                        recorded sample, so a percentile never exceeds
+                        any value actually observed
     --verbose           emit debug-level structured events to stderr
     --quiet             suppress structured progress/info events
 
@@ -165,6 +174,7 @@ pub struct CommonOptions {
     pub timing: String,
     pub objective: String,
     pub score_mode: String,
+    pub jobs: usize,
     pub format: String,
     pub out: Option<String>,
     /// Flags the subcommand recognises beyond the common set.
@@ -206,6 +216,7 @@ pub fn parse_common(
         timing: "ideal".to_owned(),
         objective: "shuttles".to_owned(),
         score_mode: "delta".to_owned(),
+        jobs: 1,
         format: "text".to_owned(),
         out: None,
         extra_flags: Vec::new(),
@@ -272,6 +283,14 @@ pub fn parse_common(
                 }
                 opts.score_mode = m;
             }
+            "--jobs" => {
+                let v = next(&mut i, arg)?;
+                let jobs: usize = parse_num(&v, arg)?;
+                if jobs == 0 {
+                    return Err(format!("--jobs must be at least 1, got `{v}`"));
+                }
+                opts.jobs = jobs;
+            }
             "--format" => {
                 let f = next(&mut i, arg)?;
                 if !["text", "json", "csv"].contains(&f.as_str()) {
@@ -319,6 +338,7 @@ pub fn build_config(
     timing: &str,
     objective: &str,
     score_mode: &str,
+    jobs: usize,
 ) -> Result<CompilerConfig, String> {
     let (router, lookahead) = match router {
         "congestion" => (RouterPolicy::congestion(), false),
@@ -349,14 +369,16 @@ pub fn build_config(
             .with_lookahead(lookahead)
             .with_timing(timing)
             .with_objective(objective)
-            .with_score_mode(score_mode));
+            .with_score_mode(score_mode)
+            .with_jobs(jobs));
     }
     let mut config = CompilerConfig::optimized()
         .with_router(router)
         .with_lookahead(lookahead)
         .with_timing(timing)
         .with_objective(objective)
-        .with_score_mode(score_mode);
+        .with_score_mode(score_mode)
+        .with_jobs(jobs);
     if let Some(p) = proximity {
         config.direction = DirectionPolicy::FutureOps { proximity: p };
     }
@@ -577,6 +599,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         &opts.timing,
         &opts.objective,
         &opts.score_mode,
+        opts.jobs,
     )?;
     let trace = opts
         .extra_values
@@ -769,6 +792,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.timing,
             &opts.objective,
             &opts.score_mode,
+            opts.jobs,
         )?)?;
         let (_, opt) = run(&build_config(
             "optimized",
@@ -777,6 +801,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.timing,
             &opts.objective,
             &opts.score_mode,
+            opts.jobs,
         )?)?;
         if profile {
             qccd_obs::disable();
@@ -843,6 +868,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             &opts.timing,
             &opts.objective,
             &opts.score_mode,
+            opts.jobs,
         )?;
         let (_, sim) = run(&config)?;
         if profile {
@@ -954,6 +980,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     &opts.timing,
                     &opts.objective,
                     &opts.score_mode,
+                    opts.jobs,
                 )?,
                 build_config(
                     "optimized",
@@ -962,6 +989,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                     &opts.timing,
                     &opts.objective,
                     &opts.score_mode,
+                    opts.jobs,
                 )?,
             ),
             "traps" => {
@@ -981,6 +1009,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                         &opts.timing,
                         &opts.objective,
                         &opts.score_mode,
+                        opts.jobs,
                     )?,
                     build_config(
                         "optimized",
@@ -989,6 +1018,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                         &opts.timing,
                         &opts.objective,
                         &opts.score_mode,
+                        opts.jobs,
                     )?,
                 )
             }
@@ -1070,4 +1100,59 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         }
     }
     emit(&report, &opts.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Malformed numeric flags are typed usage errors that quote the
+    /// offending value — never a panic, never a silent default.
+    #[test]
+    fn malformed_numeric_flags_name_the_offending_value() {
+        let err = parse_common(&args(&["--jobs", "many"]), &[], &[])
+            .err()
+            .unwrap();
+        assert_eq!(err, "--jobs: `many` is not a valid number");
+        let err = parse_common(&args(&["--jobs", "-2"]), &[], &[])
+            .err()
+            .unwrap();
+        assert_eq!(err, "--jobs: `-2` is not a valid number");
+        let err = parse_common(&args(&["--jobs", "0"]), &[], &[])
+            .err()
+            .unwrap();
+        assert_eq!(err, "--jobs must be at least 1, got `0`");
+        let err = parse_common(&args(&["--traps", "3.5"]), &[], &[])
+            .err()
+            .unwrap();
+        assert_eq!(err, "--traps: `3.5` is not a valid number");
+        let err = explain::cmd_explain(&args(&["--top", "five"])).unwrap_err();
+        assert_eq!(err, "--top: `five` is not a valid number");
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_reaches_the_config() {
+        let opts = parse_common(&args(&[]), &[], &[]).unwrap();
+        assert_eq!(opts.jobs, 1, "default is sequential");
+        let opts = parse_common(&args(&["--jobs", "4"]), &[], &[]).unwrap();
+        assert_eq!(opts.jobs, 4);
+        let config = build_config(
+            "optimized",
+            None,
+            "packed",
+            "realistic",
+            "clock",
+            "delta",
+            4,
+        )
+        .unwrap();
+        assert_eq!(config.jobs, 4);
+        let config =
+            build_config("baseline", None, "serial", "ideal", "shuttles", "delta", 2).unwrap();
+        assert_eq!(config.jobs, 2);
+    }
 }

@@ -122,6 +122,7 @@ pub fn reset() {
         }
         h.sum.store(0, Ordering::Relaxed);
         h.count.store(0, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -250,6 +251,7 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
+    max: AtomicU64,
     registered: AtomicBool,
 }
 
@@ -263,6 +265,7 @@ impl Histogram {
             buckets: [ZERO; HISTOGRAM_BUCKETS],
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
             registered: AtomicBool::new(false),
         }
     }
@@ -280,6 +283,7 @@ impl Histogram {
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of this histogram.
@@ -293,6 +297,7 @@ impl Histogram {
                 .collect(),
             sum: self.sum.load(Ordering::Relaxed),
             count: self.count.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
         }
     }
 }
@@ -308,6 +313,8 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Number of recorded samples.
     pub count: u64,
+    /// Largest recorded sample (0 when empty) — the quantile clamp.
+    pub max: u64,
 }
 
 impl HistogramSnapshot {
@@ -320,11 +327,12 @@ impl HistogramSnapshot {
     }
 
     /// The `q`-quantile (0 < q ≤ 1) as the inclusive upper bound of the
-    /// power-of-two bucket holding the `⌈q·count⌉`-th smallest sample, or
-    /// 0 when empty. Bucket `i` holds `[2^i, 2^(i+1))` (bucket 0 also
-    /// holds 0; the last bucket saturates), so the bound is `2^(i+1) − 1`
-    /// and the estimate is exact to within the bucket's factor-of-two
-    /// resolution.
+    /// power-of-two bucket holding the `⌈q·count⌉`-th smallest sample,
+    /// clamped to the largest recorded sample, or 0 when empty. Bucket
+    /// `i` holds `[2^i, 2^(i+1))` (bucket 0 also holds 0; the last bucket
+    /// saturates), so the raw bound is `2^(i+1) − 1`; the clamp keeps the
+    /// estimate from overstating the tail past any sample that actually
+    /// occurred (a lone sample of 1000 reports 1000, not 1023).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -334,20 +342,22 @@ impl HistogramSnapshot {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return ((1u128 << (i + 1)) - 1) as f64;
+                return (((1u128 << (i + 1)) - 1) as f64).min(self.max as f64);
             }
         }
         // Unreachable when buckets/count are consistent; fall back to the
-        // largest bucket bound.
-        ((1u128 << self.buckets.len()) - 1) as f64
+        // largest recorded sample.
+        self.max as f64
     }
 
-    /// Median sample (bucket upper bound), or 0 when empty.
+    /// Median sample (bucket upper bound, clamped to the recorded
+    /// maximum), or 0 when empty.
     pub fn p50(&self) -> f64 {
         self.quantile(0.5)
     }
 
-    /// 99th-percentile sample (bucket upper bound), or 0 when empty.
+    /// 99th-percentile sample (bucket upper bound, clamped to the
+    /// recorded maximum), or 0 when empty.
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
@@ -1121,8 +1131,8 @@ mod tests {
         let _g = exclusive();
         enable();
         // 97 samples land in bucket 1 ([2, 4), bound 3), 3 in bucket 9
-        // ([512, 1024), bound 1023): the median sits in the low bucket,
-        // the p99 in the high one.
+        // ([512, 1024), raw bound 1023 clamped to the recorded max 1000):
+        // the median sits in the low bucket, the p99 in the high one.
         for _ in 0..97 {
             T_HIST.record(3);
         }
@@ -1134,13 +1144,33 @@ mod tests {
             .find(|h| h.name == "test.hist")
             .expect("recorded histogram listed");
         assert_eq!(snap.count, 100);
+        assert_eq!(snap.max, 1000);
         assert_eq!(snap.p50(), 3.0);
         assert_eq!(snap.quantile(0.97), 3.0);
-        assert_eq!(snap.p99(), 1023.0);
-        assert_eq!(snap.quantile(1.0), 1023.0);
+        assert_eq!(snap.p99(), 1000.0);
+        assert_eq!(snap.quantile(1.0), 1000.0);
         let table = summary_table();
         assert!(table.contains("p50"), "summary table lists percentiles");
-        assert!(table.contains("1023"), "p99 column shows the high bucket");
+        assert!(table.contains("1000"), "p99 column shows the recorded max");
+        assert!(!table.contains("1023"), "bucket bound never leaks past max");
+        disable();
+    }
+
+    /// The bug this clamps: a single sample of 1000 used to report p99 =
+    /// 1023 (the power-of-two bucket upper bound). Percentiles must never
+    /// exceed a value that was actually recorded.
+    #[test]
+    fn quantiles_never_exceed_the_recorded_maximum() {
+        let _g = exclusive();
+        enable();
+        T_HIST.record(1000);
+        let snap = histograms()
+            .into_iter()
+            .find(|h| h.name == "test.hist")
+            .expect("recorded histogram listed");
+        assert_eq!(snap.p50(), 1000.0);
+        assert_eq!(snap.p99(), 1000.0);
+        assert_eq!(snap.quantile(1.0), 1000.0);
         disable();
     }
 
@@ -1151,6 +1181,7 @@ mod tests {
             buckets: vec![0; 32],
             sum: 0,
             count: 0,
+            max: 0,
         };
         assert_eq!(snap.p50(), 0.0);
         assert_eq!(snap.p99(), 0.0);
@@ -1163,6 +1194,7 @@ mod tests {
             },
             sum: 5,
             count: 5,
+            max: 1,
         };
         assert_eq!(unit.p50(), 1.0, "bucket 0 bound is 1");
     }

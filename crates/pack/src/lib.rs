@@ -63,7 +63,7 @@ use qccd_route::{TransportError, TransportSchedule};
 static PACK_CANDIDATES: qccd_obs::Counter = qccd_obs::Counter::new("pack.candidates_tried");
 /// Candidates that strictly beat the input on the clock and were adopted.
 static PACK_ADOPTED: qccd_obs::Counter = qccd_obs::Counter::new("pack.candidates_adopted");
-use qccd_timing::{lower, LowerError, Timeline, TimingModel};
+use qccd_timing::{lower, LowerError, Timeline, TimingModel, WorkerPool, SEQUENTIAL_CUTOFF};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -84,6 +84,16 @@ pub struct PackConfig {
     /// the packer at O(schedule × window); the default comfortably covers
     /// every gap the paper workloads exhibit.
     pub window: usize,
+    /// Worker-pool width for candidate lowering and per-run flow
+    /// planning (`--jobs`; 1 = sequential). Any width produces
+    /// bit-for-bit identical results — candidates shard on fixed index
+    /// boundaries and reduce in index order, never completion order.
+    #[serde(default = "default_jobs")]
+    pub jobs: usize,
+}
+
+fn default_jobs() -> usize {
+    1
 }
 
 impl PackConfig {
@@ -94,16 +104,23 @@ impl PackConfig {
             ..Self::default()
         }
     }
+
+    /// Sets the worker-pool width (normalized to at least 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
 }
 
 impl Default for PackConfig {
-    /// Both passes, realistic device timing, window 96.
+    /// Both passes, realistic device timing, window 96, sequential.
     fn default() -> Self {
         PackConfig {
             model: TimingModel::realistic(),
             cross_gate: true,
             batch_layers: true,
             window: 96,
+            jobs: default_jobs(),
         }
     }
 }
@@ -180,6 +197,20 @@ pub fn pack(
         )?
     };
 
+    // Candidate construction is decoupled from candidate *scoring*: the
+    // cheap rewrite passes below assemble `Prepared` programs first, then
+    // every timed lowering — the expensive O(n) part — runs on the worker
+    // pool in one batch. Timelines come back in candidate-index order
+    // (never completion order) and the first lowering error in index
+    // order is the one returned, so any `jobs` width is bit-for-bit
+    // identical to the sequential pass.
+    struct Prepared {
+        schedule: Schedule,
+        transport: TransportSchedule,
+        hoisted_hops: usize,
+        replanned_runs: usize,
+        dropped_hops: usize,
+    }
     struct Candidate {
         schedule: Schedule,
         transport: TransportSchedule,
@@ -188,14 +219,14 @@ pub fn pack(
         replanned_runs: usize,
         dropped_hops: usize,
     }
+    let pool = WorkerPool::new(config.jobs);
     let cap = spec.total_capacity();
     let num_traps = spec.num_traps() as usize;
-    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut prepared: Vec<Prepared> = Vec::new();
     let add_cross_gate = |base: &Schedule,
                           replanned_runs: usize,
                           dropped_hops: usize,
-                          candidates: &mut Vec<Candidate>|
-     -> Result<(), PackError> {
+                          prepared: &mut Vec<Prepared>| {
         let mut prev: Option<CrossGatePacked> = None;
         for share_only in [true, false] {
             let packed = pack_cross_gate(base, cap, num_traps, config.window, share_only);
@@ -208,24 +239,14 @@ pub fn pack(
                 continue;
             }
             prev = Some(packed.clone());
-            let schedule = Schedule::new(base.initial_mapping.clone(), packed.ops);
-            let timeline = lower(
-                &schedule,
-                Some(&packed.transport),
-                circuit,
-                spec,
-                &config.model,
-            )?;
-            candidates.push(Candidate {
-                schedule,
+            prepared.push(Prepared {
+                schedule: Schedule::new(base.initial_mapping.clone(), packed.ops),
                 transport: packed.transport,
-                timeline,
                 hoisted_hops: packed.hoisted_hops,
                 replanned_runs,
                 dropped_hops,
             });
         }
-        Ok(())
     };
 
     // The greedy in-run repack rides along whenever any pass is enabled:
@@ -234,17 +255,9 @@ pub fn pack(
     // packed result must never lose to either in-run packer.
     if config.cross_gate || config.batch_layers {
         if let Ok(greedy) = TransportSchedule::pack_concurrent(&result.schedule, spec) {
-            let timeline = lower(
-                &result.schedule,
-                Some(&greedy),
-                circuit,
-                spec,
-                &config.model,
-            )?;
-            candidates.push(Candidate {
+            prepared.push(Prepared {
                 schedule: result.schedule.clone(),
                 transport: greedy,
-                timeline,
                 hoisted_hops: 0,
                 replanned_runs: 0,
                 dropped_hops: 0,
@@ -252,7 +265,7 @@ pub fn pack(
         }
     }
     if config.cross_gate {
-        add_cross_gate(&result.schedule, 0, 0, &mut candidates)?;
+        add_cross_gate(&result.schedule, 0, 0, &mut prepared);
     }
     if config.batch_layers {
         let planned = plan_layers(
@@ -261,6 +274,7 @@ pub fn pack(
             circuit,
             spec,
             &config.model,
+            &pool,
         )?;
         if planned.replanned_runs > 0 {
             let schedule = Schedule::new(result.schedule.initial_mapping.clone(), planned.ops);
@@ -269,16 +283,14 @@ pub fn pack(
                     &schedule,
                     planned.replanned_runs,
                     planned.dropped_hops,
-                    &mut candidates,
-                )?;
+                    &mut prepared,
+                );
             } else {
                 let transport = TransportSchedule::pack_concurrent(&schedule, spec)
                     .map_err(PackError::Transport)?;
-                let timeline = lower(&schedule, Some(&transport), circuit, spec, &config.model)?;
-                candidates.push(Candidate {
+                prepared.push(Prepared {
                     schedule,
                     transport,
-                    timeline,
                     hoisted_hops: 0,
                     replanned_runs: planned.replanned_runs,
                     dropped_hops: planned.dropped_hops,
@@ -287,7 +299,28 @@ pub fn pack(
         }
     }
 
-    PACK_CANDIDATES.add(candidates.len() as u64);
+    PACK_CANDIDATES.add(prepared.len() as u64);
+    let timelines = pool.map_indexed(prepared.len(), SEQUENTIAL_CUTOFF, |i| {
+        let c = &prepared[i];
+        lower(
+            &c.schedule,
+            Some(&c.transport),
+            circuit,
+            spec,
+            &config.model,
+        )
+    });
+    let mut candidates: Vec<Candidate> = Vec::with_capacity(prepared.len());
+    for (c, timeline) in prepared.into_iter().zip(timelines) {
+        candidates.push(Candidate {
+            schedule: c.schedule,
+            transport: c.transport,
+            timeline: timeline?,
+            hoisted_hops: c.hoisted_hops,
+            replanned_runs: c.replanned_runs,
+            dropped_hops: c.dropped_hops,
+        });
+    }
     let best = candidates
         .into_iter()
         .min_by(|a, b| {
@@ -375,7 +408,7 @@ pub fn compile_packed(
         &result,
         circuit,
         spec,
-        &PackConfig::for_model(config.timing),
+        &PackConfig::for_model(config.timing).with_jobs(config.jobs),
     )
     .map_err(PackCompileError::Pack)?;
     let stats = packed.stats;
@@ -430,13 +463,37 @@ pub struct ClockStats {
 /// As [`compile_packed`], for either candidate — a clock-objective
 /// compile or validation failure is a typed error, never a silent
 /// fallback.
+///
+/// With `config.jobs >= 2` the two arms compile concurrently (the
+/// default-objective base on a scoped worker, the clock candidate on the
+/// caller's thread). Each arm is an independent deterministic compile and
+/// the race compares their finished results, so any `jobs` width returns
+/// bit-for-bit the same result and stats as `jobs = 1`; on error the
+/// base arm's error wins, matching the sequential order.
 pub fn compile_clock(
     circuit: &Circuit,
     spec: &MachineSpec,
     config: &CompilerConfig,
 ) -> Result<(CompileResult, ClockStats), PackCompileError> {
-    let (base, _) = compile_packed(circuit, spec, &config.with_objective(Objective::Shuttles))?;
-    race_clock(base, circuit, spec, config)
+    if config.jobs >= 2 {
+        let base_config = config.with_objective(Objective::Shuttles);
+        let clock_config = config.with_objective(Objective::Clock);
+        let (base, cand) = std::thread::scope(|scope| {
+            let base_arm = scope.spawn(|| compile_packed(circuit, spec, &base_config));
+            let cand = compile_packed(circuit, spec, &clock_config);
+            let base = match base_arm.join() {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (base, cand)
+        });
+        let (base, _) = base?;
+        let (cand, _) = cand?;
+        Ok(crown(base, cand))
+    } else {
+        let (base, _) = compile_packed(circuit, spec, &config.with_objective(Objective::Shuttles))?;
+        race_clock(base, circuit, spec, config)
+    }
 }
 
 /// [`compile_clock`] with the default-objective packed `base` supplied by
@@ -455,6 +512,13 @@ pub fn race_clock(
     config: &CompilerConfig,
 ) -> Result<(CompileResult, ClockStats), PackCompileError> {
     let (cand, _) = compile_packed(circuit, spec, &config.with_objective(Objective::Clock))?;
+    Ok(crown(base, cand))
+}
+
+/// The race decision shared by [`compile_clock`]'s sequential and
+/// concurrent arms: the lower timed makespan wins, the base keeps dead
+/// heats (never-regress).
+fn crown(base: CompileResult, cand: CompileResult) -> (CompileResult, ClockStats) {
     let (packed_makespan_us, clock_makespan_us) =
         (base.timeline.makespan_us, cand.timeline.makespan_us);
     let improved = clock_makespan_us < packed_makespan_us;
@@ -471,7 +535,7 @@ pub fn race_clock(
         batched_hops: cand.stats.batched_hops,
         improved,
     };
-    Ok((if improved { cand } else { base }, stats))
+    (if improved { cand } else { base }, stats)
 }
 
 /// A violated packing invariant.
@@ -642,6 +706,25 @@ mod tests {
                 .validate_relaxed(&result.schedule, &spec)
                 .unwrap();
             result.timeline.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn jobs_width_never_changes_the_clock_result() {
+        let spec = MachineSpec::linear(3, 8, 2).unwrap();
+        let circuit = random_circuit(14, 90, 11);
+        let config = CompilerConfig::optimized().with_timing(TimingModel::realistic());
+        let (base_result, base_stats) = compile_clock(&circuit, &spec, &config).unwrap();
+        for jobs in [2usize, 4] {
+            let (result, stats) = compile_clock(&circuit, &spec, &config.with_jobs(jobs)).unwrap();
+            assert_eq!(stats, base_stats, "jobs={jobs}");
+            assert_eq!(result.schedule, base_result.schedule, "jobs={jobs}");
+            assert_eq!(result.transport, base_result.transport, "jobs={jobs}");
+            assert_eq!(
+                result.timeline.makespan_us.to_bits(),
+                base_result.timeline.makespan_us.to_bits(),
+                "jobs={jobs}"
+            );
         }
     }
 

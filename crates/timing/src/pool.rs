@@ -1,0 +1,198 @@
+//! A vendor-free worker pool for deterministic candidate scoring.
+//!
+//! The clock objective prices many independent candidates per compile
+//! round — direction alternatives, eviction destinations, batched-layer
+//! rewrites, pack variants. Each candidate scores against an immutable
+//! checkpoint of the lowering fold, so they can be priced concurrently;
+//! what must **not** change with concurrency is the result. This pool
+//! encodes that contract structurally:
+//!
+//! * **Fixed shard boundaries** — `n` tasks split into at most `jobs`
+//!   contiguous index ranges (`[s·n/jobs, (s+1)·n/jobs)`), a pure
+//!   function of `(n, jobs)`.
+//! * **Index-order reduction** — workers are joined in spawn order and
+//!   each returns its shard's results in index order, so the flattened
+//!   output is `[f(0), f(1), …, f(n-1)]` regardless of which worker
+//!   finished first. There is no first-finisher channel anywhere.
+//! * **No shared mutable state** — `f` takes `&self`-style shared
+//!   context only (the `Sync` bound); each worker owns its scratch.
+//!
+//! Because every candidate's float-op sequence is the same as in a
+//! sequential loop and the reduction order is the candidate index order,
+//! `--jobs N` output is bit-for-bit identical to `--jobs 1` — the
+//! determinism contract `tests/delta_regression.rs` and
+//! `tests/parallel_properties.rs` pin.
+//!
+//! Narrow rounds (the paper suite's p50 candidate-set width is 1) never
+//! pay thread overhead: sets smaller than [`SEQUENTIAL_CUTOFF`] run in
+//! the calling thread, as does everything when `jobs == 1`.
+
+/// Candidate sets smaller than this run sequentially in the caller —
+/// spawning a thread costs more than O(delta)-scoring a couple of walks.
+pub const SEQUENTIAL_CUTOFF: usize = 4;
+
+/// Tasks submitted across all `map_indexed` calls.
+static POOL_TASKS: qccd_obs::Counter = qccd_obs::Counter::new("pool.tasks");
+/// Shards actually spawned (parallel path only).
+static POOL_SHARDS: qccd_obs::Counter = qccd_obs::Counter::new("pool.shards");
+/// Calls that fell back to the sequential path despite `jobs > 1`
+/// (candidate set below the cutoff).
+static POOL_SEQ_FALLBACKS: qccd_obs::Counter = qccd_obs::Counter::new("pool.seq_fallbacks");
+/// Width (task count) of each spawned shard.
+static POOL_SHARD_WIDTH: qccd_obs::Histogram = qccd_obs::Histogram::new("pool.shard_width");
+
+/// A fixed-width scoped worker pool. `Copy`-cheap: it carries only the
+/// shard count; threads are scoped per call (`std::thread::scope`), so
+/// there is no pool lifecycle to manage and borrows of caller state work
+/// naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    jobs: usize,
+}
+
+impl WorkerPool {
+    /// A pool that splits work across up to `jobs` threads (0 is
+    /// normalized to 1 — the sequential pool).
+    pub fn new(jobs: usize) -> Self {
+        WorkerPool { jobs: jobs.max(1) }
+    }
+
+    /// The configured width.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// `true` when this pool never spawns (the `--jobs 1` default).
+    pub fn is_sequential(&self) -> bool {
+        self.jobs == 1
+    }
+
+    /// Maps `f` over `0..n`, returning results in index order.
+    ///
+    /// Sequential when `jobs == 1` or `n < cutoff` (use
+    /// [`SEQUENTIAL_CUTOFF`] unless the per-task cost argues otherwise);
+    /// otherwise `min(jobs, n)` scoped workers each take one contiguous
+    /// index shard and the shard outputs are concatenated in shard
+    /// order — never completion order. A worker panic propagates to the
+    /// caller.
+    pub fn map_indexed<T, F>(&self, n: usize, cutoff: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        POOL_TASKS.add(n as u64);
+        let shards = self.jobs.min(n);
+        if shards == 1 || n < cutoff {
+            if self.jobs > 1 {
+                POOL_SEQ_FALLBACKS.incr();
+            }
+            return (0..n).map(f).collect();
+        }
+        POOL_SHARDS.add(shards as u64);
+        let bounds = |s: usize| (s * n / shards, (s + 1) * n / shards);
+        for s in 0..shards {
+            let (lo, hi) = bounds(s);
+            POOL_SHARD_WIDTH.record((hi - lo) as u64);
+        }
+        let f = &f;
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            // Shard 0 runs in the calling thread; 1..shards are spawned.
+            let handles: Vec<_> = (1..shards)
+                .map(|s| {
+                    let (lo, hi) = bounds(s);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            let (lo, hi) = bounds(0);
+            out.extend((lo..hi).map(f));
+            // Join in spawn order: the reduction order is the shard
+            // (hence candidate-index) order by construction.
+            for h in handles {
+                match h.join() {
+                    Ok(part) => out.extend(part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order_at_every_width() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(jobs);
+            for n in [0, 1, 2, 3, 4, 5, 7, 16, 100] {
+                let got = pool.map_indexed(n, SEQUENTIAL_CUTOFF, |i| i * i);
+                let want: Vec<usize> = (0..n).map(|i| i * i).collect();
+                assert_eq!(got, want, "jobs={jobs} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_normalizes_to_sequential() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        assert!(pool.is_sequential());
+        assert_eq!(pool.map_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_tasks_than_workers_stresses_sharding() {
+        let pool = WorkerPool::new(4);
+        let n = 1000;
+        let got = pool.map_indexed(n, SEQUENTIAL_CUTOFF, |i| 2 * i + 1);
+        assert_eq!(got.len(), n);
+        assert!(got.iter().enumerate().all(|(i, &v)| v == 2 * i + 1));
+    }
+
+    #[test]
+    fn shard_bounds_cover_all_indices_exactly_once() {
+        // The shard boundary formula must partition 0..n for every
+        // (n, shards) the pool can produce.
+        for n in 1..64usize {
+            for shards in 1..=n.min(16) {
+                let mut covered = vec![0u32; n];
+                for s in 0..shards {
+                    for c in &mut covered[(s * n / shards)..((s + 1) * n / shards)] {
+                        *c += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "n={n} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_counters_observe_the_parallel_path() {
+        // Counters are process-global; this test only checks they move,
+        // under the obs crate's enable flag.
+        qccd_obs::enable();
+        let before = qccd_obs::counter_value("pool.tasks");
+        let pool = WorkerPool::new(2);
+        let _ = pool.map_indexed(10, SEQUENTIAL_CUTOFF, |i| i);
+        assert!(qccd_obs::counter_value("pool.tasks") >= before + 10);
+        qccd_obs::disable();
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_indexed(8, 0, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+}
